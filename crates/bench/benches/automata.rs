@@ -1,0 +1,57 @@
+//! Criterion timing for automaton construction (behind T2/F7): the
+//! offline table build each grammar would pay ahead of time, and the
+//! cold-start cost of the on-demand automaton labeling its first suite.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use odburg_core::{Labeler, OfflineAutomaton, OfflineConfig, OnDemandAutomaton};
+use odburg_workloads::combined_workload;
+
+fn bench_offline_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_build");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for grammar in odburg::targets::all() {
+        let stripped = Arc::new(
+            grammar
+                .without_dynamic_rules()
+                .expect("fixed fallbacks")
+                .normalize(),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(grammar.name()),
+            &stripped,
+            |b, g| {
+                b.iter(|| {
+                    OfflineAutomaton::build(g.clone(), OfflineConfig::default())
+                        .expect("builds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let suite = combined_workload();
+    let mut group = c.benchmark_group("ondemand_cold_suite");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for name in ["x86ish", "riscish", "sparcish", "jvmish"] {
+        let normal = Arc::new(odburg::targets::by_name(name).expect("built-in").normalize());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &suite, |b, w| {
+            b.iter(|| {
+                let mut od = OnDemandAutomaton::new(normal.clone());
+                od.label_forest(&w.forest).expect("labels")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_build, bench_cold_start);
+criterion_main!(benches);

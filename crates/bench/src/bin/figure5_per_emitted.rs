@@ -1,0 +1,110 @@
+//! **F5 — Labeling cost per *emitted* instruction.**
+//!
+//! The JIT-relevant metric of the paper family (its Figures 6-9): how
+//! much labeling work buys one generated machine instruction, per
+//! benchmark, for the dynamic-programming labeler, the warm on-demand
+//! automaton, and the offline automaton.
+//!
+//! Regenerate with: `cargo run --release -p odburg-bench --bin figure5_per_emitted`
+
+use std::sync::Arc;
+
+use odburg_bench::{f, median_time, row, rule_line, warm_ondemand};
+use odburg_codegen::reduce_forest;
+use odburg_core::{
+    Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandConfig,
+};
+use odburg_dp::DpLabeler;
+use odburg_frontend::programs;
+use odburg_workloads::replicate;
+
+const REPS: usize = 7;
+
+fn main() {
+    let grammar = odburg::targets::x86ish();
+    let normal = Arc::new(grammar.normalize());
+    let stripped = Arc::new(
+        grammar
+            .without_dynamic_rules()
+            .expect("fixed fallbacks")
+            .normalize(),
+    );
+    let offline = Arc::new(
+        OfflineAutomaton::build(stripped, OfflineConfig::default()).expect("offline builds"),
+    );
+
+    let widths = [13, 7, 9, 9, 9, 10, 10, 10];
+    println!("F5: labeling cost per emitted instruction on x86ish\n");
+    row(
+        &[
+            "benchmark",
+            "instrs",
+            "dp.w/i",
+            "od.w/i",
+            "off.w/i",
+            "dp.ns/i",
+            "od.ns/i",
+            "off.ns/i",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    rule_line(&widths);
+
+    for program in programs::all() {
+        let single = program.compile().expect("programs compile");
+        let forest = replicate(&single, 40);
+
+        // Emitted instruction count (identical across optimal labelers).
+        let mut dp = DpLabeler::new(normal.clone());
+        let labeling = dp.label_forest(&single).expect("labels");
+        let emitted = reduce_forest(&single, &normal, &labeling)
+            .expect("reduces")
+            .len();
+        let emitted_rep = (emitted * 40) as f64;
+
+        let mut dp = DpLabeler::new(normal.clone());
+        dp.label_forest(&forest).expect("labels");
+        let dp_w = dp.counters().work_units() as f64 / emitted_rep;
+        let dp_t = median_time(REPS, || {
+            dp.label_forest(&forest).expect("labels");
+        })
+        .as_nanos() as f64
+            / emitted_rep;
+
+        let mut od = warm_ondemand(normal.clone(), OnDemandConfig::default(), &single);
+        od.label_forest(&forest).expect("labels");
+        let od_w = od.counters().work_units() as f64 / emitted_rep;
+        let od_t = median_time(REPS, || {
+            od.label_forest(&forest).expect("labels");
+        })
+        .as_nanos() as f64
+            / emitted_rep;
+
+        let mut off = OfflineLabeler::new(offline.clone());
+        off.label_forest(&forest).expect("labels");
+        let off_w = off.counters().work_units() as f64 / emitted_rep;
+        let off_t = median_time(REPS, || {
+            off.label_forest(&forest).expect("labels");
+        })
+        .as_nanos() as f64
+            / emitted_rep;
+
+        row(
+            &[
+                program.name.to_owned(),
+                emitted.to_string(),
+                f(dp_w, 1),
+                f(od_w, 1),
+                f(off_w, 1),
+                f(dp_t, 1),
+                f(od_t, 1),
+                f(off_t, 1),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("shape check (paper family): per emitted instruction the automaton needs");
+    println!("a small fraction of DP's work; the gap between od and offline is small.");
+}

@@ -1,0 +1,58 @@
+//! **T1 — Grammar statistics.**
+//!
+//! The grammar table of the reproduced evaluation: for every machine
+//! description, the source-rule counts, normal-form size, dynamic-cost
+//! rule counts, and the size of the complete offline automaton built from
+//! the grammar with its dynamic rules removed (offline automata cannot
+//! represent dynamic costs — that inability is the paper's motivation).
+//!
+//! Regenerate with: `cargo run --release -p odburg-bench --bin table1_grammars`
+
+use std::sync::Arc;
+
+use odburg_bench::{row, rule_line};
+use odburg_core::{OfflineAutomaton, OfflineConfig};
+
+fn main() {
+    let widths = [9, 6, 6, 8, 5, 4, 7, 8, 7, 10];
+    println!("T1: grammar statistics (offline-automaton columns use the grammar without dynamic rules)\n");
+    row(
+        &[
+            "grammar", "rules", "chain", "dynamic", "ops", "nts", "n.rules", "n.nts",
+            "states", "bytes",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    rule_line(&widths);
+    for grammar in odburg::targets::all() {
+        let stats = grammar.stats();
+        let stripped = grammar
+            .without_dynamic_rules()
+            .expect("targets keep fixed fallbacks");
+        let auto = OfflineAutomaton::build(
+            Arc::new(stripped.normalize()),
+            OfflineConfig::default(),
+        )
+        .expect("offline automata build for the shipped targets");
+        let a = auto.stats();
+        row(
+            &[
+                stats.name.clone(),
+                stats.rules.to_string(),
+                stats.chain_rules.to_string(),
+                stats.dynamic_rules.to_string(),
+                stats.operators.to_string(),
+                stats.nonterminals.to_string(),
+                stats.normal_rules.to_string(),
+                stats.normal_nonterminals.to_string(),
+                a.states.to_string(),
+                a.bytes.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("shape check (paper family): hundreds of rules for the lcc-style grammars,");
+    println!("tens for the JIT grammar; dynamic rules are a sizable minority everywhere.");
+}

@@ -1,0 +1,97 @@
+//! **T3 — Labeling cost per node, per benchmark program.**
+//!
+//! The headline speed table (the analogue of the paper family's
+//! "executed instructions and cycles for labeling"): for every MiniC
+//! benchmark, the machine-independent *work units* per node and the
+//! wall-clock nanoseconds per node for
+//!
+//! * `dp`      — iburg-style dynamic programming (the flexible baseline),
+//! * `od`      — the warm on-demand automaton (the contribution),
+//! * `offline` — the prebuilt automaton on the stripped grammar (the
+//!   inflexible speed ceiling), and
+//! * `macro`   — macro expansion (no cost comparison at all).
+//!
+//! Regenerate with: `cargo run --release -p odburg-bench --bin table3_labeling`
+
+use std::sync::Arc;
+
+use odburg_bench::{f, ns_per_node, row, rule_line, warm_ondemand, work_per_node};
+use odburg_core::{OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandConfig};
+use odburg_dp::{DpLabeler, MacroExpander};
+use odburg_frontend::programs;
+use odburg_workloads::replicate;
+
+const REPS: usize = 7;
+
+fn main() {
+    let grammar = odburg::targets::x86ish();
+    let normal = Arc::new(grammar.normalize());
+    let stripped = Arc::new(
+        grammar
+            .without_dynamic_rules()
+            .expect("fixed fallbacks")
+            .normalize(),
+    );
+    let offline = Arc::new(
+        OfflineAutomaton::build(stripped, OfflineConfig::default()).expect("offline builds"),
+    );
+
+    let widths = [13, 6, 8, 8, 8, 8, 9, 9, 9, 7];
+    println!("T3: labeling cost per node on x86ish (work units | ns per node)\n");
+    row(
+        &[
+            "benchmark", "nodes", "dp.work", "od.work", "off.work", "mx.work", "dp.ns",
+            "od.ns", "off.ns", "dp/od",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    rule_line(&widths);
+
+    let mut total_ratio = 0.0;
+    let mut count = 0.0;
+    for program in programs::all() {
+        let single = program.compile().expect("programs compile");
+        // Replicate so that wall-clock numbers are measurable.
+        let forest = replicate(&single, 40);
+
+        let mut dp = DpLabeler::new(normal.clone());
+        let dp_work = work_per_node(&mut dp, &forest);
+        let dp_ns = ns_per_node(&mut dp, &forest, REPS);
+
+        let mut od = warm_ondemand(normal.clone(), OnDemandConfig::default(), &single);
+        let od_work = work_per_node(&mut od, &forest);
+        let od_ns = ns_per_node(&mut od, &forest, REPS);
+
+        let mut off = OfflineLabeler::new(offline.clone());
+        let off_work = work_per_node(&mut off, &forest);
+        let off_ns = ns_per_node(&mut off, &forest, REPS);
+
+        let mut mx = MacroExpander::new(normal.clone());
+        let mx_work = work_per_node(&mut mx, &forest);
+
+        total_ratio += dp_ns / od_ns;
+        count += 1.0;
+        row(
+            &[
+                program.name.to_owned(),
+                single.len().to_string(),
+                f(dp_work, 1),
+                f(od_work, 1),
+                f(off_work, 1),
+                f(mx_work, 1),
+                f(dp_ns, 1),
+                f(od_ns, 1),
+                f(off_ns, 1),
+                f(dp_ns / od_ns, 2),
+            ],
+            &widths,
+        );
+    }
+    rule_line(&widths);
+    println!("geometric-ish mean dp/od time ratio: {:.2}", total_ratio / count);
+    println!();
+    println!("shape check (paper family): the automaton labeler beats DP per node by a");
+    println!("factor in the 1.3-3x range, and sits near the offline automaton's speed;");
+    println!("macro expansion does the least work but selects the worst code (see T8).");
+}

@@ -1,0 +1,94 @@
+//! **T6 — Dynamic costs on the on-demand automaton.**
+//!
+//! The flexibility claim: dynamic costs — impossible in offline automata —
+//! work on the on-demand automaton via per-node cost signatures, produce
+//! *identical* derivations to selection-time dynamic programming, and
+//! still label faster. Also reports the price: extra states and interned
+//! signatures compared to running the same automaton on the grammar with
+//! dynamic rules removed.
+//!
+//! Regenerate with: `cargo run --release -p odburg-bench --bin table6_dyncost`
+
+use std::sync::Arc;
+
+use odburg_bench::{f, ns_per_node, row, rule_line, warm_ondemand};
+use odburg_codegen::reduce_forest;
+use odburg_core::{Labeler, OnDemandConfig};
+use odburg_dp::DpLabeler;
+use odburg_workloads::{combined_workload, replicate};
+
+const REPS: usize = 7;
+
+fn main() {
+    let widths = [9, 10, 7, 6, 9, 9, 7, 10];
+    println!("T6: dynamic costs via on-demand signatures (MiniC suite workload)\n");
+    row(
+        &[
+            "grammar",
+            "identical",
+            "states",
+            "sigs",
+            "fx.states",
+            "dp.ns/n",
+            "od.ns/n",
+            "dp/od",
+        ]
+        .map(String::from),
+        &widths,
+    );
+    rule_line(&widths);
+
+    let suite = combined_workload();
+    for name in ["x86ish", "riscish", "sparcish", "jvmish"] {
+        let grammar = odburg::targets::by_name(name).expect("built-in");
+        let normal = Arc::new(grammar.normalize());
+        let forest = replicate(&suite.forest, 10);
+
+        // Derivation equivalence: dp and od must emit the same code.
+        let mut dp = DpLabeler::new(normal.clone());
+        let dp_labeling = dp.label_forest(&suite.forest).expect("labels");
+        let dp_red = reduce_forest(&suite.forest, &normal, &dp_labeling).expect("reduces");
+        let mut od = warm_ondemand(normal.clone(), OnDemandConfig::default(), &suite.forest);
+        let od_labeling = od.label_forest(&suite.forest).expect("labels");
+        let od_chooser = od_labeling.chooser(&od);
+        let od_red = reduce_forest(&suite.forest, &normal, &od_chooser).expect("reduces");
+        let identical = dp_red.instructions == od_red.instructions
+            && dp_red.total_cost == od_red.total_cost;
+
+        // Speed with dynamic costs active.
+        let mut dp = DpLabeler::new(normal.clone());
+        let dp_ns = ns_per_node(&mut dp, &forest, REPS);
+        let mut od = warm_ondemand(normal.clone(), OnDemandConfig::default(), &suite.forest);
+        let od_ns = ns_per_node(&mut od, &forest, REPS);
+
+        // Signature/state overhead vs the stripped grammar.
+        let stats = od.stats();
+        let stripped = Arc::new(
+            grammar
+                .without_dynamic_rules()
+                .expect("fixed fallbacks")
+                .normalize(),
+        );
+        let od_fixed = warm_ondemand(stripped, OnDemandConfig::default(), &suite.forest);
+        let fixed_states = od_fixed.stats().states;
+
+        row(
+            &[
+                name.to_owned(),
+                if identical { "yes" } else { "NO" }.to_owned(),
+                stats.states.to_string(),
+                stats.signatures.to_string(),
+                fixed_states.to_string(),
+                f(dp_ns, 1),
+                f(od_ns, 1),
+                f(dp_ns / od_ns, 2),
+            ],
+            &widths,
+        );
+        assert!(identical, "{name}: dynamic-cost derivations must match dp");
+    }
+    println!();
+    println!("shape check (paper family): identical code to DP on every grammar; the");
+    println!("state growth from dynamic-cost signatures stays below ~2x (the CC'18");
+    println!("follow-up reports at most 1.75x for its constraint states).");
+}

@@ -1,0 +1,245 @@
+//! The `odburg` command-line tool.
+//!
+//! ```text
+//! odburg stats   <grammar>             grammar statistics and lints
+//! odburg normal  <grammar>             print the normal form
+//! odburg automaton <grammar>           build the offline automaton, print sizes
+//! odburg generate  <grammar>           emit a hard-coded Rust labeler (burg style)
+//! odburg label   <grammar> <sexpr>     label one tree, print states and rules
+//! odburg emit    <grammar> <sexpr>     select and print instructions
+//! odburg compile <grammar> <file.mc>   compile a MiniC file and print assembly
+//! odburg bench   <grammar>             quick dp vs on-demand comparison
+//! ```
+//!
+//! `<grammar>` is a built-in target name (demo, x86ish, riscish, sparcish,
+//! alphaish, jvmish) or a path to a `.burg` file (dynamic costs in files are
+//! declared but unbound, i.e. never applicable).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use odburg::grammar::analysis;
+use odburg::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("odburg: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage =
+        "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench> <grammar> [input]";
+    let command = args.first().ok_or(usage)?;
+    let grammar_name = args.get(1).ok_or(usage)?;
+    let grammar = load_grammar(grammar_name)?;
+
+    match command.as_str() {
+        "stats" => stats(&grammar),
+        "normal" => normal(&grammar),
+        "automaton" => automaton(&grammar),
+        "generate" => generate(&grammar),
+        "label" => label(&grammar, args.get(2).ok_or("label needs an s-expression")?),
+        "emit" => emit(&grammar, args.get(2).ok_or("emit needs an s-expression")?),
+        "compile" => compile(&grammar, args.get(2).ok_or("compile needs a MiniC file")?),
+        "bench" => bench(&grammar),
+        other => Err(format!("unknown command `{other}`\n{usage}")),
+    }
+}
+
+fn load_grammar(name: &str) -> Result<Grammar, String> {
+    if let Some(g) = odburg::targets::by_name(name) {
+        return Ok(g);
+    }
+    let text = std::fs::read_to_string(name)
+        .map_err(|e| format!("cannot read grammar `{name}`: {e}"))?;
+    parse_grammar(&text).map_err(|e| format!("{name}: {e}"))
+}
+
+fn stats(grammar: &Grammar) -> Result<(), String> {
+    let s = grammar.stats();
+    println!("grammar:        {}", s.name);
+    println!("rules:          {}", s.rules);
+    println!("chain rules:    {}", s.chain_rules);
+    println!("dynamic rules:  {}", s.dynamic_rules);
+    println!("operators:      {}", s.operators);
+    println!("nonterminals:   {}", s.nonterminals);
+    println!("normal rules:   {}", s.normal_rules);
+    println!("normal nts:     {}", s.normal_nonterminals);
+    let normal = grammar.normalize();
+    let issues = analysis::lint(&normal);
+    if issues.is_empty() {
+        println!("lint:           clean");
+    }
+    for issue in issues {
+        println!("lint:           {}", issue.message);
+    }
+    Ok(())
+}
+
+fn normal(grammar: &Grammar) -> Result<(), String> {
+    let normal = grammar.normalize();
+    for rule in normal.rules() {
+        let lhs = normal.nt_name(rule.lhs);
+        let marker = if rule.is_final { "" } else { "  (helper)" };
+        match &rule.rhs {
+            odburg::grammar::NormalRhs::Base { op, operands } => {
+                let ops: Vec<&str> = operands.iter().map(|&n| normal.nt_name(n)).collect();
+                println!("{lhs}: {op}({}){marker}", ops.join(", "));
+            }
+            odburg::grammar::NormalRhs::Chain { from } => {
+                println!("{lhs}: {}{marker}", normal.nt_name(*from));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn automaton(grammar: &Grammar) -> Result<(), String> {
+    let stripped = grammar
+        .without_dynamic_rules()
+        .map_err(|e| format!("cannot strip dynamic rules: {e}"))?;
+    let auto = OfflineAutomaton::build(Arc::new(stripped.normalize()), OfflineConfig::default())
+        .map_err(|e| format!("automaton construction failed: {e}"))?;
+    let s = auto.stats();
+    println!("states:             {}", s.states);
+    println!("representer states: {}", s.representers);
+    println!("transition entries: {}", s.transition_entries);
+    println!("table bytes:        {}", s.bytes);
+    println!("build time:         {:?}", s.build_time);
+    println!("build work units:   {}", s.build_work);
+    if grammar.stats().dynamic_rules > 0 {
+        println!(
+            "note: {} dynamic-cost rules were stripped (offline automata cannot represent them)",
+            grammar.stats().dynamic_rules
+        );
+    }
+    Ok(())
+}
+
+fn generate(grammar: &Grammar) -> Result<(), String> {
+    let stripped = grammar
+        .without_dynamic_rules()
+        .map_err(|e| format!("cannot strip dynamic rules: {e}"))?;
+    let auto = OfflineAutomaton::build(Arc::new(stripped.normalize()), OfflineConfig::default())
+        .map_err(|e| format!("automaton construction failed: {e}"))?;
+    print!(
+        "{}",
+        odburg::select::generate_rust(&auto, &format!("odburg generate {}", grammar.name()))
+    );
+    if grammar.stats().dynamic_rules > 0 {
+        eprintln!(
+            "note: {} dynamic-cost rules were stripped (hard-coded tables cannot represent them; use the on-demand automaton to keep them)",
+            grammar.stats().dynamic_rules
+        );
+    }
+    Ok(())
+}
+
+fn parse_tree(grammar_name: &str, src: &str) -> Result<(Forest, NodeId), String> {
+    let mut forest = Forest::new();
+    let root =
+        parse_sexpr(&mut forest, src).map_err(|e| format!("{grammar_name}: bad tree: {e}"))?;
+    forest.add_root(root);
+    Ok((forest, root))
+}
+
+fn label(grammar: &Grammar, src: &str) -> Result<(), String> {
+    let normal = Arc::new(grammar.normalize());
+    let (forest, _) = parse_tree(grammar.name(), src)?;
+    let mut od = OnDemandAutomaton::new(normal.clone());
+    let labeling = od
+        .label_forest(&forest)
+        .map_err(|e| format!("labeling failed: {e}"))?;
+    for (id, node) in forest.iter() {
+        let state = labeling.state_of(id);
+        let data = od.state(state);
+        print!("{id} {:<10} -> state {:>3}:", node.op().to_string(), state.0);
+        for nt in 0..normal.num_nts() {
+            let nt = odburg::grammar::NtId(nt as u16);
+            if let Some(rule) = data.rule(nt) {
+                print!(
+                    " {}={}#{}",
+                    normal.nt_name(nt),
+                    data.cost(nt),
+                    rule.0
+                );
+            }
+        }
+        println!();
+    }
+    let stats = od.stats();
+    println!(
+        "{} states, {} transitions, {} signatures created",
+        stats.states, stats.transitions, stats.signatures
+    );
+    Ok(())
+}
+
+fn emit(grammar: &Grammar, src: &str) -> Result<(), String> {
+    let normal = Arc::new(grammar.normalize());
+    let (forest, _) = parse_tree(grammar.name(), src)?;
+    let mut od = OnDemandAutomaton::new(normal.clone());
+    let labeling = od
+        .label_forest(&forest)
+        .map_err(|e| format!("labeling failed: {e}"))?;
+    let chooser = labeling.chooser(&od);
+    let red = odburg::codegen::reduce_forest(&forest, &normal, &chooser)
+        .map_err(|e| format!("reduction failed: {e}"))?;
+    print!("{red}");
+    println!("; cost {}", red.total_cost);
+    Ok(())
+}
+
+fn compile(grammar: &Grammar, path: &str) -> Result<(), String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let forest = odburg::frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
+    let normal = Arc::new(grammar.normalize());
+    let mut od = OnDemandAutomaton::new(normal.clone());
+    let labeling = od
+        .label_forest(&forest)
+        .map_err(|e| format!("labeling failed: {e}"))?;
+    let chooser = labeling.chooser(&od);
+    let red = odburg::codegen::reduce_forest(&forest, &normal, &chooser)
+        .map_err(|e| format!("reduction failed: {e}"))?;
+    print!("{red}");
+    eprintln!(
+        "; {} nodes, {} instructions, cost {}, {} states",
+        forest.len(),
+        red.len(),
+        red.total_cost,
+        od.stats().states
+    );
+    Ok(())
+}
+
+fn bench(grammar: &Grammar) -> Result<(), String> {
+    use std::time::Instant;
+    let normal = Arc::new(grammar.normalize());
+    let suite = odburg::workloads::combined_workload();
+    let forest = odburg::workloads::replicate(&suite.forest, 20);
+
+    let mut dp = DpLabeler::new(normal.clone());
+    dp.label_forest(&forest).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    dp.label_forest(&forest).map_err(|e| e.to_string())?;
+    let dp_ns = t.elapsed().as_nanos() as f64 / forest.len() as f64;
+
+    let mut od = OnDemandAutomaton::new(normal);
+    od.label_forest(&forest).map_err(|e| e.to_string())?;
+    let t = Instant::now();
+    od.label_forest(&forest).map_err(|e| e.to_string())?;
+    let od_ns = t.elapsed().as_nanos() as f64 / forest.len() as f64;
+
+    println!("workload: MiniC suite x20 ({} nodes)", forest.len());
+    println!("dp:        {dp_ns:.1} ns/node");
+    println!("on-demand: {od_ns:.1} ns/node  ({:.2}x faster)", dp_ns / od_ns);
+    println!("states:    {}", od.stats().states);
+    Ok(())
+}

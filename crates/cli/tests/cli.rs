@@ -1,0 +1,110 @@
+//! End-to-end tests of the `odburg` command-line tool.
+
+use std::process::Command;
+
+fn odburg(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_odburg"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn stats_prints_grammar_summary() {
+    let (ok, stdout, _) = odburg(&["stats", "x86ish"]);
+    assert!(ok);
+    assert!(stdout.contains("rules:"));
+    assert!(stdout.contains("dynamic rules:"));
+}
+
+#[test]
+fn normal_lists_helper_rules() {
+    let (ok, stdout, _) = odburg(&["normal", "demo"]);
+    assert!(ok);
+    assert!(stdout.contains("(helper)"));
+    assert!(stdout.contains("stmt: StoreI8"));
+}
+
+#[test]
+fn automaton_reports_sizes() {
+    let (ok, stdout, _) = odburg(&["automaton", "jvmish"]);
+    assert!(ok);
+    assert!(stdout.contains("states:"));
+    assert!(stdout.contains("transition entries:"));
+}
+
+#[test]
+fn emit_selects_rmw() {
+    let (ok, stdout, _) = odburg(&[
+        "emit",
+        "demo",
+        "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("add v0, (x)"), "{stdout}");
+    assert!(stdout.contains("cost 2"), "{stdout}");
+}
+
+#[test]
+fn label_shows_states() {
+    let (ok, stdout, _) = odburg(&["label", "demo", "(AddI8 (ConstI8 1) (ConstI8 2))"]);
+    assert!(ok);
+    assert!(stdout.contains("state"));
+    assert!(stdout.contains("2 states"));
+}
+
+#[test]
+fn compile_runs_minic_files() {
+    let dir = std::env::temp_dir().join("odburg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("prog.mc");
+    std::fs::write(&path, "fn double(x) { return x + x; }\n").unwrap();
+    let (ok, stdout, stderr) = odburg(&["compile", "x86ish", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fn_double:"), "{stdout}");
+    assert!(stderr.contains("instructions"), "{stderr}");
+}
+
+#[test]
+fn grammar_files_load_from_disk() {
+    let dir = std::env::temp_dir().join("odburg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.burg");
+    std::fs::write(&path, "%start reg\nreg: ConstI8 (1) \"li {imm}\"\n").unwrap();
+    let (ok, stdout, _) = odburg(&["emit", path.to_str().unwrap(), "(ConstI8 9)"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("li 9"), "{stdout}");
+}
+
+#[test]
+fn generate_emits_rust_tables() {
+    let (ok, stdout, _) = odburg(&["generate", "demo"]);
+    assert!(ok);
+    assert!(stdout.contains("pub fn label_node"));
+    assert!(stdout.contains("static RULES"));
+    // Dynamic rules are stripped with a note on stderr.
+    let (ok, _, stderr) = odburg(&["generate", "x86ish"]);
+    assert!(ok);
+    assert!(stderr.contains("stripped"));
+}
+
+#[test]
+fn errors_exit_nonzero_with_messages() {
+    let (ok, _, stderr) = odburg(&["stats", "z80"]);
+    assert!(!ok);
+    assert!(stderr.contains("z80"));
+    let (ok, _, stderr) = odburg(&["frobnicate", "demo"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(MulF4 (ConstF4 #1.0) (ConstF4 #1.0))"]);
+    assert!(!ok);
+    assert!(stderr.contains("labeling failed"));
+    let (ok, _, stderr) = odburg(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

@@ -1,0 +1,33 @@
+//! The **reducer**: the second pass of tree-parsing instruction selection.
+//!
+//! After the labeler has recorded, for every node, the optimal rule per
+//! nonterminal, the reducer walks the derivation tree top-down from the
+//! start nonterminal at each root, fires each rule's emission action in
+//! bottom-up (post-order) position, and assembles the selected
+//! instructions. It works identically over every labeler through the
+//! [`RuleChooser`](odburg_core::RuleChooser) interface — which is how the
+//! benchmarks can show that all optimal labelers produce *identical code*.
+//!
+//! # Emission templates
+//!
+//! A source rule may carry a template string; the template is rendered
+//! once per application of the rule, after its operand derivations have
+//! been reduced. `;` separates machine instructions within one template.
+//! Placeholders:
+//!
+//! | placeholder | meaning |
+//! |-------------|---------|
+//! | `{dst}`     | a fresh virtual register holding the rule's result |
+//! | `{a}` … `{d}` | results of the pattern's nonterminal leaves, in order (falls back to the leaf's payload for folded operands) |
+//! | `{pa}` … `{pd}` | payload of the node bound to the corresponding nonterminal leaf |
+//! | `{imm}`     | payload of the first payload-carrying operator node matched by the pattern (falls back to the root node's payload) |
+//! | `{sym}`     | like `{imm}` but rendered as a symbol name |
+//! | `{lbl}`     | payload of the matched root node (branch/jump targets) |
+//!
+//! Rules without a template pass their operand's value through (chain
+//! rules) or produce no value (statements, addressing modes folded into
+//! their consumer).
+
+mod reduce;
+
+pub use reduce::{reduce_forest, reduce_tree, ReduceError, Reduction, VReg};

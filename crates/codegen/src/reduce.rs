@@ -1,0 +1,502 @@
+//! Derivation walking and template rendering.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use odburg_core::RuleChooser;
+use odburg_grammar::{Cost, NormalGrammar, NormalRhs, NormalRuleId, NtId, Pattern};
+use odburg_ir::{Forest, NodeId, Payload};
+
+/// A virtual register number allocated by the reducer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Errors produced while reducing a labeled tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceError {
+    /// The labeler recorded no rule for this node/nonterminal pair — the
+    /// tree was not derivable from the requested goal.
+    MissingRule {
+        /// The node being reduced.
+        node: NodeId,
+        /// The requested nonterminal.
+        nt: NtId,
+    },
+    /// A chosen dynamic-cost rule turned out inapplicable at emission
+    /// time. Labeler and reducer disagree — this is a bug in the labeler.
+    InapplicableRule {
+        /// The node being reduced.
+        node: NodeId,
+        /// The offending rule.
+        rule: NormalRuleId,
+    },
+}
+
+impl fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceError::MissingRule { node, nt } => {
+                write!(f, "no rule recorded for node {node} / nonterminal #{}", nt.0)
+            }
+            ReduceError::InapplicableRule { node, rule } => write!(
+                f,
+                "rule #{} chosen at node {node} is inapplicable at emission time",
+                rule.0
+            ),
+        }
+    }
+}
+
+impl Error for ReduceError {}
+
+/// The output of reduction: instructions, the applied rules, and the total
+/// derivation cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Reduction {
+    /// Emitted machine instructions, in order.
+    pub instructions: Vec<String>,
+    /// `(node, rule)` pairs in action (post-order) sequence.
+    pub applied: Vec<(NodeId, NormalRuleId)>,
+    /// Sum of the applied rules' costs (dynamic costs evaluated at their
+    /// nodes). This is the derivation cost the labeler minimized.
+    pub total_cost: Cost,
+    next_vreg: u32,
+}
+
+impl Reduction {
+    /// Number of emitted instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// `true` if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    fn fresh_vreg(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    /// Instructions containing unresolved `?…` placeholders — template or
+    /// grammar wiring problems a back-end author wants to see.
+    pub fn lint_rendering(&self) -> Vec<&str> {
+        self.instructions
+            .iter()
+            .filter(|i| i.contains('?'))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+impl fmt::Display for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.instructions {
+            writeln!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-reduction bookkeeping: result registers and visited derivations.
+///
+/// Sharing one context across roots is what makes DAG reduction work:
+/// once a `(node, nonterminal)` derivation has been reduced, later
+/// ancestors reuse its result instead of re-emitting it — the "node
+/// duplication ends once derivations meet" rule of DAG tree-parsing.
+#[derive(Debug, Default)]
+struct ReduceCtx {
+    results: HashMap<(NodeId, NtId), VReg>,
+    done: std::collections::HashSet<(NodeId, NtId)>,
+}
+
+/// Reduces the (sub)graph rooted at `root` from `goal`, appending into
+/// `out`.
+///
+/// Each call uses fresh bookkeeping; shared nodes *within* the subgraph
+/// are reduced once, but sharing across separate `reduce_tree` calls is
+/// not detected — use [`reduce_forest`] for whole-forest DAGs.
+///
+/// # Errors
+///
+/// See [`ReduceError`].
+pub fn reduce_tree(
+    forest: &Forest,
+    grammar: &NormalGrammar,
+    chooser: &dyn RuleChooser,
+    root: NodeId,
+    goal: NtId,
+    out: &mut Reduction,
+) -> Result<(), ReduceError> {
+    let mut ctx = ReduceCtx::default();
+    reduce_at(forest, grammar, chooser, root, goal, out, &mut ctx)
+}
+
+/// Reduces every registered root of `forest` from the grammar's start
+/// nonterminal and returns the combined result.
+///
+/// Works on trees and on DAGs (e.g. built with
+/// [`odburg_ir::cse_forest`]): derivations shared between trees are
+/// emitted once.
+///
+/// # Errors
+///
+/// See [`ReduceError`].
+pub fn reduce_forest(
+    forest: &Forest,
+    grammar: &NormalGrammar,
+    chooser: &dyn RuleChooser,
+) -> Result<Reduction, ReduceError> {
+    let mut out = Reduction::default();
+    let mut ctx = ReduceCtx::default();
+    for &root in forest.roots() {
+        reduce_at(
+            forest,
+            grammar,
+            chooser,
+            root,
+            grammar.start(),
+            &mut out,
+            &mut ctx,
+        )?;
+    }
+    Ok(out)
+}
+
+fn reduce_at(
+    forest: &Forest,
+    grammar: &NormalGrammar,
+    chooser: &dyn RuleChooser,
+    node: NodeId,
+    goal: NtId,
+    out: &mut Reduction,
+    ctx: &mut ReduceCtx,
+) -> Result<(), ReduceError> {
+    // DAGs: a derivation already reduced through another parent is
+    // reused, not repeated.
+    if ctx.done.contains(&(node, goal)) {
+        return Ok(());
+    }
+    let rule_id = chooser
+        .rule_for(node, goal)
+        .ok_or(ReduceError::MissingRule { node, nt: goal })?;
+    let rule = grammar.rule(rule_id);
+    debug_assert_eq!(rule.lhs, goal, "labeler recorded rule for wrong goal");
+
+    // Reduce operands first (post-order actions).
+    match &rule.rhs {
+        NormalRhs::Chain { from } => {
+            reduce_at(forest, grammar, chooser, node, *from, out, ctx)?;
+        }
+        NormalRhs::Base { operands, .. } => {
+            for (i, &operand) in operands.iter().enumerate() {
+                let child = forest.node(node).child(i);
+                reduce_at(forest, grammar, chooser, child, operand, out, ctx)?;
+            }
+        }
+    }
+
+    // Account the rule's cost (validates dynamic rules a second time).
+    let rc = grammar.rule_cost_at(rule_id, forest, node);
+    match rc.value() {
+        Some(v) => out.total_cost = out.total_cost + Cost::from(v),
+        None => {
+            return Err(ReduceError::InapplicableRule {
+                node,
+                rule: rule_id,
+            })
+        }
+    }
+    out.applied.push((node, rule_id));
+
+    // Fire the action of final rules.
+    if rule.is_final {
+        fire_action(forest, grammar, rule_id, node, goal, out, &mut ctx.results);
+    }
+    ctx.done.insert((node, goal));
+    Ok(())
+}
+
+/// Emits the source rule's template (if any) and registers the result
+/// vreg for `(node, goal)`.
+fn fire_action(
+    forest: &Forest,
+    grammar: &NormalGrammar,
+    rule_id: NormalRuleId,
+    node: NodeId,
+    goal: NtId,
+    out: &mut Reduction,
+    results: &mut HashMap<(NodeId, NtId), VReg>,
+) {
+    let source = grammar.source_rule(rule_id);
+
+    // Collect the (node, nt) positions of the original pattern's
+    // nonterminal leaves by walking the pattern over the subtree.
+    let mut leaves: Vec<(NodeId, NtId)> = Vec::new();
+    let mut first_payload: Option<Payload> = None;
+    collect_pattern_leaves(forest, &source.pattern, node, &mut leaves, &mut first_payload);
+
+    let Some(template) = &source.template else {
+        // No action: chain rules pass their operand's value through.
+        if let Some(&(leaf_node, leaf_nt)) = leaves.first() {
+            if let Some(&v) = results.get(&(leaf_node, leaf_nt)) {
+                results.insert((node, goal), v);
+            }
+        }
+        return;
+    };
+
+    let dst = if template.contains("{dst}") {
+        let v = out.fresh_vreg();
+        results.insert((node, goal), v);
+        Some(v)
+    } else {
+        None
+    };
+
+    for part in template.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.instructions
+            .push(render(part, forest, node, dst, &leaves, first_payload, results));
+    }
+}
+
+fn collect_pattern_leaves(
+    forest: &Forest,
+    pattern: &Pattern,
+    node: NodeId,
+    leaves: &mut Vec<(NodeId, NtId)>,
+    first_payload: &mut Option<Payload>,
+) {
+    match pattern {
+        Pattern::Nt(nt) => leaves.push((node, *nt)),
+        Pattern::Op { children, .. } => {
+            if first_payload.is_none() {
+                match forest.node(node).payload() {
+                    Payload::None => {}
+                    p => *first_payload = Some(p),
+                }
+            }
+            for (i, c) in children.iter().enumerate() {
+                collect_pattern_leaves(forest, c, forest.node(node).child(i), leaves, first_payload);
+            }
+        }
+    }
+}
+
+/// Best-effort payload for rendering a folded operand: the node's own
+/// payload, or the first payload found walking down first children.
+fn payload_below(forest: &Forest, mut node: NodeId) -> Option<Payload> {
+    loop {
+        let p = forest.node(node).payload();
+        if p != Payload::None {
+            return Some(p);
+        }
+        match forest.node(node).children().first() {
+            Some(&c) => node = c,
+            None => return None,
+        }
+    }
+}
+
+fn push_payload(s: &mut String, forest: &Forest, p: Payload) {
+    match p {
+        Payload::Int(v) => s.push_str(&v.to_string()),
+        Payload::FloatBits(b) => s.push_str(&f64::from_bits(b).to_string()),
+        Payload::Sym(sym) => s.push_str(forest.symbol(sym)),
+        Payload::None => s.push_str("?payload"),
+    }
+}
+
+fn render(
+    template: &str,
+    forest: &Forest,
+    node: NodeId,
+    dst: Option<VReg>,
+    leaves: &[(NodeId, NtId)],
+    first_payload: Option<Payload>,
+    results: &HashMap<(NodeId, NtId), VReg>,
+) -> String {
+    let mut s = String::with_capacity(template.len() + 8);
+    let mut rest = template;
+    while let Some(open) = rest.find('{') {
+        s.push_str(&rest[..open]);
+        let Some(close) = rest[open..].find('}') else {
+            rest = &rest[open..];
+            break;
+        };
+        let key = &rest[open + 1..open + close];
+        match key {
+            "dst" => match dst {
+                Some(v) => s.push_str(&v.to_string()),
+                None => s.push_str("?dst"),
+            },
+            "a" | "b" | "c" | "d" => {
+                let idx = (key.as_bytes()[0] - b'a') as usize;
+                match leaves.get(idx).and_then(|k| results.get(k)) {
+                    Some(v) => s.push_str(&v.to_string()),
+                    None => {
+                        // Folded operands (addressing modes, memory
+                        // operands) have no vreg; render a best-effort
+                        // payload from the leaf's subtree.
+                        match leaves.get(idx).and_then(|&(n, _)| payload_below(forest, n)) {
+                            Some(p) => push_payload(&mut s, forest, p),
+                            None => {
+                                s.push('?');
+                                s.push_str(key);
+                            }
+                        }
+                    }
+                }
+            }
+            // Payload of the node bound to the pattern's nth nonterminal
+            // leaf (constants matched through a `con`-style nonterminal).
+            "pa" | "pb" | "pc" | "pd" => {
+                let idx = (key.as_bytes()[1] - b'a') as usize;
+                match leaves.get(idx).map(|&(n, _)| forest.node(n).payload()) {
+                    Some(p) if p != Payload::None => push_payload(&mut s, forest, p),
+                    _ => {
+                        s.push('?');
+                        s.push_str(key);
+                    }
+                }
+            }
+            "imm" => {
+                let p = first_payload.unwrap_or_else(|| forest.node(node).payload());
+                if p == Payload::None {
+                    s.push_str("?imm");
+                } else {
+                    push_payload(&mut s, forest, p);
+                }
+            }
+            "sym" => match first_payload {
+                Some(Payload::Sym(sym)) => s.push_str(forest.symbol(sym)),
+                Some(Payload::Int(v)) => s.push_str(&v.to_string()),
+                _ => s.push_str("?sym"),
+            },
+            "lbl" => match forest.node(node).payload() {
+                Payload::Sym(sym) => s.push_str(forest.symbol(sym)),
+                Payload::Int(v) => s.push_str(&v.to_string()),
+                _ => s.push_str("?lbl"),
+            },
+            other => {
+                s.push('{');
+                s.push_str(other);
+                s.push('}');
+            }
+        }
+        rest = &rest[open + close + 1..];
+    }
+    s.push_str(rest);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_core::Labeler;
+    use odburg_dp::DpLabeler;
+    use odburg_grammar::parse_grammar;
+    use odburg_ir::parse_sexpr;
+    use std::sync::Arc;
+
+    const DEMO: &str = r#"
+        %grammar demo
+        %start stmt
+        addr: reg (0)
+        reg: ConstI8 (1) "mov ${imm}, {dst}"
+        reg: LoadI8(addr) (1) "mov ({a}), {dst}"
+        reg: AddI8(reg, reg) (1) "add {a}, {b}; mov {b}, {dst}"
+        stmt: StoreI8(addr, reg) (1) "mov {b}, ({a})"
+        stmt: StoreI8(addr, AddI8(LoadI8(addr), reg)) (1) "add {c}, ({a})"
+    "#;
+
+    fn reduce_src(src: &str) -> (Arc<NormalGrammar>, Reduction) {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut dp = DpLabeler::new(g.clone());
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, src).unwrap();
+        f.add_root(root);
+        let labeling = dp.label_forest(&f).unwrap();
+        let red = reduce_forest(&f, &g, &labeling).unwrap();
+        (g, red)
+    }
+
+    #[test]
+    fn rmw_emits_single_add() {
+        let (_, red) =
+            reduce_src("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
+        // Expected: one `mov $k, vN` per const leaf (both address copies
+        // and the operand), plus one RMW add. The Load inside the pattern
+        // emits nothing (covered by the RMW rule).
+        assert_eq!(red.instructions.len(), 4, "{:?}", red.instructions);
+        assert!(red.instructions[3].starts_with("add"));
+        assert_eq!(red.total_cost, Cost::finite(4));
+    }
+
+    #[test]
+    fn plain_store_emits_full_sequence() {
+        let (_, red) = reduce_src("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        // mov $0; mov $1; mov $2; add+mov; mov-store = 6 instructions.
+        assert_eq!(red.instructions.len(), 6, "{:?}", red.instructions);
+        assert_eq!(red.total_cost, Cost::finite(5));
+    }
+
+    #[test]
+    fn vregs_are_fresh_and_wired() {
+        let (_, red) = reduce_src("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        let text = red.instructions.join("\n");
+        // Three consts allocate v0..v2; Add allocates v3.
+        assert!(text.contains("mov $0, v0"), "{text}");
+        assert!(text.contains("mov $1, v1"), "{text}");
+        assert!(text.contains("mov $2, v2"), "{text}");
+        assert!(text.contains("add v1, v2"), "{text}");
+        assert!(text.contains("mov v3, (v0)"), "{text}");
+    }
+
+    #[test]
+    fn applied_rules_follow_postorder() {
+        let (g, red) = reduce_src("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        // Every applied pair must have the action of a child before its
+        // parent; the last applied rule is the root's stmt rule.
+        let (last_node, last_rule) = *red.applied.last().unwrap();
+        assert_eq!(g.rule(last_rule).lhs, g.start());
+        assert!(red.applied.iter().all(|&(n, _)| n <= last_node));
+    }
+
+    #[test]
+    fn missing_rule_is_reported() {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        struct NoChooser;
+        impl RuleChooser for NoChooser {
+            fn rule_for(&self, _: NodeId, _: NtId) -> Option<NormalRuleId> {
+                None
+            }
+        }
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(ConstI8 1)").unwrap();
+        f.add_root(root);
+        let mut out = Reduction::default();
+        let err = reduce_tree(&f, &g, &NoChooser, root, g.start(), &mut out).unwrap_err();
+        assert!(matches!(err, ReduceError::MissingRule { .. }));
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let (_, red) = reduce_src("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        let shown = red.to_string();
+        assert_eq!(shown.lines().count(), red.instructions.len());
+    }
+}

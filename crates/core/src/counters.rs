@@ -1,0 +1,147 @@
+//! Machine-independent work counters.
+//!
+//! The paper family reports "executed instructions per node" from hardware
+//! performance counters. The portable analogue used throughout this
+//! library is a set of *work units*: every labeler counts the elementary
+//! operations it performs (rules considered, chain-closure iterations,
+//! hash probes, table lookups, states constructed). Wall-clock time is
+//! measured separately by the Criterion benches.
+
+use std::fmt;
+
+/// Work performed by a labeler, accumulated across `label_forest` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// IR nodes labeled.
+    pub nodes: u64,
+    /// Base rules considered (cost computed and compared).
+    pub rule_checks: u64,
+    /// Chain rules considered during closure.
+    pub chain_checks: u64,
+    /// Hash-table probes (transition cache, signature interner, …).
+    pub hash_lookups: u64,
+    /// Dense table lookups (offline automaton transitions).
+    pub table_lookups: u64,
+    /// States newly constructed.
+    pub states_built: u64,
+    /// Transition-cache hits (on-demand automaton fast path).
+    pub memo_hits: u64,
+    /// Transition-cache misses (slow path: state computation).
+    pub memo_misses: u64,
+    /// Dynamic-cost functions evaluated.
+    pub dyncost_evals: u64,
+}
+
+impl WorkCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        WorkCounters::default()
+    }
+
+    /// Total work units: the machine-independent "instructions" proxy.
+    ///
+    /// Each elementary operation counts once; states built are weighted by
+    /// a nominal constant because constructing a state touches every
+    /// nonterminal.
+    pub fn work_units(&self) -> u64 {
+        self.rule_checks
+            + self.chain_checks
+            + self.hash_lookups
+            + self.table_lookups
+            + self.memo_hits
+            + self.memo_misses
+            + self.dyncost_evals
+            + self.states_built * 8
+    }
+
+    /// Work units per labeled node.
+    pub fn work_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.work_units() as f64 / self.nodes as f64
+        }
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.nodes += other.nodes;
+        self.rule_checks += other.rule_checks;
+        self.chain_checks += other.chain_checks;
+        self.hash_lookups += other.hash_lookups;
+        self.table_lookups += other.table_lookups;
+        self.states_built += other.states_built;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.dyncost_evals += other.dyncost_evals;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = WorkCounters::default();
+    }
+}
+
+impl fmt::Display for WorkCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "nodes={} work={} (rules={} chains={} hash={} table={} built={} hits={} misses={} dyn={})",
+            self.nodes,
+            self.work_units(),
+            self.rule_checks,
+            self.chain_checks,
+            self.hash_lookups,
+            self.table_lookups,
+            self.states_built,
+            self.memo_hits,
+            self.memo_misses,
+            self.dyncost_evals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = WorkCounters {
+            nodes: 1,
+            rule_checks: 2,
+            ..WorkCounters::default()
+        };
+        let b = WorkCounters {
+            nodes: 3,
+            rule_checks: 4,
+            memo_hits: 5,
+            ..WorkCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.nodes, 4);
+        assert_eq!(a.rule_checks, 6);
+        assert_eq!(a.memo_hits, 5);
+    }
+
+    #[test]
+    fn work_per_node_handles_zero() {
+        assert_eq!(WorkCounters::default().work_per_node(), 0.0);
+        let c = WorkCounters {
+            nodes: 2,
+            rule_checks: 10,
+            ..WorkCounters::default()
+        };
+        assert_eq!(c.work_per_node(), 5.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = WorkCounters {
+            nodes: 7,
+            ..WorkCounters::default()
+        };
+        c.reset();
+        assert_eq!(c, WorkCounters::default());
+    }
+}

@@ -1,0 +1,108 @@
+//! A small, fast, non-cryptographic hasher (the FxHash function used by
+//! rustc), implemented in-repo so the hot transition-table lookups do not
+//! pay SipHash costs and no external hashing crate is needed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher: multiply-and-rotate per word.
+///
+/// Not DoS-resistant; use only for internal tables keyed by trusted data
+/// (state ids, operator ids), which is exactly what the automata do.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let mut h1 = FxHasher::default();
+        h1.write_u64(42);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(42);
+        assert_eq!(h1.finish(), h2.finish());
+        let mut h3 = FxHasher::default();
+        h3.write_u64(43);
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FxHashMap<(u16, u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((1, i, i + 1), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(1, 500, 501)), Some(&500));
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a, h.finish());
+    }
+}

@@ -1,0 +1,141 @@
+//! The labeling interface shared by every instruction selector in this
+//! workspace: dynamic programming, on-demand automata, offline automata,
+//! and macro expansion.
+
+use std::error::Error;
+use std::fmt;
+
+use odburg_grammar::{NormalRuleId, NtId};
+use odburg_ir::{Forest, NodeId, Op};
+
+use crate::counters::WorkCounters;
+use crate::state::StateId;
+
+/// Errors produced while labeling a forest or building an automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelError {
+    /// A node cannot be derived from any nonterminal (the grammar does not
+    /// cover its operator/subtree shape).
+    NoCover {
+        /// The offending node.
+        node: NodeId,
+        /// Its operator.
+        op: Op,
+    },
+    /// Automaton construction exceeded the configured state budget — the
+    /// grammar is (or behaves like) a non-BURS-finite grammar.
+    StateBudgetExceeded {
+        /// The configured budget that was hit.
+        budget: usize,
+    },
+    /// The grammar has dynamic-cost rules, which the offline automaton
+    /// cannot represent.
+    DynamicCostsUnsupported,
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::NoCover { node, op } => {
+                write!(f, "no rule covers node {node} with operator {op}")
+            }
+            LabelError::StateBudgetExceeded { budget } => {
+                write!(f, "automaton exceeded the state budget of {budget} states")
+            }
+            LabelError::DynamicCostsUnsupported => {
+                write!(f, "offline automata cannot represent dynamic costs")
+            }
+        }
+    }
+}
+
+impl Error for LabelError {}
+
+/// Read access to the labeling decision: which rule derives nonterminal
+/// `nt` at `node`?
+///
+/// The reducer walks derivations through this interface, so it works
+/// identically over every labeler.
+pub trait RuleChooser {
+    /// The optimal rule for deriving `nt` at `node`, or `None` if the
+    /// node's subtree cannot be derived from `nt`.
+    fn rule_for(&self, node: NodeId, nt: NtId) -> Option<NormalRuleId>;
+}
+
+/// A labeler: consumes a forest, produces a per-node decision structure.
+pub trait Labeler {
+    /// The labeling produced for one forest.
+    type Output;
+
+    /// Labels every node of `forest` bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError`] if the grammar does not cover some node or
+    /// an automaton limit is hit.
+    fn label_forest(&mut self, forest: &Forest) -> Result<Self::Output, LabelError>;
+
+    /// Work accumulated over all `label_forest` calls so far.
+    fn counters(&self) -> &WorkCounters;
+
+    /// Resets the work counters.
+    fn reset_counters(&mut self);
+
+    /// Short human-readable name (`"dp"`, `"ondemand"`, `"offline"`, …).
+    fn name(&self) -> &'static str;
+}
+
+/// Per-node automaton states for one labeled forest.
+///
+/// Returned by the automaton-based labelers; combine with the automaton
+/// via [`StateLookup`] to obtain a [`RuleChooser`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Labeling {
+    states: Vec<StateId>,
+}
+
+impl Labeling {
+    pub(crate) fn from_states(states: Vec<StateId>) -> Self {
+        Labeling { states }
+    }
+
+    /// The state assigned to `node`.
+    pub fn state_of(&self, node: NodeId) -> StateId {
+        self.states[node.index()]
+    }
+
+    /// All per-node states in arena order.
+    pub fn states(&self) -> &[StateId] {
+        &self.states
+    }
+
+    /// Pairs this labeling with its automaton to answer rule queries.
+    pub fn chooser<'a, A: StateLookup>(&'a self, automaton: &'a A) -> StateChooser<'a, A> {
+        StateChooser {
+            automaton,
+            labeling: self,
+        }
+    }
+}
+
+/// Automata that can report the optimal rule a state records for a
+/// nonterminal.
+pub trait StateLookup {
+    /// The optimal rule state `state` records for `nt`.
+    fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId>;
+}
+
+/// A [`RuleChooser`] view over (automaton, labeling). See
+/// [`Labeling::chooser`].
+#[derive(Debug, Clone, Copy)]
+pub struct StateChooser<'a, A> {
+    automaton: &'a A,
+    labeling: &'a Labeling,
+}
+
+impl<A: StateLookup> RuleChooser for StateChooser<'_, A> {
+    fn rule_for(&self, node: NodeId, nt: NtId) -> Option<NormalRuleId> {
+        self.automaton
+            .rule_in_state(self.labeling.state_of(node), nt)
+    }
+}

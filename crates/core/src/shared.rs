@@ -1,0 +1,250 @@
+//! A thread-safe shared on-demand automaton for concurrent JIT
+//! compilation threads.
+//!
+//! Compilation threads overwhelmingly hit transitions that already exist,
+//! so [`SharedOnDemand::label_forest`] first walks the forest under a
+//! *read* lock using only non-mutating lookups; only when it encounters a
+//! transition the automaton has not seen yet does it upgrade to a write
+//! lock and run the normal (mutating) slow path for the rest of the
+//! forest. The warmer the automaton, the closer the behaviour is to a
+//! wait-free table lookup per node.
+
+use parking_lot::{Mutex, RwLock};
+
+use odburg_grammar::{NormalRuleId, NtId, RuleCost};
+use odburg_ir::{Forest, NodeId, Op};
+
+use crate::counters::WorkCounters;
+use crate::label::{LabelError, Labeler, Labeling, StateLookup};
+use crate::ondemand::OnDemandAutomaton;
+use crate::signature::SigId;
+use crate::state::StateId;
+
+/// A shareable, lock-protected [`OnDemandAutomaton`].
+///
+/// Wrap it in an `Arc` and hand clones to compilation threads.
+#[derive(Debug)]
+pub struct SharedOnDemand {
+    inner: RwLock<OnDemandAutomaton>,
+    counters: Mutex<WorkCounters>,
+}
+
+impl SharedOnDemand {
+    /// Wraps an automaton for shared use.
+    pub fn new(automaton: OnDemandAutomaton) -> Self {
+        SharedOnDemand {
+            inner: RwLock::new(automaton),
+            counters: Mutex::new(WorkCounters::new()),
+        }
+    }
+
+    /// Labels a forest, taking the write lock only if the automaton is
+    /// missing a transition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnDemandAutomaton::label_node`].
+    pub fn label_forest(&self, forest: &Forest) -> Result<Labeling, LabelError> {
+        let mut states: Vec<StateId> = Vec::with_capacity(forest.len());
+        let mut local = WorkCounters::new();
+
+        // Fast path: read lock, non-mutating lookups.
+        {
+            let auto = self.inner.read();
+            for (id, node) in forest.iter() {
+                let mut kids = [StateId(0); 2];
+                for (i, &c) in node.children().iter().enumerate() {
+                    kids[i] = states[c.index()];
+                }
+                local.nodes += 1;
+                local.hash_lookups += 1;
+                match peek(&auto, forest, id, node.op(), &kids, &mut local) {
+                    Some(sid) => {
+                        if auto.state(sid).is_dead() {
+                            return Err(LabelError::NoCover {
+                                node: id,
+                                op: node.op(),
+                            });
+                        }
+                        local.memo_hits += 1;
+                        states.push(sid);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        // Slow path: write lock from the first miss onward.
+        if states.len() < forest.len() {
+            let mut auto = self.inner.write();
+            let mut kid_buf: Vec<StateId> = Vec::with_capacity(2);
+            for idx in states.len()..forest.len() {
+                let id = NodeId(idx as u32);
+                let node = forest.node(id);
+                kid_buf.clear();
+                for &c in node.children() {
+                    kid_buf.push(states[c.index()]);
+                }
+                let sid = auto.label_node(forest, id, &kid_buf)?;
+                if auto.state(sid).is_dead() {
+                    return Err(LabelError::NoCover {
+                        node: id,
+                        op: node.op(),
+                    });
+                }
+                states.push(sid);
+            }
+        }
+
+        self.counters.lock().merge(&local);
+        Ok(Labeling::from_states(states))
+    }
+
+    /// Work accumulated by the fast path plus the inner automaton.
+    pub fn counters(&self) -> WorkCounters {
+        let mut c = *self.counters.lock();
+        c.merge(self.inner.read().counters());
+        c
+    }
+
+    /// Size statistics of the wrapped automaton.
+    pub fn stats(&self) -> crate::OnDemandStats {
+        self.inner.read().stats()
+    }
+
+    /// Runs `f` with shared access to the wrapped automaton.
+    pub fn with_read<R>(&self, f: impl FnOnce(&OnDemandAutomaton) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Consumes the wrapper and returns the automaton.
+    pub fn into_inner(self) -> OnDemandAutomaton {
+        self.inner.into_inner()
+    }
+}
+
+/// Non-mutating transition lookup; `None` means "miss, take the slow
+/// path". Mirrors the key construction of
+/// [`OnDemandAutomaton::label_node`].
+fn peek(
+    auto: &OnDemandAutomaton,
+    forest: &Forest,
+    node: NodeId,
+    op: Op,
+    kids: &[StateId; 2],
+    local: &mut WorkCounters,
+) -> Option<StateId> {
+    let grammar = auto.grammar();
+    let sig = if grammar.has_dynamic_rules() {
+        let base = grammar.dynamic_base_rules(op);
+        let chains = grammar.dynamic_chain_rules();
+        if base.is_empty() && chains.is_empty() {
+            SigId::EMPTY
+        } else {
+            let costs: Vec<RuleCost> = base
+                .iter()
+                .chain(chains)
+                .map(|&r| {
+                    local.dyncost_evals += 1;
+                    grammar.rule_cost_at(r, forest, node)
+                })
+                .collect();
+            auto.find_signature(&costs)?
+        }
+    } else {
+        SigId::EMPTY
+    };
+    auto.peek_transition(op, kids, sig)
+}
+
+impl StateLookup for SharedOnDemand {
+    fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId> {
+        self.inner.read().rule_in_state(state, nt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_grammar::parse_grammar;
+    use odburg_ir::parse_sexpr;
+    use std::sync::Arc;
+
+    fn shared_demo() -> SharedOnDemand {
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        SharedOnDemand::new(OnDemandAutomaton::new(Arc::new(g)))
+    }
+
+    fn forest(src: &str) -> Forest {
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, src).unwrap();
+        f.add_root(root);
+        f
+    }
+
+    #[test]
+    fn fast_path_after_warmup() {
+        let shared = shared_demo();
+        let f = forest("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        shared.label_forest(&f).unwrap();
+        let warm_states = shared.stats().states;
+        // Second pass must be answered entirely from the read path.
+        shared.label_forest(&f).unwrap();
+        assert_eq!(shared.stats().states, warm_states);
+    }
+
+    #[test]
+    fn concurrent_labeling_agrees() {
+        let shared = Arc::new(shared_demo());
+        let sources = [
+            "(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))",
+            "(StoreI8 (ConstI8 0) (LoadI8 (ConstI8 8)))",
+            "(StoreI8 (ConstI8 4) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 1)))",
+        ];
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for src in sources {
+                    let f = forest(src);
+                    let labeling = shared.label_forest(&f).unwrap();
+                    // Root derives the start nonterminal.
+                    let root = f.roots()[0];
+                    let g_start = shared.with_read(|a| a.grammar().start());
+                    assert!(shared
+                        .rule_in_state(labeling.state_of(root), g_start)
+                        .is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn no_cover_from_fast_path() {
+        let shared = shared_demo();
+        let f = forest("(MulF8 (ConstF8 #1.0) (ConstF8 #1.0))");
+        assert!(matches!(
+            shared.label_forest(&f),
+            Err(LabelError::NoCover { .. })
+        ));
+        // And again, now that the dead transition may be cached.
+        assert!(matches!(
+            shared.label_forest(&f),
+            Err(LabelError::NoCover { .. })
+        ));
+    }
+}

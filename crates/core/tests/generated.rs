@@ -1,0 +1,93 @@
+//! The burg deployment model, end to end: the committed
+//! `generated/demo_tables.rs` module was produced by
+//! [`odburg_core::generate_rust`] (see `examples/gen_demo.rs`), compiles
+//! as ordinary Rust, labels exactly like the interpreted offline
+//! automaton, and regenerating it reproduces the file byte for byte.
+
+use std::sync::Arc;
+
+use odburg_core::{
+    generate_rust, Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, StateLookup,
+};
+use odburg_grammar::{parse_grammar, NormalGrammar, NtId};
+use odburg_ir::{parse_sexpr, Forest};
+
+mod demo_tables {
+    include!("generated/demo_tables.rs");
+}
+
+const DEMO: &str = "%grammar demo\n%start stmt\naddr: reg (0)\nreg: ConstI8 (1)\nreg: LoadI8(addr) (1)\nreg: AddI8(reg, reg) (1)\nstmt: StoreI8(addr, reg) (1)\nstmt: StoreI8(addr, AddI8(LoadI8(addr), reg)) (1)\n";
+
+fn automaton() -> (Arc<NormalGrammar>, OfflineAutomaton) {
+    let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+    let a = OfflineAutomaton::build(g.clone(), OfflineConfig::default()).unwrap();
+    (g, a)
+}
+
+#[test]
+fn golden_file_is_current() {
+    let (_, auto) = automaton();
+    let generated = generate_rust(&auto, "golden demo tables");
+    let committed = include_str!("generated/demo_tables.rs");
+    assert_eq!(
+        generated, committed,
+        "generated tables drifted; regenerate with `cargo run -p odburg-core --example gen_demo`"
+    );
+}
+
+#[test]
+fn generated_labeler_matches_interpreted_automaton() {
+    let (grammar, auto) = automaton();
+    let auto = Arc::new(auto);
+    let mut interpreted = OfflineLabeler::new(auto.clone());
+    let corpus = [
+        "(ConstI8 7)",
+        "(LoadI8 (ConstI8 0))",
+        "(AddI8 (ConstI8 1) (ConstI8 2))",
+        "(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))",
+        "(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))",
+        "(StoreI8 (ConstI8 0) (LoadI8 (AddI8 (ConstI8 4) (ConstI8 4))))",
+    ];
+    for src in corpus {
+        let mut forest = Forest::new();
+        let root = parse_sexpr(&mut forest, src).unwrap();
+        forest.add_root(root);
+        let labeling = interpreted.label_forest(&forest).unwrap();
+
+        // Drive the generated module over the same forest.
+        let mut states: Vec<u32> = Vec::new();
+        for (_, node) in forest.iter() {
+            let kids: Vec<u32> = node
+                .children()
+                .iter()
+                .map(|c| states[c.index()])
+                .collect();
+            let s = demo_tables::label_node(node.op().id().0, &kids)
+                .unwrap_or_else(|| panic!("{src}: generated labeler rejected a node"));
+            states.push(s);
+        }
+
+        for (id, _) in forest.iter() {
+            assert_eq!(
+                states[id.index()],
+                labeling.state_of(id).0,
+                "{src}: state mismatch at {id}"
+            );
+            for nt in 0..grammar.num_nts() as u16 {
+                let gen_rule = demo_tables::rule_in_state(states[id.index()], nt);
+                let int_rule = auto
+                    .rule_in_state(labeling.state_of(id), NtId(nt))
+                    .map(|r| r.0);
+                assert_eq!(gen_rule, int_rule, "{src}: rule mismatch at {id} nt {nt}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_labeler_rejects_uncovered_ops() {
+    let mul_f8: odburg_ir::Op = "MulF8".parse().unwrap();
+    assert_eq!(demo_tables::label_node(mul_f8.id().0, &[0, 0]), None);
+    let const_f8: odburg_ir::Op = "ConstF8".parse().unwrap();
+    assert_eq!(demo_tables::label_node(const_f8.id().0, &[]), None);
+}

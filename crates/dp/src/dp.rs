@@ -1,0 +1,298 @@
+//! The iburg/lburg-style dynamic-programming labeler.
+
+use std::sync::Arc;
+
+use odburg_core::{LabelError, Labeler, RuleChooser, WorkCounters};
+use odburg_grammar::{Cost, NormalGrammar, NormalRhs, NormalRuleId, NtId};
+use odburg_ir::{Forest, NodeId};
+
+const NO_RULE: u32 = u32::MAX;
+
+/// The dynamic-programming labeler.
+///
+/// For every node it iterates over all base rules of the node's operator,
+/// then repeatedly over all chain rules until a fixpoint — exactly the
+/// algorithm of iburg's generated labelers, with dynamic costs evaluated
+/// in place.
+///
+/// # Examples
+///
+/// ```
+/// use odburg_core::{Labeler, RuleChooser};
+/// use odburg_dp::DpLabeler;
+/// use odburg_grammar::parse_grammar;
+/// use odburg_ir::{parse_sexpr, Forest};
+/// use std::sync::Arc;
+///
+/// let g = parse_grammar("%start reg\nreg: ConstI8 (1)\nreg: AddI8(reg, reg) (1)\n")?;
+/// let g = Arc::new(g.normalize());
+/// let mut dp = DpLabeler::new(g.clone());
+/// let mut f = Forest::new();
+/// let root = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (ConstI8 2))")?;
+/// f.add_root(root);
+/// let labeling = dp.label_forest(&f)?;
+/// assert!(labeling.rule_for(root, g.start()).is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DpLabeler {
+    grammar: Arc<NormalGrammar>,
+    counters: WorkCounters,
+}
+
+/// The labeling produced by [`DpLabeler`]: per node and nonterminal, the
+/// minimal derivation cost and the optimal first rule.
+#[derive(Debug, Clone)]
+pub struct DpLabeling {
+    num_nts: usize,
+    costs: Vec<Cost>,
+    rules: Vec<u32>,
+}
+
+impl DpLabeling {
+    /// The minimal cost of deriving `node` from `nt`.
+    pub fn cost_of(&self, node: NodeId, nt: NtId) -> Cost {
+        self.costs[node.index() * self.num_nts + nt.0 as usize]
+    }
+}
+
+impl RuleChooser for DpLabeling {
+    fn rule_for(&self, node: NodeId, nt: NtId) -> Option<NormalRuleId> {
+        let r = self.rules[node.index() * self.num_nts + nt.0 as usize];
+        if r == NO_RULE {
+            None
+        } else {
+            Some(NormalRuleId(r))
+        }
+    }
+}
+
+impl DpLabeler {
+    /// Creates a labeler for `grammar`.
+    pub fn new(grammar: Arc<NormalGrammar>) -> Self {
+        DpLabeler {
+            grammar,
+            counters: WorkCounters::new(),
+        }
+    }
+
+    /// The grammar this labeler selects for.
+    pub fn grammar(&self) -> &Arc<NormalGrammar> {
+        &self.grammar
+    }
+}
+
+impl Labeler for DpLabeler {
+    type Output = DpLabeling;
+
+    fn label_forest(&mut self, forest: &Forest) -> Result<DpLabeling, LabelError> {
+        let g = &self.grammar;
+        let num_nts = g.num_nts();
+        let mut costs = vec![Cost::INFINITE; forest.len() * num_nts];
+        let mut rules = vec![NO_RULE; forest.len() * num_nts];
+
+        for (id, node) in forest.iter() {
+            self.counters.nodes += 1;
+            let base = id.index() * num_nts;
+            let op = node.op();
+
+            // Base rules.
+            for &rule_id in g.base_rules(op) {
+                self.counters.rule_checks += 1;
+                let rule = g.rule(rule_id);
+                let rc = g.rule_cost_at(rule_id, forest, id);
+                if rule.cost.is_dynamic() {
+                    self.counters.dyncost_evals += 1;
+                }
+                let mut total = Cost::from(rc);
+                if total.is_infinite() {
+                    continue;
+                }
+                let NormalRhs::Base { operands, .. } = &rule.rhs else {
+                    unreachable!("base rule index returned chain rule");
+                };
+                for (i, &operand) in operands.iter().enumerate() {
+                    let child = node.child(i);
+                    total = total + costs[child.index() * num_nts + operand.0 as usize];
+                    if total.is_infinite() {
+                        break;
+                    }
+                }
+                let slot = base + rule.lhs.0 as usize;
+                if total < costs[slot] {
+                    costs[slot] = total;
+                    rules[slot] = rule_id.0;
+                }
+            }
+
+            // Chain-rule closure: iterate until no improvement, like
+            // iburg's repeated `closure_*` calls.
+            loop {
+                let mut changed = false;
+                for &rule_id in g.chain_rules() {
+                    self.counters.chain_checks += 1;
+                    let rule = g.rule(rule_id);
+                    let NormalRhs::Chain { from } = rule.rhs else {
+                        unreachable!("chain rule index returned base rule");
+                    };
+                    let from_cost = costs[base + from.0 as usize];
+                    if from_cost.is_infinite() {
+                        continue;
+                    }
+                    let rc = g.rule_cost_at(rule_id, forest, id);
+                    if rule.cost.is_dynamic() {
+                        self.counters.dyncost_evals += 1;
+                    }
+                    let total = Cost::from(rc) + from_cost;
+                    let slot = base + rule.lhs.0 as usize;
+                    if total < costs[slot] {
+                        costs[slot] = total;
+                        rules[slot] = rule_id.0;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+
+            if costs[base..base + num_nts].iter().all(|c| c.is_infinite()) {
+                return Err(LabelError::NoCover { node: id, op });
+            }
+        }
+
+        Ok(DpLabeling {
+            num_nts,
+            costs,
+            rules,
+        })
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "dp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_grammar::{parse_grammar, RuleCost};
+    use odburg_ir::parse_sexpr;
+
+    const DEMO: &str = r#"
+        %grammar demo
+        %start stmt
+        addr: reg (0)
+        reg: ConstI8 (1)
+        reg: LoadI8(addr) (1)
+        reg: AddI8(reg, reg) (1)
+        stmt: StoreI8(addr, reg) (1)
+        stmt: StoreI8(addr, AddI8(LoadI8(addr), reg)) (1)
+    "#;
+
+    fn labeled(src: &str) -> (Arc<NormalGrammar>, Forest, NodeId, DpLabeling) {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut dp = DpLabeler::new(g.clone());
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, src).unwrap();
+        f.add_root(root);
+        let labeling = dp.label_forest(&f).unwrap();
+        (g, f, root, labeling)
+    }
+
+    #[test]
+    fn rmw_tree_costs_one() {
+        // The right derivation of Fig. 2: the whole RMW store costs 1
+        // (+ 2×1 for the two Const leaves used as addresses/operands).
+        let (g, _f, root, labeling) =
+            labeled("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
+        // Three Const leaves cost 1 each; the RMW rule adds 1.
+        assert_eq!(labeling.cost_of(root, g.start()), Cost::finite(4));
+        let rule = labeling.rule_for(root, g.start()).unwrap();
+        assert_eq!(g.rule(rule).source, odburg_grammar::RuleId(5));
+    }
+
+    #[test]
+    fn plain_store_uses_rule_five() {
+        let (g, _f, root, labeling) =
+            labeled("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        let rule = labeling.rule_for(root, g.start()).unwrap();
+        assert_eq!(g.rule(rule).source, odburg_grammar::RuleId(4));
+    }
+
+    #[test]
+    fn chain_rule_costs_propagate() {
+        let (g, _f, _root, labeling) = labeled("(ConstI8 7)");
+        let addr = g.find_nt("addr").unwrap();
+        let reg = g.find_nt("reg").unwrap();
+        assert_eq!(labeling.cost_of(NodeId(0), reg), Cost::finite(1));
+        assert_eq!(labeling.cost_of(NodeId(0), addr), Cost::finite(1));
+        assert!(labeling.cost_of(NodeId(0), g.start()).is_infinite());
+        assert!(labeling.rule_for(NodeId(0), g.start()).is_none());
+    }
+
+    #[test]
+    fn uncovered_errors() {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut dp = DpLabeler::new(g);
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(ConstF8 #1.5)").unwrap();
+        f.add_root(root);
+        assert!(matches!(
+            dp.label_forest(&f),
+            Err(LabelError::NoCover { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_costs_evaluated_per_node() {
+        let mut g = parse_grammar(
+            "%start reg\n%dyncost imm\nreg: ConstI8 [imm]\nreg: ConstI8 (4)\n",
+        )
+        .unwrap();
+        g.bind_dyncost(
+            "imm",
+            Arc::new(|forest: &Forest, node| match forest.node(node).payload().as_int() {
+                Some(v) if v < 100 => RuleCost::Finite(1),
+                _ => RuleCost::Infinite,
+            }),
+        )
+        .unwrap();
+        let g = Arc::new(g.normalize());
+        let mut dp = DpLabeler::new(g.clone());
+        let mut f = Forest::new();
+        let small = parse_sexpr(&mut f, "(ConstI8 5)").unwrap();
+        let big = parse_sexpr(&mut f, "(ConstI8 5000)").unwrap();
+        f.add_root(small);
+        f.add_root(big);
+        let labeling = dp.label_forest(&f).unwrap();
+        assert_eq!(labeling.cost_of(small, g.start()), Cost::finite(1));
+        assert_eq!(labeling.cost_of(big, g.start()), Cost::finite(4));
+        assert!(dp.counters().dyncost_evals >= 2);
+    }
+
+    #[test]
+    fn work_grows_with_rule_count() {
+        let (_, _, _, _) = labeled("(ConstI8 1)");
+        // Indirectly validated by counters in other tests; here make sure
+        // the counter interface reports nodes.
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut dp = DpLabeler::new(g);
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (ConstI8 2))").unwrap();
+        f.add_root(root);
+        dp.label_forest(&f).unwrap();
+        assert_eq!(dp.counters().nodes, 3);
+        assert!(dp.counters().chain_checks >= 3, "closure runs per node");
+        dp.reset_counters();
+        assert_eq!(dp.counters().nodes, 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Baseline instruction selectors for the `odburg` workspace.
+//!
+//! * [`DpLabeler`] — the iburg/lburg-style labeler: dynamic programming
+//!   over all applicable rules at **every node**, at selection time. Fully
+//!   flexible (dynamic costs are evaluated directly) but per-node cost
+//!   grows with the number of applicable rules. This is the baseline the
+//!   on-demand automaton is measured against.
+//! * [`MacroExpander`] — the macro-expansion selector used by fast
+//!   first-tier JITs: a *statically* chosen rule per (operator, goal
+//!   nonterminal), no per-node search at all. Fastest, lowest code
+//!   quality.
+//!
+//! Both implement the [`Labeler`](odburg_core::Labeler) interface, so the
+//! reducer and the benchmarks treat them interchangeably with the
+//! automaton-based selectors.
+
+mod dp;
+mod macroexp;
+
+pub use dp::{DpLabeler, DpLabeling};
+pub use macroexp::{MacroExpander, MacroLabeling};

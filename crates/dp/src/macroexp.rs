@@ -1,0 +1,337 @@
+//! The macro-expansion baseline: one fixed expansion per
+//! (operator, goal nonterminal), chosen without cost comparison between
+//! alternatives at the same node.
+//!
+//! This models the first compilation tier of JITs like CACAO stage 1.
+//! For every `(op, goal)` pair a list of expansions is fixed at
+//! construction time, ordered by statically estimated cost; labeling
+//! walks each tree top-down once and takes the first expansion whose
+//! operand classes are available at the children (e.g. `push $imm` when
+//! the argument *is* a constant, `push reg` otherwise). No per-node cost
+//! comparison ever happens, so multi-node patterns and dynamic-cost rules
+//! are never used — macro expansion trades code quality for selection
+//! speed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odburg_core::{LabelError, Labeler, RuleChooser, WorkCounters};
+use odburg_grammar::analysis::{min_costs, DynTreatment};
+use odburg_grammar::{Cost, NormalGrammar, NormalRhs, NormalRuleId, NtId};
+use odburg_ir::{Forest, NodeId, Op, NUM_OPS};
+
+/// The macro-expansion selector.
+#[derive(Debug)]
+pub struct MacroExpander {
+    grammar: Arc<NormalGrammar>,
+    /// `candidates[op][nt]` — expansions for deriving `nt` at an `op`
+    /// node, best static estimate first.
+    candidates: Vec<Vec<Vec<NormalRuleId>>>,
+    counters: WorkCounters,
+}
+
+/// The labeling produced by [`MacroExpander`]: the rule assigned to every
+/// `(node, goal)` pair reached by the top-down walk.
+#[derive(Debug, Clone, Default)]
+pub struct MacroLabeling {
+    assigned: HashMap<(NodeId, NtId), NormalRuleId>,
+}
+
+impl RuleChooser for MacroLabeling {
+    fn rule_for(&self, node: NodeId, nt: NtId) -> Option<NormalRuleId> {
+        self.assigned.get(&(node, nt)).copied()
+    }
+}
+
+impl MacroExpander {
+    /// Builds the expansion tables for `grammar`.
+    ///
+    /// Dynamic-cost rules and multi-node patterns (helper-nonterminal
+    /// rules) are never candidates — macro expansion cannot look at more
+    /// than one node or evaluate conditions.
+    pub fn new(grammar: Arc<NormalGrammar>) -> Self {
+        let num_nts = grammar.num_nts();
+        let nt_min = min_costs(&grammar, DynTreatment::Skip);
+        let helper_lo = grammar.num_source_nts() as u16;
+        let mut scored: Vec<Vec<Vec<(Cost, NormalRuleId)>>> =
+            vec![vec![Vec::new(); num_nts]; NUM_OPS];
+
+        for &op in grammar.ops_used() {
+            let table = &mut scored[op.id().0 as usize];
+            for &rule_id in grammar.base_rules(op) {
+                let rule = grammar.rule(rule_id);
+                if rule.cost.is_dynamic() || rule.lhs.0 >= helper_lo {
+                    continue;
+                }
+                let NormalRhs::Base { operands, .. } = &rule.rhs else {
+                    continue;
+                };
+                if operands.iter().any(|nt| nt.0 >= helper_lo) {
+                    continue;
+                }
+                let rc = match rule.cost {
+                    odburg_grammar::CostExpr::Fixed(c) => Cost::from(c),
+                    odburg_grammar::CostExpr::Dynamic(_) => continue,
+                };
+                let est = operands
+                    .iter()
+                    .fold(rc, |acc, nt| acc + nt_min[nt.0 as usize]);
+                if est.is_finite() {
+                    table[rule.lhs.0 as usize].push((est, rule_id));
+                }
+            }
+            // Chain rules extend the goal set: goal <- from, estimated as
+            // chain cost + best direct estimate of `from`. Iterate to a
+            // fixpoint to follow chain-of-chain paths.
+            loop {
+                let mut changed = false;
+                for &rule_id in grammar.chain_rules() {
+                    let rule = grammar.rule(rule_id);
+                    if rule.cost.is_dynamic() {
+                        continue;
+                    }
+                    let NormalRhs::Chain { from } = rule.rhs else {
+                        continue;
+                    };
+                    let Some(&(from_est, _)) = table[from.0 as usize].first() else {
+                        continue;
+                    };
+                    let rc = match rule.cost {
+                        odburg_grammar::CostExpr::Fixed(c) => Cost::from(c),
+                        odburg_grammar::CostExpr::Dynamic(_) => continue,
+                    };
+                    let est = rc + from_est;
+                    let slot = &mut table[rule.lhs.0 as usize];
+                    match slot.iter_mut().find(|(_, r)| *r == rule_id) {
+                        Some(entry) if est < entry.0 => {
+                            entry.0 = est;
+                            changed = true;
+                        }
+                        Some(_) => {}
+                        None => {
+                            slot.push((est, rule_id));
+                            changed = true;
+                        }
+                    }
+                    // Keep the best candidate first so `first()` above
+                    // sees the current optimum.
+                    slot.sort_by_key(|&(c, r)| (c, r.0));
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for slot in table.iter_mut() {
+                slot.sort_by_key(|&(c, r)| (c, r.0));
+            }
+        }
+
+        let candidates = scored
+            .into_iter()
+            .map(|per_op| {
+                per_op
+                    .into_iter()
+                    .map(|slot| slot.into_iter().map(|(_, r)| r).collect())
+                    .collect()
+            })
+            .collect();
+
+        MacroExpander {
+            grammar,
+            candidates,
+            counters: WorkCounters::new(),
+        }
+    }
+
+    /// The grammar this expander selects for.
+    pub fn grammar(&self) -> &Arc<NormalGrammar> {
+        &self.grammar
+    }
+
+    fn candidates_for(&self, op: Op, nt: NtId) -> &[NormalRuleId] {
+        &self.candidates[op.id().0 as usize][nt.0 as usize]
+    }
+
+    fn assign(
+        &mut self,
+        forest: &Forest,
+        node: NodeId,
+        goal: NtId,
+        out: &mut MacroLabeling,
+    ) -> Result<(), LabelError> {
+        if out.assigned.contains_key(&(node, goal)) {
+            return Ok(());
+        }
+        let op = forest.node(node).op();
+        self.counters.table_lookups += 1;
+        // Take the first candidate whose operand classes are available at
+        // the children (one fixed probe per operand, no cost comparison).
+        let candidates = self.candidates[op.id().0 as usize][goal.0 as usize].clone();
+        for rule_id in candidates {
+            let rule = self.grammar.rule(rule_id).clone();
+            match &rule.rhs {
+                NormalRhs::Chain { from } => {
+                    if self.candidates_for(op, *from).is_empty() {
+                        continue;
+                    }
+                    out.assigned.insert((node, goal), rule_id);
+                    return self.assign(forest, node, *from, out);
+                }
+                NormalRhs::Base { operands, .. } => {
+                    let feasible = operands.iter().enumerate().all(|(i, &operand)| {
+                        let child = forest.node(node).child(i);
+                        !self
+                            .candidates_for(forest.node(child).op(), operand)
+                            .is_empty()
+                    });
+                    if !feasible {
+                        continue;
+                    }
+                    out.assigned.insert((node, goal), rule_id);
+                    for (i, &operand) in operands.iter().enumerate() {
+                        let child = forest.node(node).child(i);
+                        self.assign(forest, child, operand, out)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        Err(LabelError::NoCover { node, op })
+    }
+}
+
+impl Labeler for MacroExpander {
+    type Output = MacroLabeling;
+
+    fn label_forest(&mut self, forest: &Forest) -> Result<MacroLabeling, LabelError> {
+        let mut out = MacroLabeling::default();
+        self.counters.nodes += forest.len() as u64;
+        let start = self.grammar.start();
+        for &root in forest.roots() {
+            self.assign(forest, root, start, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn counters(&self) -> &WorkCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "macro"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_grammar::parse_grammar;
+    use odburg_ir::parse_sexpr;
+
+    const DEMO: &str = r#"
+        %grammar demo
+        %start stmt
+        addr: reg (0)
+        reg: ConstI8 (1)
+        reg: LoadI8(addr) (1)
+        reg: AddI8(reg, reg) (1)
+        stmt: StoreI8(addr, reg) (1)
+        stmt: StoreI8(addr, AddI8(LoadI8(addr), reg)) (1)
+    "#;
+
+    fn labeled(src: &str) -> (Arc<NormalGrammar>, Forest, NodeId, MacroLabeling) {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut mx = MacroExpander::new(g.clone());
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, src).unwrap();
+        f.add_root(root);
+        let labeling = mx.label_forest(&f).unwrap();
+        (g, f, root, labeling)
+    }
+
+    #[test]
+    fn expansion_never_uses_patterns() {
+        let (g, _f, root, labeling) =
+            labeled("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
+        let rule = labeling.rule_for(root, g.start()).unwrap();
+        // Must be the simple store (source rule 4), never the RMW rule.
+        assert_eq!(g.rule(rule).source, odburg_grammar::RuleId(4));
+    }
+
+    #[test]
+    fn goal_driven_choice_follows_chains() {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut mx = MacroExpander::new(g.clone());
+        let mut f2 = Forest::new();
+        let n = parse_sexpr(&mut f2, "(StoreI8 (ConstI8 0) (ConstI8 1))").unwrap();
+        f2.add_root(n);
+        let l2 = mx.label_forest(&f2).unwrap();
+        let addr = g.find_nt("addr").unwrap();
+        let addr_rule = l2.rule_for(odburg_ir::NodeId(0), addr).unwrap();
+        assert!(g.rule(addr_rule).is_chain());
+    }
+
+    #[test]
+    fn unlabelable_goal_errors() {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut mx = MacroExpander::new(g);
+        let mut f = Forest::new();
+        // A bare constant cannot be a stmt in DEMO.
+        let n = parse_sexpr(&mut f, "(ConstI8 1)").unwrap();
+        f.add_root(n);
+        assert!(matches!(
+            mx.label_forest(&f),
+            Err(LabelError::NoCover { .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_prefers_specialized_rules_only_when_they_fit() {
+        // A grammar with a push-imm style rule: the `con` operand class
+        // must only be chosen when the child is a constant.
+        let g = Arc::new(
+            parse_grammar(
+                r#"
+                %start stmt
+                con: ConstI8 (0)
+                reg: con (1)
+                reg: LoadI8(reg) (1)
+                stmt: RetI8(con) (1)
+                stmt: RetI8(reg) (2)
+                "#,
+            )
+            .unwrap()
+            .normalize(),
+        );
+        let mut mx = MacroExpander::new(g.clone());
+        let mut f = Forest::new();
+        let imm_ret = parse_sexpr(&mut f, "(RetI8 (ConstI8 1))").unwrap();
+        f.add_root(imm_ret);
+        let load_ret = parse_sexpr(&mut f, "(RetI8 (LoadI8 (ConstI8 0)))").unwrap();
+        f.add_root(load_ret);
+        let labeling = mx.label_forest(&f).unwrap();
+        let imm_rule = labeling.rule_for(imm_ret, g.start()).unwrap();
+        let load_rule = labeling.rule_for(load_ret, g.start()).unwrap();
+        assert_ne!(imm_rule, load_rule);
+        assert_eq!(g.source_rule(imm_rule).id, odburg_grammar::RuleId(3));
+        assert_eq!(g.source_rule(load_rule).id, odburg_grammar::RuleId(4));
+    }
+
+    #[test]
+    fn counters_count_lookups() {
+        let g = Arc::new(parse_grammar(DEMO).unwrap().normalize());
+        let mut mx = MacroExpander::new(g);
+        let mut f = Forest::new();
+        let n = parse_sexpr(&mut f, "(StoreI8 (ConstI8 0) (ConstI8 2))").unwrap();
+        f.add_root(n);
+        mx.label_forest(&f).unwrap();
+        assert_eq!(mx.counters().nodes, 3);
+        assert!(mx.counters().table_lookups >= 3);
+        mx.reset_counters();
+        assert_eq!(mx.counters().nodes, 0);
+    }
+}

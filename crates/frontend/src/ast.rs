@@ -1,0 +1,133 @@
+//! The MiniC abstract syntax tree.
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+impl BinOp {
+    /// `true` for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// `true` for the short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LAnd | BinOp::LOr)
+    }
+
+    /// `true` if the expression yields a 0/1 truth value (and in a value
+    /// position must be materialized through branches).
+    pub fn is_boolean(self) -> bool {
+        self.is_comparison() || self.is_logical()
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    Com,
+    /// `!` (logical not)
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64),
+    /// A variable read.
+    Var(String),
+    /// An array element read: `base[index]`.
+    Index(String, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// A call: `name(args…)`.
+    Call(String, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `let name = expr;` — declares a local.
+    Let(String, Expr),
+    /// `name = expr;`
+    Assign(String, Expr),
+    /// `name[index] = expr;`
+    AssignIndex(String, Expr, Expr),
+    /// `if (cond) { … } else { … }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { … }`
+    While(Expr, Vec<Stmt>),
+    /// `return expr;`
+    Return(Expr),
+    /// An expression statement (usually a call).
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// Parameter names; `true` marks array (pointer) parameters declared
+    /// as `name[]`.
+    pub params: Vec<(String, bool)>,
+    /// The body.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A whole MiniC program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global scalars and arrays: `(name, is_array)`.
+    pub globals: Vec<(String, bool)>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}

@@ -1,0 +1,254 @@
+//! The MiniC lexer.
+
+use crate::FrontendError;
+
+/// A lexical token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line, for diagnostics.
+    pub line: usize,
+}
+
+/// The kinds of MiniC tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `global`
+    Global,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `!`
+    Bang,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+}
+
+/// Tokenizes MiniC source text. `//` starts a line comment.
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] on unknown characters or malformed literals.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "fn" => TokenKind::Fn,
+                    "let" => TokenKind::Let,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "return" => TokenKind::Return,
+                    "global" => TokenKind::Global,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, line });
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let value: i64 = source[start..i]
+                    .parse()
+                    .map_err(|_| FrontendError::new(line, "integer literal too large"))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line,
+                });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
+                let (kind, width) = match two {
+                    "&&" => (TokenKind::AmpAmp, 2),
+                    "||" => (TokenKind::PipePipe, 2),
+                    "<<" => (TokenKind::Shl, 2),
+                    ">>" => (TokenKind::Shr, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    _ => {
+                        let kind = match c {
+                            b'(' => TokenKind::LParen,
+                            b')' => TokenKind::RParen,
+                            b'{' => TokenKind::LBrace,
+                            b'}' => TokenKind::RBrace,
+                            b'[' => TokenKind::LBracket,
+                            b']' => TokenKind::RBracket,
+                            b';' => TokenKind::Semi,
+                            b',' => TokenKind::Comma,
+                            b'=' => TokenKind::Assign,
+                            b'+' => TokenKind::Plus,
+                            b'-' => TokenKind::Minus,
+                            b'*' => TokenKind::Star,
+                            b'/' => TokenKind::Slash,
+                            b'%' => TokenKind::Percent,
+                            b'&' => TokenKind::Amp,
+                            b'|' => TokenKind::Pipe,
+                            b'^' => TokenKind::Caret,
+                            b'~' => TokenKind::Tilde,
+                            b'!' => TokenKind::Bang,
+                            b'<' => TokenKind::Lt,
+                            b'>' => TokenKind::Gt,
+                            other => {
+                                return Err(FrontendError::new(
+                                    line,
+                                    format!("unexpected character `{}`", other as char),
+                                ))
+                            }
+                        };
+                        (kind, 1)
+                    }
+                };
+                tokens.push(Token { kind, line });
+                i += width;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = tokenize("fn foo(x) { let y1 = x; }").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Fn);
+        assert_eq!(toks[1].kind, TokenKind::Ident("foo".into()));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Let));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident("y1".into())));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = tokenize("a << b >> c <= d == e != f >= g").unwrap();
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind.clone()).collect();
+        assert!(kinds.contains(&TokenKind::Shl));
+        assert!(kinds.contains(&TokenKind::Shr));
+        assert!(kinds.contains(&TokenKind::Le));
+        assert!(kinds.contains(&TokenKind::EqEq));
+        assert!(kinds.contains(&TokenKind::Ne));
+        assert!(kinds.contains(&TokenKind::Ge));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = tokenize("a // comment\nb").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        let err = tokenize("a $ b").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 0 123456789").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Int(42));
+        assert_eq!(toks[2].kind, TokenKind::Int(123_456_789));
+    }
+}

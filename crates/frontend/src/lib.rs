@@ -1,0 +1,75 @@
+//! MiniC: a small imperative language used to generate realistic
+//! instruction-selection workloads.
+//!
+//! The paper family evaluates on C programs (SPEC CPU2000 compiled by
+//! lcc) and Java methods (CACAO benchmarks). Neither is available here,
+//! so this crate provides the substitute: a C-like language — integers,
+//! arrays, `if`/`while`, calls — with a classic lowering to the
+//! [`odburg_ir`] expression-tree IR (one tree per statement, lcc style).
+//! What matters for labeling benchmarks is the *node stream*: operator
+//! mixture, tree shapes, and repetitiveness, all of which this pipeline
+//! produces naturally.
+//!
+//! # Examples
+//!
+//! ```
+//! let forest = odburg_frontend::compile(
+//!     "fn add3(x) { let y = x + 3; return y; }",
+//! )?;
+//! assert!(forest.len() > 0);
+//! assert!(!forest.roots().is_empty());
+//! # Ok::<(), odburg_frontend::FrontendError>(())
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+pub mod programs;
+
+pub use ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use lower::lower_program;
+pub use parser::parse_program;
+
+use odburg_ir::Forest;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the MiniC pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl FrontendError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        FrontendError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for FrontendError {}
+
+/// Compiles MiniC source text to an IR forest (parse + lower).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] for lexical, syntactic, or name-resolution
+/// errors.
+pub fn compile(source: &str) -> Result<Forest, FrontendError> {
+    let program = parse_program(source)?;
+    lower_program(&program)
+}

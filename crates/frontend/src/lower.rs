@@ -1,0 +1,536 @@
+//! Lowering from the MiniC AST to the expression-tree IR.
+//!
+//! The lowering is the classic lcc scheme: one statement produces one IR
+//! tree (registered as a forest root, in program order); control flow
+//! becomes labels, jumps and compare-and-branch trees; locals live in the
+//! frame and are accessed through `AddrLocal`/`AddrFrame` + `Load`/`Store`;
+//! array elements are `base + 8·index` address arithmetic.
+
+use std::collections::HashMap;
+
+use odburg_ir::{Forest, NodeId, Op, OpKind, Payload, TypeTag};
+
+use crate::ast::{BinOp, Expr, Program, Stmt, UnOp};
+use crate::FrontendError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Local,
+    Param,
+    ParamArray,
+    Global,
+    GlobalArray,
+}
+
+/// Lowers a parsed program into a single IR forest (functions
+/// concatenated, one tree per statement).
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] for references to undefined names.
+pub fn lower_program(program: &Program) -> Result<Forest, FrontendError> {
+    let mut forest = Forest::new();
+    let mut labels = 0usize;
+    for function in &program.functions {
+        let mut ctx = Lowerer {
+            forest: &mut forest,
+            vars: HashMap::new(),
+            labels: &mut labels,
+            line: function.line,
+        };
+        for (name, is_array) in &program.globals {
+            ctx.vars.insert(
+                name.clone(),
+                if *is_array {
+                    VarKind::GlobalArray
+                } else {
+                    VarKind::Global
+                },
+            );
+        }
+        for (name, is_array) in &function.params {
+            ctx.vars.insert(
+                name.clone(),
+                if *is_array {
+                    VarKind::ParamArray
+                } else {
+                    VarKind::Param
+                },
+            );
+        }
+        // A label marks the function entry, as a JIT's method prologue
+        // would.
+        let entry = format!("fn_{}", function.name);
+        ctx.emit_label(&entry);
+        ctx.stmts(&function.body)?;
+    }
+    Ok(forest)
+}
+
+struct Lowerer<'a> {
+    forest: &'a mut Forest,
+    vars: HashMap<String, VarKind>,
+    labels: &'a mut usize,
+    line: usize,
+}
+
+impl Lowerer<'_> {
+    fn op(kind: OpKind, ty: TypeTag) -> Op {
+        Op::new(kind, ty)
+    }
+
+    fn fresh_label(&mut self) -> String {
+        let l = format!("L{}", self.labels);
+        *self.labels += 1;
+        l
+    }
+
+    fn emit_label(&mut self, name: &str) {
+        let sym = self.forest.intern(name);
+        let n = self
+            .forest
+            .leaf(Self::op(OpKind::Label, TypeTag::V), Payload::Sym(sym));
+        self.forest.add_root(n);
+    }
+
+    fn emit_jump(&mut self, name: &str) {
+        let sym = self.forest.intern(name);
+        let n = self
+            .forest
+            .leaf(Self::op(OpKind::Jump, TypeTag::V), Payload::Sym(sym));
+        self.forest.add_root(n);
+    }
+
+    /// The address of a variable's own storage.
+    fn var_addr(&mut self, name: &str) -> Result<(NodeId, VarKind), FrontendError> {
+        let kind = *self
+            .vars
+            .get(name)
+            .ok_or_else(|| FrontendError::new(self.line, format!("undefined variable `{name}`")))?;
+        let sym = self.forest.intern(name);
+        let op = match kind {
+            VarKind::Local => Self::op(OpKind::AddrLocal, TypeTag::P),
+            VarKind::Param | VarKind::ParamArray => Self::op(OpKind::AddrFrame, TypeTag::P),
+            VarKind::Global | VarKind::GlobalArray => Self::op(OpKind::AddrGlobal, TypeTag::P),
+        };
+        Ok((self.forest.leaf(op, Payload::Sym(sym)), kind))
+    }
+
+    /// The address of `base[index]`.
+    fn element_addr(&mut self, base: &str, index: &Expr) -> Result<NodeId, FrontendError> {
+        let (addr, kind) = self.var_addr(base)?;
+        // Global arrays are their own base pointer; everything else holds
+        // a pointer value that must be loaded first.
+        let base_ptr = match kind {
+            VarKind::GlobalArray => addr,
+            _ => self
+                .forest
+                .unary(Self::op(OpKind::Load, TypeTag::P), addr),
+        };
+        let idx = self.expr(index)?;
+        // Elements are 8 bytes; scale with a shift (the strength
+        // reduction every real frontend does), which the x86ish grammar
+        // can fold into scaled-index addressing.
+        let three = self
+            .forest
+            .leaf(Self::op(OpKind::Const, TypeTag::I8), Payload::Int(3));
+        let scaled = self
+            .forest
+            .binary(Self::op(OpKind::Shl, TypeTag::I8), idx, three);
+        Ok(self
+            .forest
+            .binary(Self::op(OpKind::Add, TypeTag::P), base_ptr, scaled))
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<NodeId, FrontendError> {
+        match e {
+            Expr::Int(v) => Ok(self
+                .forest
+                .leaf(Self::op(OpKind::Const, TypeTag::I8), Payload::Int(*v))),
+            Expr::Var(name) => {
+                let (addr, kind) = self.var_addr(name)?;
+                let ty = match kind {
+                    VarKind::ParamArray | VarKind::GlobalArray => TypeTag::P,
+                    _ => TypeTag::I8,
+                };
+                if kind == VarKind::GlobalArray {
+                    // A global array's value *is* its address.
+                    return Ok(addr);
+                }
+                Ok(self.forest.unary(Self::op(OpKind::Load, ty), addr))
+            }
+            Expr::Index(base, index) => {
+                let addr = self.element_addr(base, index)?;
+                Ok(self
+                    .forest
+                    .unary(Self::op(OpKind::Load, TypeTag::I8), addr))
+            }
+            Expr::Un(UnOp::Not, _) => self.materialize_bool(e),
+            Expr::Un(op, inner) => {
+                let v = self.expr(inner)?;
+                let kind = match op {
+                    UnOp::Neg => OpKind::Neg,
+                    UnOp::Com => OpKind::Com,
+                    UnOp::Not => unreachable!("handled above"),
+                };
+                Ok(self.forest.unary(Self::op(kind, TypeTag::I8), v))
+            }
+            Expr::Bin(op, l, r) if !op.is_boolean() => {
+                let lv = self.expr(l)?;
+                let rv = self.expr(r)?;
+                let kind = match op {
+                    BinOp::Add => OpKind::Add,
+                    BinOp::Sub => OpKind::Sub,
+                    BinOp::Mul => OpKind::Mul,
+                    BinOp::Div => OpKind::Div,
+                    BinOp::Mod => OpKind::Mod,
+                    BinOp::And => OpKind::And,
+                    BinOp::Or => OpKind::Or,
+                    BinOp::Xor => OpKind::Xor,
+                    BinOp::Shl => OpKind::Shl,
+                    BinOp::Shr => OpKind::Shr,
+                    _ => unreachable!("comparisons handled below"),
+                };
+                Ok(self.forest.binary(Self::op(kind, TypeTag::I8), lv, rv))
+            }
+            Expr::Bin(..) => self.materialize_bool(e),
+            Expr::Call(name, args) => {
+                // Arguments become Arg statement trees (in order), then
+                // the call itself yields the value.
+                for a in args {
+                    let v = self.expr(a)?;
+                    let arg = self
+                        .forest
+                        .unary(Self::op(OpKind::Arg, TypeTag::I8), v);
+                    self.forest.add_root(arg);
+                }
+                let sym = self.forest.intern(name);
+                let target = self
+                    .forest
+                    .leaf(Self::op(OpKind::AddrGlobal, TypeTag::P), Payload::Sym(sym));
+                Ok(self
+                    .forest
+                    .unary(Self::op(OpKind::Call, TypeTag::I8), target))
+            }
+        }
+    }
+
+    /// A boolean expression (comparison, `&&`/`||`, `!`) in value
+    /// position: materialize 0/1 through a temporary and branches,
+    /// lcc-style.
+    fn materialize_bool(&mut self, e: &Expr) -> Result<NodeId, FrontendError> {
+        let tmp = format!("$cmp{}", self.labels);
+        self.vars.insert(tmp.clone(), VarKind::Local);
+        let l_true = self.fresh_label();
+        let l_end = self.fresh_label();
+        self.branch(e, &l_true, true)?;
+        self.store_var(&tmp, Expr::Int(0))?;
+        self.emit_jump(&l_end);
+        self.emit_label(&l_true);
+        self.store_var(&tmp, Expr::Int(1))?;
+        self.emit_label(&l_end);
+        let (addr, _) = self.var_addr(&tmp)?;
+        Ok(self
+            .forest
+            .unary(Self::op(OpKind::Load, TypeTag::I8), addr))
+    }
+
+    fn store_var(&mut self, name: &str, value: Expr) -> Result<(), FrontendError> {
+        let v = self.expr(&value)?;
+        let (addr, _) = self.var_addr(name)?;
+        let st = self
+            .forest
+            .binary(Self::op(OpKind::Store, TypeTag::I8), addr, v);
+        self.forest.add_root(st);
+        Ok(())
+    }
+
+    /// Emits a conditional branch to `target` taken iff `cond` is
+    /// `want_true`. Short-circuit operators become branch chains.
+    fn branch(
+        &mut self,
+        cond: &Expr,
+        target: &str,
+        want_true: bool,
+    ) -> Result<(), FrontendError> {
+        match cond {
+            Expr::Un(UnOp::Not, inner) => {
+                return self.branch(inner, target, !want_true);
+            }
+            Expr::Bin(BinOp::LAnd, a, b) => {
+                return if want_true {
+                    // Both must hold: a false skips past the b test.
+                    let skip = self.fresh_label();
+                    self.branch(a, &skip, false)?;
+                    self.branch(b, target, true)?;
+                    self.emit_label(&skip);
+                    Ok(())
+                } else {
+                    // Either failing takes the branch.
+                    self.branch(a, target, false)?;
+                    self.branch(b, target, false)
+                };
+            }
+            Expr::Bin(BinOp::LOr, a, b) => {
+                return if want_true {
+                    self.branch(a, target, true)?;
+                    self.branch(b, target, true)
+                } else {
+                    let skip = self.fresh_label();
+                    self.branch(a, &skip, true)?;
+                    self.branch(b, target, false)?;
+                    self.emit_label(&skip);
+                    Ok(())
+                };
+            }
+            _ => {}
+        }
+        let (kind, l, r) = match cond {
+            Expr::Bin(op, l, r) if op.is_comparison() => {
+                let kind = match (op, want_true) {
+                    (BinOp::Eq, true) | (BinOp::Ne, false) => OpKind::BrEq,
+                    (BinOp::Ne, true) | (BinOp::Eq, false) => OpKind::BrNe,
+                    (BinOp::Lt, true) | (BinOp::Ge, false) => OpKind::BrLt,
+                    (BinOp::Le, true) | (BinOp::Gt, false) => OpKind::BrLe,
+                    (BinOp::Gt, true) | (BinOp::Le, false) => OpKind::BrGt,
+                    (BinOp::Ge, true) | (BinOp::Lt, false) => OpKind::BrGe,
+                    _ => unreachable!(),
+                };
+                (kind, l.as_ref().clone(), r.as_ref().clone())
+            }
+            other => {
+                let kind = if want_true {
+                    OpKind::BrNe
+                } else {
+                    OpKind::BrEq
+                };
+                (kind, other.clone(), Expr::Int(0))
+            }
+        };
+        let lv = self.expr(&l)?;
+        let rv = self.expr(&r)?;
+        let sym = self.forest.intern(target);
+        let br = self.forest.binary_with(
+            Self::op(kind, TypeTag::I8),
+            lv,
+            rv,
+            Payload::Sym(sym),
+        );
+        self.forest.add_root(br);
+        Ok(())
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), FrontendError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), FrontendError> {
+        match s {
+            Stmt::Let(name, value) => {
+                self.vars.insert(name.clone(), VarKind::Local);
+                self.store_var(name, value.clone())
+            }
+            Stmt::Assign(name, value) => self.store_var(name, value.clone()),
+            Stmt::AssignIndex(base, index, value) => {
+                let addr = self.element_addr(base, index)?;
+                let v = self.expr(value)?;
+                let st = self
+                    .forest
+                    .binary(Self::op(OpKind::Store, TypeTag::I8), addr, v);
+                self.forest.add_root(st);
+                Ok(())
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                let l_end = self.fresh_label();
+                if else_body.is_empty() {
+                    self.branch(cond, &l_end, false)?;
+                    self.stmts(then_body)?;
+                    self.emit_label(&l_end);
+                } else {
+                    let l_else = self.fresh_label();
+                    self.branch(cond, &l_else, false)?;
+                    self.stmts(then_body)?;
+                    self.emit_jump(&l_end);
+                    self.emit_label(&l_else);
+                    self.stmts(else_body)?;
+                    self.emit_label(&l_end);
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let l_cond = self.fresh_label();
+                let l_end = self.fresh_label();
+                self.emit_label(&l_cond);
+                self.branch(cond, &l_end, false)?;
+                self.stmts(body)?;
+                self.emit_jump(&l_cond);
+                self.emit_label(&l_end);
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                let v = self.expr(value)?;
+                let ret = self.forest.unary(Self::op(OpKind::Ret, TypeTag::I8), v);
+                self.forest.add_root(ret);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let v = self.expr(e)?;
+                self.forest.add_root(v);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+    use odburg_ir::ForestStats;
+
+    fn lower(src: &str) -> Forest {
+        lower_program(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_function_lowers() {
+        let f = lower("fn add3(x) { let y = x + 3; return y; }");
+        // Roots: fn label, store, ret.
+        assert_eq!(f.roots().len(), 3);
+        let stats = ForestStats::compute(&f);
+        assert!(stats.nodes >= 8);
+    }
+
+    #[test]
+    fn while_produces_labels_and_branches() {
+        let f = lower("fn count(n) { let i = 0; while (i < n) { i = i + 1; } return i; }");
+        let stats = ForestStats::compute(&f);
+        let labels = stats
+            .op_histogram
+            .iter()
+            .filter(|(op, _)| op.kind == OpKind::Label)
+            .map(|(_, n)| *n)
+            .sum::<usize>();
+        assert_eq!(labels, 3); // fn entry, loop head, loop exit
+        let branches = stats
+            .op_histogram
+            .iter()
+            .filter(|(op, _)| op.kind == OpKind::BrGe)
+            .count();
+        assert_eq!(branches, 1); // i < n negated to BrGe
+        let jumps = stats
+            .op_histogram
+            .iter()
+            .filter(|(op, _)| op.kind == OpKind::Jump)
+            .count();
+        assert_eq!(jumps, 1);
+    }
+
+    #[test]
+    fn array_access_generates_address_arithmetic() {
+        let f = lower("fn get(a[], i) { return a[i]; }");
+        let stats = ForestStats::compute(&f);
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::Add, TypeTag::P)));
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::Load, TypeTag::P)));
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::Shl, TypeTag::I8)));
+    }
+
+    #[test]
+    fn global_arrays_use_global_address_directly() {
+        let f = lower("global buf[8];\nfn put(i, v) { buf[i] = v; }");
+        let stats = ForestStats::compute(&f);
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::AddrGlobal, TypeTag::P)));
+        // No pointer load for the global array base.
+        assert!(!stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::Load, TypeTag::P)));
+    }
+
+    #[test]
+    fn calls_produce_arg_statements() {
+        let f = lower("fn f(x) { let r = g(x, 1, 2); return r; }");
+        let stats = ForestStats::compute(&f);
+        let args = stats
+            .op_histogram
+            .get(&Op::new(OpKind::Arg, TypeTag::I8))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(args, 3);
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::Call, TypeTag::I8)));
+    }
+
+    #[test]
+    fn undefined_variable_reported() {
+        let e = lower_program(&parse_program("fn f() { return zz; }").unwrap()).unwrap_err();
+        assert!(e.message.contains("zz"));
+    }
+
+    #[test]
+    fn comparison_as_value_materializes() {
+        let f = lower("fn f(a, b) { let x = a < b; return x; }");
+        let stats = ForestStats::compute(&f);
+        // Materialization: branch + two stores + two labels + jump.
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::BrLt, TypeTag::I8)));
+        assert!(stats.trees >= 7);
+    }
+
+    #[test]
+    fn short_circuit_and_becomes_branch_chain() {
+        let f = lower("fn f(a, b) { if (a > 0 && b > 0) { return 1; } return 0; }");
+        let stats = ForestStats::compute(&f);
+        // `a > 0 && b > 0` negated: two independent false-branches, no
+        // materialized boolean temporary.
+        let le_branches = stats
+            .op_histogram
+            .get(&Op::new(OpKind::BrLe, TypeTag::I8))
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(le_branches, 2);
+        assert!(f.find_symbol("$cmp0").is_none(), "no temp needed");
+    }
+
+    #[test]
+    fn short_circuit_or_and_not() {
+        let f = lower("fn f(a, b) { if (a == 0 || !(b < 3)) { return 1; } return 0; }");
+        let stats = ForestStats::compute(&f);
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::BrEq, TypeTag::I8)));
+        assert!(stats
+            .op_histogram
+            .contains_key(&Op::new(OpKind::BrLt, TypeTag::I8)));
+    }
+
+    #[test]
+    fn logical_in_value_position_materializes() {
+        let f = lower("fn f(a, b) { let x = a > 0 && b > 0; return x; }");
+        assert!(f.find_symbol("$cmp0").is_some());
+    }
+
+    #[test]
+    fn topological_invariant_preserved() {
+        let f = lower(
+            "global buf[4];\nfn f(a[], n) { let i = 0; while (i < n) { buf[i] = a[i] * 2; i = i + 1; } return buf[0]; }",
+        );
+        for (id, node) in f.iter() {
+            for &c in node.children() {
+                assert!(c < id);
+            }
+        }
+    }
+}

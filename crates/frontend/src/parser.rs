@@ -1,0 +1,426 @@
+//! The MiniC recursive-descent parser.
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, UnOp};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::FrontendError;
+
+/// Parses MiniC source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`FrontendError`] with the offending source line.
+pub fn parse_program(source: &str) -> Result<Program, FrontendError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::default();
+    while !p.at_end() {
+        if p.check(&TokenKind::Global) {
+            p.bump();
+            let name = p.expect_ident()?;
+            let is_array = if p.check(&TokenKind::LBracket) {
+                p.bump();
+                // Optional size literal; MiniC does not use it for layout.
+                if let TokenKind::Int(_) = p.peek_kind() {
+                    p.bump();
+                }
+                p.expect(&TokenKind::RBracket)?;
+                true
+            } else {
+                false
+            };
+            p.expect(&TokenKind::Semi)?;
+            program.globals.push((name, is_array));
+        } else {
+            program.functions.push(p.function()?);
+        }
+    }
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn err(&self, message: impl Into<String>) -> FrontendError {
+        FrontendError::new(self.line(), message)
+    }
+
+    fn peek_kind(&self) -> TokenKind {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.kind.clone())
+            .unwrap_or(TokenKind::Semi)
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.tokens.get(self.pos).map(|t| &t.kind) == Some(kind)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), FrontendError> {
+        if self.check(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind:?}, found {:?}", self.peek_kind())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek_kind() {
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, FrontendError> {
+        let line = self.line();
+        self.expect(&TokenKind::Fn)?;
+        let name = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                let pname = self.expect_ident()?;
+                let is_array = if self.check(&TokenKind::LBracket) {
+                    self.bump();
+                    self.expect(&TokenKind::RBracket)?;
+                    true
+                } else {
+                    false
+                };
+                params.push((pname, is_array));
+                if self.check(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, FrontendError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        match self.peek_kind() {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Let(name, value))
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.check(&TokenKind::Else) {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then_body, else_body))
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Ident(name) => {
+                // Assignment (scalar or indexed) or an expression
+                // statement; decide by lookahead.
+                let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+                match next {
+                    Some(TokenKind::Assign) => {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Assign(name, value))
+                    }
+                    Some(TokenKind::LBracket) => {
+                        // Could be `a[i] = e;` or an expression using
+                        // `a[i]`; parse the index, then look for `=`.
+                        self.bump();
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        if self.check(&TokenKind::Assign) {
+                            self.bump();
+                            let value = self.expr()?;
+                            self.expect(&TokenKind::Semi)?;
+                            Ok(Stmt::AssignIndex(name, index, value))
+                        } else {
+                            let base = Expr::Index(name, Box::new(index));
+                            let e = self.binary_rhs(0, base)?;
+                            self.expect(&TokenKind::Semi)?;
+                            Ok(Stmt::Expr(e))
+                        }
+                    }
+                    _ => {
+                        let e = self.expr()?;
+                        self.expect(&TokenKind::Semi)?;
+                        Ok(Stmt::Expr(e))
+                    }
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} at statement start"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        let lhs = self.unary()?;
+        self.binary_rhs(0, lhs)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary_rhs(&mut self, min_prec: u8, mut lhs: Expr) -> Result<Expr, FrontendError> {
+        loop {
+            let Some((op, prec)) = binop_of(&self.peek_kind()) else {
+                return Ok(lhs);
+            };
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.bump();
+            let mut rhs = self.unary()?;
+            // Left associativity: continue while the next operator binds
+            // tighter.
+            while let Some((_, next_prec)) = binop_of(&self.peek_kind()) {
+                if next_prec > prec {
+                    rhs = self.binary_rhs(prec + 1, rhs)?;
+                } else {
+                    break;
+                }
+            }
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Tilde => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Com, Box::new(self.unary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek_kind() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek_kind() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.check(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if self.check(&TokenKind::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Call(name, args))
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Expr::Index(name, Box::new(index)))
+                    }
+                    _ => Ok(Expr::Var(name)),
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+/// `(operator, precedence)` — higher binds tighter.
+fn binop_of(kind: &TokenKind) -> Option<(BinOp, u8)> {
+    Some(match kind {
+        TokenKind::PipePipe => (BinOp::LOr, 0),
+        TokenKind::AmpAmp => (BinOp::LAnd, 1),
+        TokenKind::Pipe => (BinOp::Or, 2),
+        TokenKind::Caret => (BinOp::Xor, 3),
+        TokenKind::Amp => (BinOp::And, 4),
+        TokenKind::EqEq => (BinOp::Eq, 5),
+        TokenKind::Ne => (BinOp::Ne, 5),
+        TokenKind::Lt => (BinOp::Lt, 6),
+        TokenKind::Le => (BinOp::Le, 6),
+        TokenKind::Gt => (BinOp::Gt, 6),
+        TokenKind::Ge => (BinOp::Ge, 6),
+        TokenKind::Shl => (BinOp::Shl, 7),
+        TokenKind::Shr => (BinOp::Shr, 7),
+        TokenKind::Plus => (BinOp::Add, 8),
+        TokenKind::Minus => (BinOp::Sub, 8),
+        TokenKind::Star => (BinOp::Mul, 9),
+        TokenKind::Slash => (BinOp::Div, 9),
+        TokenKind::Percent => (BinOp::Mod, 9),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse_program("fn f(a, b[], c) { return a; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 3);
+        assert!(!f.params[0].1);
+        assert!(f.params[1].1);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let p = parse_program("fn f() { let x = 1 + 2 * 3; return x; }").unwrap();
+        let Stmt::Let(_, e) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let Expr::Bin(BinOp::Add, _, rhs) = e else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = parse_program("fn f() { let x = 10 - 3 - 2; return x; }").unwrap();
+        let Stmt::Let(_, e) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        // (10 - 3) - 2
+        let Expr::Bin(BinOp::Sub, lhs, _) = e else {
+            panic!("{e:?}")
+        };
+        assert!(matches!(**lhs, Expr::Bin(BinOp::Sub, _, _)));
+    }
+
+    #[test]
+    fn control_flow_and_indexing() {
+        let src = r#"
+            global buf[64];
+            fn f(a[], n) {
+                let i = 0;
+                while (i < n) {
+                    if (a[i] > 0) { buf[i] = a[i]; } else { buf[i] = 0 - a[i]; }
+                    i = i + 1;
+                }
+                return buf[0];
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.globals, vec![("buf".to_owned(), true)]);
+        let f = &p.functions[0];
+        assert!(matches!(f.body[1], Stmt::While(..)));
+    }
+
+    #[test]
+    fn calls_parse() {
+        let p = parse_program("fn f(x) { g(x, 1); let y = h(); return y; }").unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::Expr(Expr::Call(..))));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_program("fn f() {\n let = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse_program("fn f() { return 1; ").is_err());
+        assert!(parse_program("fn 3() {}").is_err());
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse_program("fn f(x) { return -x + ~x; }").unwrap();
+        let Stmt::Return(e) = &p.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Bin(BinOp::Add, l, r) = e else {
+            panic!()
+        };
+        assert!(matches!(**l, Expr::Un(UnOp::Neg, _)));
+        assert!(matches!(**r, Expr::Un(UnOp::Com, _)));
+    }
+}

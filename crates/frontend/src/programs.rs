@@ -1,0 +1,522 @@
+//! The built-in MiniC benchmark programs.
+//!
+//! The first eight mirror the CACAO benchmark suite of the paper family
+//! (factorial, permutations, square root, π spigot, Boyer-Moore, matrix
+//! add/multiply, and an architecture-matcher stress test); the rest are
+//! larger SPEC-flavoured kernels (CRC, sorting, sieve, hashing, string
+//! search) that stand in for the unavailable SPEC CPU2000 suite.
+
+use odburg_ir::Forest;
+
+use crate::{compile, FrontendError};
+
+/// A named benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchProgram {
+    /// The benchmark's name.
+    pub name: &'static str,
+    /// What it computes.
+    pub purpose: &'static str,
+    /// The MiniC source.
+    pub source: &'static str,
+}
+
+impl BenchProgram {
+    /// Compiles the program to an IR forest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrontendError`]; the built-in programs are covered by
+    /// tests and never fail.
+    pub fn compile(&self) -> Result<Forest, FrontendError> {
+        compile(self.source)
+    }
+}
+
+/// All built-in benchmark programs, in presentation order.
+pub fn all() -> Vec<BenchProgram> {
+    vec![
+        BenchProgram {
+            name: "fact",
+            purpose: "calculate factorial",
+            source: r#"
+                fn fact(n) {
+                    if (n <= 1) { return 1; }
+                    let r = n * fact(n - 1);
+                    return r;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "permut",
+            purpose: "calculate all permutations of an array",
+            source: r#"
+                global perm[16];
+                global count;
+                fn swap(a[], i, j) {
+                    let t = a[i];
+                    a[i] = a[j];
+                    a[j] = t;
+                }
+                fn permute(n, k) {
+                    if (k == n) {
+                        count = count + 1;
+                        return count;
+                    }
+                    let i = k;
+                    while (i < n) {
+                        swap(perm, k, i);
+                        permute(n, k + 1);
+                        swap(perm, k, i);
+                        i = i + 1;
+                    }
+                    return count;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "sqrt",
+            purpose: "integer square root approximation",
+            source: r#"
+                fn isqrt(n) {
+                    let x = n;
+                    let y = (x + 1) / 2;
+                    while (y < x) {
+                        x = y;
+                        y = (x + n / x) / 2;
+                    }
+                    return x;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "pispigot",
+            purpose: "calculate pi digits with the spigot algorithm",
+            source: r#"
+                global a[3500];
+                global digits[1000];
+                fn spigot(n) {
+                    let len = 10 * n / 3;
+                    let i = 0;
+                    while (i < len) { a[i] = 2; i = i + 1; }
+                    let produced = 0;
+                    let nines = 0;
+                    let predigit = 0;
+                    let j = 0;
+                    while (j < n) {
+                        let q = 0;
+                        let k = len - 1;
+                        while (k >= 0) {
+                            let x = 10 * a[k] + q * (k + 1);
+                            a[k] = x % (2 * k + 1);
+                            q = x / (2 * k + 1);
+                            k = k - 1;
+                        }
+                        a[0] = q % 10;
+                        q = q / 10;
+                        if (q == 9) {
+                            nines = nines + 1;
+                        } else {
+                            digits[produced] = predigit + q / 9;
+                            produced = produced + 1;
+                            predigit = q % 9;
+                            nines = 0;
+                        }
+                        j = j + 1;
+                    }
+                    return produced;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "boyermoore",
+            purpose: "string search with the Boyer-Moore bad-character rule",
+            source: r#"
+                global shift[256];
+                fn search(text[], n, pat[], m) {
+                    let i = 0;
+                    while (i < 256) { shift[i] = m; i = i + 1; }
+                    i = 0;
+                    while (i < m - 1) {
+                        shift[pat[i] & 255] = m - 1 - i;
+                        i = i + 1;
+                    }
+                    let s = 0;
+                    while (s <= n - m) {
+                        let j = m - 1;
+                        while (j >= 0) {
+                            if (text[s + j] != pat[j]) { j = 0 - 2; }
+                            if (j >= 0) { j = j - 1; }
+                        }
+                        if (j == 0 - 1) { return s; }
+                        let c = text[s + m - 1] & 255;
+                        s = s + shift[c];
+                    }
+                    return 0 - 1;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "matadd",
+            purpose: "matrix addition",
+            source: r#"
+                fn matadd(a[], b[], c[], n) {
+                    let i = 0;
+                    while (i < n) {
+                        let j = 0;
+                        while (j < n) {
+                            c[i * n + j] = a[i * n + j] + b[i * n + j];
+                            j = j + 1;
+                        }
+                        i = i + 1;
+                    }
+                    return 0;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "matmult",
+            purpose: "matrix multiplication",
+            source: r#"
+                fn matmult(a[], b[], c[], n) {
+                    let i = 0;
+                    while (i < n) {
+                        let j = 0;
+                        while (j < n) {
+                            let sum = 0;
+                            let k = 0;
+                            while (k < n) {
+                                sum = sum + a[i * n + k] * b[k * n + j];
+                                k = k + 1;
+                            }
+                            c[i * n + j] = sum;
+                            j = j + 1;
+                        }
+                        i = i + 1;
+                    }
+                    return 0;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "matcherarch",
+            purpose: "addressing-mode and immediate stress test",
+            source: r#"
+                global mem[4096];
+                fn stress(p[], q[], n) {
+                    // read-modify-write candidates
+                    mem[0] = mem[0] + 1;
+                    mem[1] = mem[1] - n;
+                    mem[2] = mem[2] & 255;
+                    mem[3] = mem[3] | 4096;
+                    mem[4] = mem[4] ^ n;
+                    mem[5] = 1 + mem[5];
+                    // not RMW: different cells
+                    mem[6] = mem[7] + 1;
+                    // immediates of assorted widths
+                    let a = n + 3;
+                    let b = n + 300;
+                    let c = n + 70000;
+                    let d = n + 5000000000;
+                    let e = n * 8;
+                    let f = n * 7;
+                    let g = n << 3;
+                    let h = n >> 2;
+                    // scaled indexing
+                    let i = 0;
+                    while (i < n) {
+                        p[i] = q[i * 4] + mem[i * 8 + 1];
+                        i = i + 1;
+                    }
+                    return a + b + c + d + e + f + g + h;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "crc32",
+            purpose: "CRC-32 over a buffer (table-less, bitwise)",
+            source: r#"
+                fn crc32(buf[], n) {
+                    let crc = 0 - 1;
+                    let i = 0;
+                    while (i < n) {
+                        crc = crc ^ (buf[i] & 255);
+                        let k = 0;
+                        while (k < 8) {
+                            if ((crc & 1) != 0) {
+                                crc = (crc >> 1) ^ 3988292384;
+                            } else {
+                                crc = crc >> 1;
+                            }
+                            k = k + 1;
+                        }
+                        i = i + 1;
+                    }
+                    return ~crc;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "quicksort",
+            purpose: "in-place quicksort with explicit stack",
+            source: r#"
+                global stack[128];
+                fn qsort(a[], n) {
+                    let top = 0;
+                    stack[0] = 0;
+                    stack[1] = n - 1;
+                    top = 2;
+                    while (top > 0) {
+                        top = top - 2;
+                        let lo = stack[top];
+                        let hi = stack[top + 1];
+                        if (lo < hi) {
+                            let p = a[hi];
+                            let i = lo - 1;
+                            let j = lo;
+                            while (j < hi) {
+                                if (a[j] <= p) {
+                                    i = i + 1;
+                                    let t = a[i];
+                                    a[i] = a[j];
+                                    a[j] = t;
+                                }
+                                j = j + 1;
+                            }
+                            let t2 = a[i + 1];
+                            a[i + 1] = a[hi];
+                            a[hi] = t2;
+                            let mid = i + 1;
+                            stack[top] = lo;
+                            stack[top + 1] = mid - 1;
+                            top = top + 2;
+                            stack[top] = mid + 1;
+                            stack[top + 1] = hi;
+                            top = top + 2;
+                        }
+                    }
+                    return a[0];
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "sieve",
+            purpose: "sieve of Eratosthenes",
+            source: r#"
+                global flags[8192];
+                fn sieve(n) {
+                    let i = 2;
+                    while (i < n) { flags[i] = 1; i = i + 1; }
+                    let count = 0;
+                    i = 2;
+                    while (i < n) {
+                        if (flags[i] != 0) {
+                            count = count + 1;
+                            let j = i + i;
+                            while (j < n) {
+                                flags[j] = 0;
+                                j = j + i;
+                            }
+                        }
+                        i = i + 1;
+                    }
+                    return count;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "collatz",
+            purpose: "Collatz sequence lengths (short-circuit conditions)",
+            source: r#"
+                fn collatz(n, limit) {
+                    let steps = 0;
+                    while (n != 1 && steps < limit) {
+                        if ((n & 1) == 0 || n < 0) {
+                            n = n >> 1;
+                        } else {
+                            n = 3 * n + 1;
+                        }
+                        steps = steps + 1;
+                    }
+                    if (!(n == 1)) { return 0 - 1; }
+                    return steps;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "fib",
+            purpose: "iterative Fibonacci",
+            source: r#"
+                fn fib(n) {
+                    let a = 0;
+                    let b = 1;
+                    let i = 0;
+                    while (i < n) {
+                        let t = a + b;
+                        a = b;
+                        b = t;
+                        i = i + 1;
+                    }
+                    return a;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "gcd",
+            purpose: "Euclid's greatest common divisor",
+            source: r#"
+                fn gcd(a, b) {
+                    while (b != 0) {
+                        let t = a % b;
+                        a = b;
+                        b = t;
+                    }
+                    return a;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "binsearch",
+            purpose: "binary search in a sorted array",
+            source: r#"
+                fn binsearch(a[], n, key) {
+                    let lo = 0;
+                    let hi = n - 1;
+                    while (lo <= hi) {
+                        let mid = (lo + hi) / 2;
+                        if (a[mid] == key) { return mid; }
+                        if (a[mid] < key) {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid - 1;
+                        }
+                    }
+                    return 0 - 1;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "dotprod",
+            purpose: "dot product with unrolled tail",
+            source: r#"
+                fn dotprod(a[], b[], n) {
+                    let sum = 0;
+                    let i = 0;
+                    while (i + 4 <= n) {
+                        sum = sum + a[i] * b[i];
+                        sum = sum + a[i + 1] * b[i + 1];
+                        sum = sum + a[i + 2] * b[i + 2];
+                        sum = sum + a[i + 3] * b[i + 3];
+                        i = i + 4;
+                    }
+                    while (i < n) {
+                        sum = sum + a[i] * b[i];
+                        i = i + 1;
+                    }
+                    return sum;
+                }
+            "#,
+        },
+        BenchProgram {
+            name: "hashloop",
+            purpose: "FNV-style hashing of a buffer with a lookup loop",
+            source: r#"
+                global table[1024];
+                fn hashloop(keys[], n) {
+                    let hits = 0;
+                    let i = 0;
+                    while (i < n) {
+                        let h = 2166136261;
+                        let k = keys[i];
+                        let b = 0;
+                        while (b < 8) {
+                            h = (h ^ (k & 255)) * 16777619;
+                            k = k >> 8;
+                            b = b + 1;
+                        }
+                        let slot = h & 1023;
+                        if (table[slot] == keys[i]) {
+                            hits = hits + 1;
+                        } else {
+                            table[slot] = keys[i];
+                        }
+                        i = i + 1;
+                    }
+                    return hits;
+                }
+            "#,
+        },
+    ]
+}
+
+/// Looks up a benchmark by name.
+pub fn by_name(name: &str) -> Option<BenchProgram> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// Compiles every benchmark into one combined forest (the "whole
+/// workload" used by the convergence experiments).
+///
+/// # Errors
+///
+/// Propagates [`FrontendError`] (the built-in programs always compile).
+pub fn combined_forest() -> Result<Forest, FrontendError> {
+    let mut forest = Forest::new();
+    for p in all() {
+        forest.append(&p.compile()?);
+    }
+    Ok(forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_ir::ForestStats;
+
+    #[test]
+    fn all_programs_compile() {
+        for p in all() {
+            let forest = p.compile().unwrap_or_else(|e| {
+                panic!("program {} failed to compile: {e}", p.name)
+            });
+            assert!(!forest.is_empty(), "{} produced no IR", p.name);
+            assert!(!forest.roots().is_empty());
+        }
+    }
+
+    #[test]
+    fn suite_has_expected_shape() {
+        let progs = all();
+        assert!(progs.len() >= 12);
+        assert!(by_name("matmult").is_some());
+        assert!(by_name("nope").is_none());
+        // The CACAO-mirroring benchmarks come first.
+        assert_eq!(progs[0].name, "fact");
+        assert_eq!(progs[7].name, "matcherarch");
+    }
+
+    #[test]
+    fn combined_forest_accumulates() {
+        let combined = combined_forest().unwrap();
+        let total: usize = all().iter().map(|p| p.compile().unwrap().len()).sum();
+        assert_eq!(combined.len(), total);
+        let stats = ForestStats::compute(&combined);
+        assert!(stats.nodes > 1000, "workload too small: {}", stats.nodes);
+    }
+
+    #[test]
+    fn node_counts_are_program_sized() {
+        // Sanity: the per-program IR sizes are in the region the paper
+        // family reports for its small benchmarks (tens to hundreds of
+        // nodes).
+        for p in all() {
+            let n = p.compile().unwrap().len();
+            assert!(
+                (10..4000).contains(&n),
+                "{} has {} nodes",
+                p.name,
+                n
+            );
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Static analyses over normal-form grammars.
+//!
+//! These fixpoint analyses support validation (is every nonterminal
+//! derivable?), workload generation (what is the cheapest/shallowest way to
+//! finish a derivation?) and automaton construction.
+
+use crate::cost::{Cost, CostExpr};
+use crate::normal::{NormalGrammar, NormalRhs};
+use crate::NtId;
+
+/// How dynamic-cost rules are treated by an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynTreatment {
+    /// Skip dynamic rules entirely (the conservative choice: a dynamic
+    /// rule may be inapplicable everywhere).
+    Skip,
+    /// Assume dynamic rules apply with cost 0 (the optimistic choice).
+    AssumeZero,
+}
+
+/// Per-nonterminal minimum cost of a complete derivation (one that ends in
+/// operators only), or [`Cost::INFINITE`] if none exists.
+///
+/// # Examples
+///
+/// ```
+/// use odburg_grammar::{analysis, parse_grammar, Cost};
+///
+/// let g = parse_grammar("%start a\na: b (2)\nb: ConstI4 (3)\n")?;
+/// let n = g.normalize();
+/// let costs = analysis::min_costs(&n, analysis::DynTreatment::Skip);
+/// assert_eq!(costs[g.start().0 as usize], Cost::finite(5));
+/// # Ok::<(), odburg_grammar::GrammarError>(())
+/// ```
+pub fn min_costs(grammar: &NormalGrammar, dynamic: DynTreatment) -> Vec<Cost> {
+    let mut costs = vec![Cost::INFINITE; grammar.num_nts()];
+    loop {
+        let mut changed = false;
+        for rule in grammar.rules() {
+            let rule_cost = match rule.cost {
+                CostExpr::Fixed(c) => Cost::from(c),
+                CostExpr::Dynamic(_) => match dynamic {
+                    DynTreatment::Skip => continue,
+                    DynTreatment::AssumeZero => Cost::ZERO,
+                },
+            };
+            let total = match &rule.rhs {
+                NormalRhs::Base { operands, .. } => operands
+                    .iter()
+                    .fold(rule_cost, |acc, nt| acc + costs[nt.0 as usize]),
+                NormalRhs::Chain { from } => rule_cost + costs[from.0 as usize],
+            };
+            if total < costs[rule.lhs.0 as usize] {
+                costs[rule.lhs.0 as usize] = total;
+                changed = true;
+            }
+        }
+        if !changed {
+            return costs;
+        }
+    }
+}
+
+/// Per-nonterminal minimum *tree depth* of a complete derivation using only
+/// fixed-cost rules, or `None` if no such derivation exists.
+///
+/// Workload generators use this to steer sampling toward termination.
+pub fn min_depths(grammar: &NormalGrammar) -> Vec<Option<usize>> {
+    let mut depths: Vec<Option<usize>> = vec![None; grammar.num_nts()];
+    loop {
+        let mut changed = false;
+        for rule in grammar.rules() {
+            if rule.cost.is_dynamic() {
+                continue;
+            }
+            let candidate = match &rule.rhs {
+                NormalRhs::Base { operands, .. } => {
+                    let mut worst = 0usize;
+                    let mut ok = true;
+                    for nt in operands {
+                        match depths[nt.0 as usize] {
+                            Some(d) => worst = worst.max(d),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        Some(worst + 1)
+                    } else {
+                        None
+                    }
+                }
+                NormalRhs::Chain { from } => depths[from.0 as usize],
+            };
+            if let Some(c) = candidate {
+                let slot = &mut depths[rule.lhs.0 as usize];
+                if slot.map(|d| c < d).unwrap_or(true) {
+                    *slot = Some(c);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return depths;
+        }
+    }
+}
+
+/// Nonterminals reachable from the start nonterminal by walking rule
+/// right-hand sides.
+pub fn reachable(grammar: &NormalGrammar) -> Vec<bool> {
+    let mut seen = vec![false; grammar.num_nts()];
+    let mut stack = vec![grammar.start()];
+    seen[grammar.start().0 as usize] = true;
+    while let Some(nt) = stack.pop() {
+        for rule in grammar.rules() {
+            if rule.lhs != nt {
+                continue;
+            }
+            let mut visit = |n: NtId| {
+                if !seen[n.0 as usize] {
+                    seen[n.0 as usize] = true;
+                    stack.push(n);
+                }
+            };
+            match &rule.rhs {
+                NormalRhs::Base { operands, .. } => {
+                    for &n in operands {
+                        visit(n);
+                    }
+                }
+                NormalRhs::Chain { from } => visit(*from),
+            }
+        }
+    }
+    seen
+}
+
+/// A human-readable lint finding about a grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Issue {
+    /// The message.
+    pub message: String,
+}
+
+/// Lints a grammar: underivable or unreachable nonterminals.
+///
+/// These are warnings, not errors — a grammar with an unreachable
+/// nonterminal still works.
+pub fn check(grammar: &NormalGrammar) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let costs = min_costs(grammar, DynTreatment::AssumeZero);
+    for (i, cost) in costs.iter().enumerate() {
+        if cost.is_infinite() {
+            issues.push(Issue {
+                message: format!(
+                    "nonterminal `{}` cannot derive any complete tree",
+                    grammar.nt_name(NtId(i as u16))
+                ),
+            });
+        }
+    }
+    let reach = reachable(grammar);
+    for (i, r) in reach.iter().enumerate() {
+        if !r {
+            issues.push(Issue {
+                message: format!(
+                    "nonterminal `{}` is unreachable from the start symbol",
+                    grammar.nt_name(NtId(i as u16))
+                ),
+            });
+        }
+    }
+    issues
+}
+
+/// Transitive chain-rule reachability: `reach[a][b]` is `true` if `a` can
+/// be derived from `b` through chain rules alone (including `a == b`).
+pub fn chain_reachability(grammar: &NormalGrammar) -> Vec<Vec<bool>> {
+    let n = grammar.num_nts();
+    let mut reach = vec![vec![false; n]; n];
+    for (i, row) in reach.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    loop {
+        let mut changed = false;
+        for &rule_id in grammar.chain_rules() {
+            let rule = grammar.rule(rule_id);
+            let NormalRhs::Chain { from } = rule.rhs else {
+                continue;
+            };
+            // lhs reaches everything `from` reaches.
+            for b in 0..n {
+                if reach[from.0 as usize][b] && !reach[rule.lhs.0 as usize][b] {
+                    reach[rule.lhs.0 as usize][b] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return reach;
+        }
+    }
+}
+
+/// Deeper lints than [`check`]: dead (shadowed) rules and the
+/// BURS-finiteness heuristic.
+///
+/// * **Shadowed rule**: two fixed-cost rules with identical left-hand
+///   side and right-hand side — the more expensive one can never be
+///   selected.
+/// * **Possible cost divergence**: two nonterminals compete for the same
+///   operand position of some operator but no chain-rule path connects
+///   them in either direction. Their relative costs can then grow without
+///   bound with tree depth, which makes the *offline* automaton
+///   construction diverge (the classic non-BURS-finite situation; the
+///   on-demand automaton still works per workload, see the tests).
+pub fn lint(grammar: &NormalGrammar) -> Vec<Issue> {
+    let mut issues = check(grammar);
+
+    // Shadowed rules.
+    for (i, a) in grammar.rules().iter().enumerate() {
+        if a.cost.is_dynamic() {
+            continue;
+        }
+        for b in grammar.rules().iter().skip(i + 1) {
+            if b.cost.is_dynamic() || a.lhs != b.lhs || a.rhs != b.rhs {
+                continue;
+            }
+            let (CostExpr::Fixed(ca), CostExpr::Fixed(cb)) = (a.cost, b.cost) else {
+                continue;
+            };
+            let (dead, live) = if ca <= cb { (b, a) } else { (a, b) };
+            issues.push(Issue {
+                message: format!(
+                    "rule #{} for `{}` is shadowed by cheaper identical rule #{}",
+                    dead.id.0,
+                    grammar.nt_name(dead.lhs),
+                    live.id.0
+                ),
+            });
+        }
+    }
+
+    // Cost-divergence heuristic over operand classes. Two nonterminals
+    // are only at risk if they can be derivable *at the same node* (they
+    // co-occur in some operator's derivable set) — e.g. `reg` and `freg`
+    // never coexist, so their (undefined) relative cost cannot diverge.
+    let reach = chain_reachability(grammar);
+    let co_derivable = |a: NtId, b: NtId| {
+        grammar.ops_used().iter().any(|&op| {
+            let mut derivable = vec![false; grammar.num_nts()];
+            for &r in grammar.base_rules(op) {
+                derivable[grammar.rule(r).lhs.0 as usize] = true;
+            }
+            // Chain closure over the derivable set.
+            for (lhs, row) in reach.iter().enumerate() {
+                if !derivable[lhs] {
+                    derivable[lhs] = row
+                        .iter()
+                        .enumerate()
+                        .any(|(from, &r)| r && from != lhs && derivable[from]);
+                }
+            }
+            derivable[a.0 as usize] && derivable[b.0 as usize]
+        })
+    };
+    let mut reported: Vec<(NtId, NtId)> = Vec::new();
+    for &op in grammar.ops_used() {
+        for pos in 0..op.arity() {
+            let nts: Vec<NtId> = grammar
+                .operand_nts(op, pos)
+                .iter()
+                .copied()
+                .filter(|nt| (nt.0 as usize) < grammar.num_source_nts())
+                .collect();
+            for (i, &a) in nts.iter().enumerate() {
+                for &b in &nts[i + 1..] {
+                    let connected =
+                        reach[a.0 as usize][b.0 as usize] || reach[b.0 as usize][a.0 as usize];
+                    if !connected && !reported.contains(&(a, b)) && co_derivable(a, b) {
+                        reported.push((a, b));
+                        issues.push(Issue {
+                            message: format!(
+                                "nonterminals `{}` and `{}` compete at {op} operand {pos} \
+                                 without a chain-rule connection; their relative costs may \
+                                 diverge (offline automaton construction may not terminate)",
+                                grammar.nt_name(a),
+                                grammar.nt_name(b)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_grammar;
+
+    #[test]
+    fn min_costs_chain_and_base() {
+        let g = parse_grammar(
+            "%start stmt\nstmt: StoreI8(addr, reg) (1)\naddr: reg (0)\nreg: ConstI8 (1)\n",
+        )
+        .unwrap();
+        let n = g.normalize();
+        let costs = min_costs(&n, DynTreatment::Skip);
+        let stmt = g.find_nt("stmt").unwrap();
+        let addr = g.find_nt("addr").unwrap();
+        assert_eq!(costs[stmt.0 as usize], Cost::finite(3));
+        assert_eq!(costs[addr.0 as usize], Cost::finite(1));
+    }
+
+    #[test]
+    fn dynamic_only_nt_is_infinite_when_skipped() {
+        let g = parse_grammar("%start a\na: ConstI8 [dc]\n").unwrap();
+        let n = g.normalize();
+        assert!(min_costs(&n, DynTreatment::Skip)[0].is_infinite());
+        assert_eq!(
+            min_costs(&n, DynTreatment::AssumeZero)[0],
+            Cost::ZERO
+        );
+    }
+
+    #[test]
+    fn min_depths_reflect_nesting() {
+        let g = parse_grammar(
+            "%start a\na: LoadI8(b) (1)\nb: LoadP(c) (1)\nc: ConstP (1)\n",
+        )
+        .unwrap();
+        let n = g.normalize();
+        let d = min_depths(&n);
+        assert_eq!(d[g.find_nt("a").unwrap().0 as usize], Some(3));
+        assert_eq!(d[g.find_nt("c").unwrap().0 as usize], Some(1));
+    }
+
+    #[test]
+    fn zero_cost_chain_cycle_terminates() {
+        let g = parse_grammar("%start a\na: b (0)\nb: a (0)\nb: ConstI8 (1)\n").unwrap();
+        let n = g.normalize();
+        let costs = min_costs(&n, DynTreatment::Skip);
+        assert_eq!(costs[g.find_nt("a").unwrap().0 as usize], Cost::finite(1));
+    }
+
+    #[test]
+    fn lint_finds_shadowed_rules() {
+        let g = parse_grammar(
+            "%start a\na: ConstI8 (1)\na: ConstI8 (3)\na: ConstI8 [dc]\n",
+        )
+        .unwrap();
+        let issues = lint(&g.normalize());
+        let shadowed: Vec<_> = issues
+            .iter()
+            .filter(|i| i.message.contains("shadowed"))
+            .collect();
+        assert_eq!(shadowed.len(), 1);
+        assert!(shadowed[0].message.contains("rule #1"), "{shadowed:?}");
+    }
+
+    #[test]
+    fn lint_warns_on_disconnected_operand_classes() {
+        // The non-BURS-finite example: a and b compete at Store operands
+        // with no chain connection.
+        let g = parse_grammar(
+            "%start s\na: ConstI8 (0)\na: LoadI8(a) (1)\nb: ConstI8 (0)\nb: LoadI8(b) (2)\ns: StoreI8(a, b) (1)\ns: StoreI8(b, a) (1)\n",
+        )
+        .unwrap();
+        let issues = lint(&g.normalize());
+        assert!(
+            issues.iter().any(|i| i.message.contains("diverge")),
+            "{issues:?}"
+        );
+        // Adding a chain rule silences the warning.
+        let g2 = parse_grammar(
+            "%start s\na: ConstI8 (0)\na: LoadI8(a) (1)\nb: ConstI8 (0)\nb: LoadI8(b) (2)\nb: a (0)\ns: StoreI8(a, b) (1)\ns: StoreI8(b, a) (1)\n",
+        )
+        .unwrap();
+        let issues2 = lint(&g2.normalize());
+        assert!(
+            !issues2.iter().any(|i| i.message.contains("diverge")),
+            "{issues2:?}"
+        );
+    }
+
+    #[test]
+    fn chain_reachability_is_transitive() {
+        let g = parse_grammar("%start a\na: b (0)\nb: c (0)\nc: ConstI8 (1)\n").unwrap();
+        let n = g.normalize();
+        let reach = chain_reachability(&n);
+        let a = n.find_nt("a").unwrap().0 as usize;
+        let c = n.find_nt("c").unwrap().0 as usize;
+        assert!(reach[a][c], "a derivable from c through chains");
+        assert!(!reach[c][a]);
+    }
+
+    #[test]
+    fn check_reports_unreachable_and_underivable() {
+        let g = parse_grammar(
+            "%start a\na: ConstI8 (1)\nb: LoadI8(b) (1)\n", // b underivable & unreachable
+        )
+        .unwrap();
+        let n = g.normalize();
+        let issues = check(&n);
+        assert_eq!(issues.len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Rule costs: fixed, dynamic, and the saturating accumulated-cost type.
+
+use std::fmt;
+use std::sync::Arc;
+
+use odburg_ir::{Forest, NodeId};
+
+/// The cost a single rule contributes, as produced by a fixed annotation or
+/// a dynamic-cost function.
+///
+/// `Infinite` means "rule not applicable here" — the idiomatic way lburg
+/// dynamic costs express applicability tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCost {
+    /// The rule applies with this cost.
+    Finite(u16),
+    /// The rule does not apply.
+    Infinite,
+}
+
+impl RuleCost {
+    /// The finite value, if any.
+    pub fn value(self) -> Option<u16> {
+        match self {
+            RuleCost::Finite(v) => Some(v),
+            RuleCost::Infinite => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleCost::Finite(v) => write!(f, "{v}"),
+            RuleCost::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+/// An accumulated derivation cost: a `u32` with an infinity that is
+/// preserved by addition.
+///
+/// # Examples
+///
+/// ```
+/// # use odburg_grammar::Cost;
+/// let c = Cost::from(3u16) + Cost::from(4u16);
+/// assert_eq!(c, Cost::finite(7));
+/// assert!((c + Cost::INFINITE).is_infinite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cost(u32);
+
+impl Cost {
+    /// The infinite cost (no derivation).
+    pub const INFINITE: Cost = Cost(u32::MAX);
+    /// The zero cost.
+    pub const ZERO: Cost = Cost(0);
+
+    /// A finite cost.
+    pub fn finite(v: u32) -> Self {
+        assert!(v < u32::MAX, "cost value too large");
+        Cost(v)
+    }
+
+    /// `true` if the cost is finite.
+    pub fn is_finite(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// `true` if the cost is infinite.
+    pub fn is_infinite(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// The numeric value of a finite cost.
+    pub fn value(self) -> Option<u32> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// Raw representation (`u32::MAX` encodes infinity).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Cost {
+    /// The zero cost.
+    fn default() -> Self {
+        Cost::ZERO
+    }
+}
+
+impl From<u16> for Cost {
+    fn from(v: u16) -> Self {
+        Cost(v as u32)
+    }
+}
+
+impl From<RuleCost> for Cost {
+    fn from(rc: RuleCost) -> Self {
+        match rc {
+            RuleCost::Finite(v) => Cost(v as u32),
+            RuleCost::Infinite => Cost::INFINITE,
+        }
+    }
+}
+
+impl std::ops::Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        if self.is_infinite() || rhs.is_infinite() {
+            Cost::INFINITE
+        } else {
+            // Saturate just below infinity so overflow can never wrap into
+            // a "cheap" cost.
+            Cost(self.0.saturating_add(rhs.0).min(u32::MAX - 1))
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Id of a dynamic-cost function within a [`Grammar`](crate::Grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DynCostId(pub u16);
+
+/// A dynamic-cost function: inspects the matched node (and through the
+/// forest, its whole subtree) at instruction-selection time.
+pub type DynCostFn = Arc<dyn Fn(&Forest, NodeId) -> RuleCost + Send + Sync>;
+
+/// A named dynamic-cost function registered with a grammar.
+#[derive(Clone)]
+pub struct DynCost {
+    /// The name used to reference the function from the DSL.
+    pub name: String,
+    /// The function itself.
+    pub func: DynCostFn,
+}
+
+impl fmt::Debug for DynCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynCost")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The cost annotation of a rule: a compile-time constant or a reference to
+/// a dynamic-cost function evaluated at instruction-selection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostExpr {
+    /// Fixed cost.
+    Fixed(u16),
+    /// Dynamic cost computed by the referenced function.
+    Dynamic(DynCostId),
+}
+
+impl CostExpr {
+    /// `true` if the cost is dynamic.
+    pub fn is_dynamic(self) -> bool {
+        matches!(self, CostExpr::Dynamic(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_addition_saturates_and_propagates_infinity() {
+        assert_eq!(Cost::finite(2) + Cost::finite(3), Cost::finite(5));
+        assert!((Cost::INFINITE + Cost::finite(1)).is_infinite());
+        assert!((Cost::finite(1) + Cost::INFINITE).is_infinite());
+        let big = Cost::finite(u32::MAX - 2);
+        assert!((big + big).is_finite(), "saturation must not reach infinity");
+    }
+
+    #[test]
+    fn rule_cost_conversion() {
+        assert_eq!(Cost::from(RuleCost::Finite(4)), Cost::finite(4));
+        assert!(Cost::from(RuleCost::Infinite).is_infinite());
+        assert_eq!(RuleCost::Finite(9).value(), Some(9));
+        assert_eq!(RuleCost::Infinite.value(), None);
+    }
+
+    #[test]
+    fn ordering_puts_infinite_last() {
+        assert!(Cost::finite(100) < Cost::INFINITE);
+        assert!(RuleCost::Finite(u16::MAX) < RuleCost::Infinite);
+    }
+}

@@ -1,0 +1,403 @@
+//! The burg-style grammar description language.
+//!
+//! A grammar description is line-oriented:
+//!
+//! ```text
+//! # comment
+//! %grammar x86ish            # optional name
+//! %start stmt                # optional; defaults to the first rule's lhs
+//! %dyncost memop             # declare a dynamic-cost function
+//!
+//! addr: reg (0)
+//! reg:  ConstI8 (1) "mov ${imm}, {dst}"
+//! reg:  AddI8(reg, reg) (1) "add {b}, {a}; mov {a}, {dst}"
+//! reg:  ConstI8 [imm8] "..."          # dynamic cost: function `imm8`
+//! ```
+//!
+//! Lowercase identifiers are nonterminals, capitalized identifiers are IR
+//! operators (`AddI8`, `LoadP`, …). A rule's cost is either a fixed
+//! `(number)` or a dynamic `[name]`; the optional trailing string is the
+//! emission template (see `odburg-codegen` for placeholder syntax).
+//! Dynamic-cost implementations are bound after parsing with
+//! [`Grammar::bind_dyncost`](crate::Grammar::bind_dyncost).
+
+use odburg_ir::Op;
+
+use crate::cost::CostExpr;
+use crate::grammar::{Grammar, GrammarBuilder, GrammarError};
+use crate::pattern::Pattern;
+
+/// Parses a grammar description.
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Parse`] with a 1-based line number for syntax
+/// errors, and the validation errors of
+/// [`GrammarBuilder::build`](crate::GrammarBuilder::build) afterwards.
+///
+/// # Examples
+///
+/// ```
+/// let g = odburg_grammar::parse_grammar(
+///     "%start reg\nreg: ConstI4 (1)\nreg: NegI4(reg) (1)\n",
+/// )?;
+/// assert_eq!(g.rules().len(), 2);
+/// # Ok::<(), odburg_grammar::GrammarError>(())
+/// ```
+pub fn parse_grammar(text: &str) -> Result<Grammar, GrammarError> {
+    let mut builder = GrammarBuilder::new("grammar");
+    let mut start_name: Option<String> = None;
+    let mut first_lhs: Option<String> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('%') {
+            parse_directive(rest, lineno, &mut builder, &mut start_name)?;
+            continue;
+        }
+        let lhs_name = parse_rule_line(line, lineno, &mut builder)?;
+        if first_lhs.is_none() {
+            first_lhs = Some(lhs_name);
+        }
+    }
+
+    let start_name = start_name.or(first_lhs).ok_or(GrammarError::Empty)?;
+    let start = builder.nt(&start_name);
+    builder.start(start).build()
+}
+
+/// Removes a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_directive(
+    rest: &str,
+    lineno: usize,
+    builder: &mut GrammarBuilder,
+    start_name: &mut Option<String>,
+) -> Result<(), GrammarError> {
+    let mut parts = rest.split_whitespace();
+    let head = parts.next().unwrap_or("");
+    let arg = parts.next();
+    let err = |message: String| GrammarError::Parse {
+        line: lineno,
+        message,
+    };
+    match head {
+        "grammar" => {
+            let name = arg.ok_or_else(|| err("%grammar needs a name".into()))?;
+            *builder = std::mem::take(builder).rename(name);
+            Ok(())
+        }
+        "start" => {
+            let name = arg.ok_or_else(|| err("%start needs a nonterminal".into()))?;
+            *start_name = Some(name.to_owned());
+            Ok(())
+        }
+        "dyncost" => {
+            let name = arg.ok_or_else(|| err("%dyncost needs a name".into()))?;
+            builder.dyncost(name);
+            Ok(())
+        }
+        other => Err(err(format!("unknown directive %{other}"))),
+    }
+}
+
+/// Parses one rule line; returns the lhs name (for the default start).
+fn parse_rule_line(
+    line: &str,
+    lineno: usize,
+    builder: &mut GrammarBuilder,
+) -> Result<String, GrammarError> {
+    let err = |message: String| GrammarError::Parse {
+        line: lineno,
+        message,
+    };
+    let colon = line
+        .find(':')
+        .ok_or_else(|| err("expected `lhs: pattern`".into()))?;
+    let lhs_name = line[..colon].trim();
+    if lhs_name.is_empty() || !lhs_name.chars().next().unwrap().is_ascii_lowercase() {
+        return Err(err(format!(
+            "left-hand side `{lhs_name}` must be a lowercase nonterminal"
+        )));
+    }
+    let rest = &line[colon + 1..];
+
+    let mut lexer = Lexer {
+        input: rest,
+        pos: 0,
+    };
+    let pattern = parse_pattern(&mut lexer, lineno, builder)?;
+
+    // Cost spec.
+    lexer.skip_ws();
+    let cost = match lexer.peek() {
+        Some('(') => {
+            lexer.bump();
+            let num = lexer.take_while(|c| c.is_ascii_digit());
+            let v: u16 = num
+                .parse()
+                .map_err(|_| err("expected a number in (cost)".into()))?;
+            lexer.skip_ws();
+            if lexer.peek() != Some(')') {
+                return Err(err("missing `)` after cost".into()));
+            }
+            lexer.bump();
+            CostExpr::Fixed(v)
+        }
+        Some('[') => {
+            lexer.bump();
+            let name = lexer.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            if name.is_empty() {
+                return Err(err("expected a dynamic-cost name in [..]".into()));
+            }
+            lexer.skip_ws();
+            if lexer.peek() != Some(']') {
+                return Err(err("missing `]` after dynamic cost".into()));
+            }
+            let name = name.to_owned();
+            lexer.bump();
+            CostExpr::Dynamic(builder.dyncost(&name))
+        }
+        _ => return Err(err("expected `(cost)` or `[dyncost]` after pattern".into())),
+    };
+
+    // Optional template.
+    lexer.skip_ws();
+    let template = match lexer.peek() {
+        Some('"') => {
+            lexer.bump();
+            let t = lexer.take_while(|c| c != '"');
+            let t = t.to_owned();
+            if lexer.peek() != Some('"') {
+                return Err(err("unterminated template string".into()));
+            }
+            lexer.bump();
+            Some(t)
+        }
+        None => None,
+        Some(c) => return Err(err(format!("unexpected `{c}` after cost"))),
+    };
+    lexer.skip_ws();
+    if lexer.peek().is_some() {
+        return Err(err("trailing input after rule".into()));
+    }
+
+    let lhs = builder.nt(lhs_name);
+    builder.rule(lhs, pattern, cost, template);
+    Ok(lhs_name.to_owned())
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .map(|c| c.is_ascii_whitespace())
+            .unwrap_or(false)
+        {
+            self.bump();
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while self.peek().map(&pred).unwrap_or(false) {
+            self.bump();
+        }
+        &self.input[start..self.pos]
+    }
+}
+
+fn parse_pattern(
+    lexer: &mut Lexer<'_>,
+    lineno: usize,
+    builder: &mut GrammarBuilder,
+) -> Result<Pattern, GrammarError> {
+    let err = |message: String| GrammarError::Parse {
+        line: lineno,
+        message,
+    };
+    lexer.skip_ws();
+    let ident = lexer.take_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ident.is_empty() {
+        return Err(err("expected a pattern".into()));
+    }
+    let first = ident.chars().next().unwrap();
+    if first.is_ascii_lowercase() {
+        // Nonterminal leaf.
+        return Ok(Pattern::nt(builder.nt(ident)));
+    }
+    // Operator.
+    let op: Op = ident
+        .parse()
+        .map_err(|e| err(format!("{e} (operators are capitalized, e.g. AddI4)")))?;
+    let mut children = Vec::new();
+    lexer.skip_ws();
+    // Only an operator with operands may be followed by a parenthesized
+    // list; for leaves a `(` starts the cost annotation instead.
+    if op.arity() > 0 && lexer.peek() == Some('(') {
+        lexer.bump();
+        loop {
+            children.push(parse_pattern(lexer, lineno, builder)?);
+            lexer.skip_ws();
+            match lexer.peek() {
+                Some(',') => {
+                    lexer.bump();
+                }
+                Some(')') => {
+                    lexer.bump();
+                    break;
+                }
+                _ => return Err(err("expected `,` or `)` in pattern".into())),
+            }
+        }
+    }
+    if children.len() != op.arity() {
+        return Err(err(format!(
+            "operator {op} expects {} operands, got {}",
+            op.arity(),
+            children.len()
+        )));
+    }
+    Ok(Pattern::Op { op, children })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostExpr;
+
+    #[test]
+    fn parses_demo_grammar() {
+        let g = parse_grammar(
+            r#"
+            %grammar demo
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1) "mov ${imm}, {dst}"
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            stmt: StoreI8(addr, AddI8(LoadI8(addr), reg)) (1)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.name(), "demo");
+        assert_eq!(g.rules().len(), 6);
+        assert_eq!(g.nt_name(g.start()), "stmt");
+        assert_eq!(g.rule(crate::RuleId(1)).template.as_deref(), Some("mov ${imm}, {dst}"));
+        assert_eq!(g.rule(crate::RuleId(5)).pattern.op_count(), 3);
+    }
+
+    #[test]
+    fn default_start_is_first_lhs() {
+        let g = parse_grammar("stmt: RetI8(reg) (1)\nreg: ConstI8 (1)\n").unwrap();
+        assert_eq!(g.nt_name(g.start()), "stmt");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_grammar(
+            "# leading comment\n\nreg: ConstI8 (1) # trailing\n  # indented comment\n",
+        )
+        .unwrap();
+        assert_eq!(g.rules().len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_template_is_not_a_comment() {
+        let g = parse_grammar("reg: ConstI8 (1) \"li #imm\"\n").unwrap();
+        assert_eq!(g.rule(crate::RuleId(0)).template.as_deref(), Some("li #imm"));
+    }
+
+    #[test]
+    fn dyncost_rules_parse() {
+        let g = parse_grammar(
+            r#"
+            %dyncost imm8
+            reg: ConstI8 [imm8]
+            reg: ConstI8 (2)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.dyncosts().len(), 1);
+        assert_eq!(g.rule(crate::RuleId(0)).cost, CostExpr::Dynamic(crate::DynCostId(0)));
+    }
+
+    #[test]
+    fn undeclared_dyncost_is_implicitly_declared() {
+        // Referencing [foo] without %dyncost declares it (bound later).
+        let g = parse_grammar("reg: ConstI8 [foo]\n").unwrap();
+        assert_eq!(g.dyncosts().len(), 1);
+        assert_eq!(g.dyncosts()[0].name, "foo");
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let e = parse_grammar("reg: ConstI8 (1)\nreg ConstI8 (1)\n").unwrap_err();
+        match e {
+            GrammarError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_errors_detected() {
+        assert!(parse_grammar("reg: AddI8(reg) (1)\n").is_err());
+        assert!(parse_grammar("reg: ConstI8(reg) (1)\n").is_err());
+    }
+
+    #[test]
+    fn bad_cost_specs_detected() {
+        assert!(parse_grammar("reg: ConstI8 (x)\n").is_err());
+        assert!(parse_grammar("reg: ConstI8 (1\n").is_err());
+        assert!(parse_grammar("reg: ConstI8 [\n").is_err());
+        assert!(parse_grammar("reg: ConstI8\n").is_err());
+        assert!(parse_grammar("reg: ConstI8 (1) \"oops\n").is_err());
+    }
+
+    #[test]
+    fn capitalized_lhs_rejected() {
+        assert!(parse_grammar("Reg: ConstI8 (1)\n").is_err());
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(parse_grammar("%frobnicate x\nreg: ConstI8 (1)\n").is_err());
+    }
+
+    #[test]
+    fn underivable_nt_from_dsl() {
+        let e = parse_grammar("reg: LoadI8(ghost) (1)\n").unwrap_err();
+        assert!(matches!(e, GrammarError::UnderivableNonterminal { .. }));
+    }
+}

@@ -1,0 +1,179 @@
+//! Rule patterns: operator trees whose leaves may be nonterminals.
+
+use std::fmt;
+
+use odburg_ir::Op;
+
+use crate::grammar::NtId;
+
+/// The right-hand side of a grammar rule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// A nonterminal leaf; matches anything derivable from it.
+    Nt(NtId),
+    /// An operator node with sub-patterns for each child.
+    Op {
+        /// The matched operator.
+        op: Op,
+        /// One sub-pattern per child, matching the operator's arity.
+        children: Vec<Pattern>,
+    },
+}
+
+impl Pattern {
+    /// A nonterminal leaf pattern.
+    pub fn nt(id: NtId) -> Self {
+        Pattern::Nt(id)
+    }
+
+    /// An operator pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children.len()` differs from `op.arity()`.
+    pub fn op(op: Op, children: Vec<Pattern>) -> Self {
+        assert_eq!(
+            children.len(),
+            op.arity(),
+            "pattern operator {op} expects {} children",
+            op.arity()
+        );
+        Pattern::Op { op, children }
+    }
+
+    /// `true` if the pattern is a single nonterminal (i.e. the rule is a
+    /// chain rule).
+    pub fn is_chain(&self) -> bool {
+        matches!(self, Pattern::Nt(_))
+    }
+
+    /// Number of operator nodes in the pattern.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Pattern::Nt(_) => 0,
+            Pattern::Op { children, .. } => {
+                1 + children.iter().map(Pattern::op_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// The nonterminal leaves, in left-to-right order.
+    pub fn nt_leaves(&self) -> Vec<NtId> {
+        let mut out = Vec::new();
+        self.collect_nts(&mut out);
+        out
+    }
+
+    fn collect_nts(&self, out: &mut Vec<NtId>) {
+        match self {
+            Pattern::Nt(n) => out.push(*n),
+            Pattern::Op { children, .. } => {
+                for c in children {
+                    c.collect_nts(out);
+                }
+            }
+        }
+    }
+
+    /// All operators mentioned in the pattern.
+    pub fn ops(&self) -> Vec<Op> {
+        let mut out = Vec::new();
+        self.collect_ops(&mut out);
+        out
+    }
+
+    fn collect_ops(&self, out: &mut Vec<Op>) {
+        if let Pattern::Op { op, children } = self {
+            out.push(*op);
+            for c in children {
+                c.collect_ops(out);
+            }
+        }
+    }
+
+    /// Writes the pattern using `names` to render nonterminals.
+    pub fn display<'a>(&'a self, names: &'a [String]) -> PatternDisplay<'a> {
+        PatternDisplay {
+            pattern: self,
+            names,
+        }
+    }
+}
+
+/// Helper returned by [`Pattern::display`].
+#[derive(Debug)]
+pub struct PatternDisplay<'a> {
+    pattern: &'a Pattern,
+    names: &'a [String],
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_pattern(f, self.pattern, self.names)
+    }
+}
+
+fn write_pattern(f: &mut fmt::Formatter<'_>, p: &Pattern, names: &[String]) -> fmt::Result {
+    match p {
+        Pattern::Nt(n) => write!(f, "{}", names[n.0 as usize]),
+        Pattern::Op { op, children } => {
+            write!(f, "{op}")?;
+            if !children.is_empty() {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write_pattern(f, c, names)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_ir::{OpKind, TypeTag};
+
+    fn add8() -> Op {
+        Op::new(OpKind::Add, TypeTag::I8)
+    }
+
+    #[test]
+    fn counts_and_leaves() {
+        let p = Pattern::op(
+            add8(),
+            vec![
+                Pattern::nt(NtId(0)),
+                Pattern::op(
+                    Op::new(OpKind::Load, TypeTag::I8),
+                    vec![Pattern::nt(NtId(1))],
+                ),
+            ],
+        );
+        assert_eq!(p.op_count(), 2);
+        assert_eq!(p.nt_leaves(), vec![NtId(0), NtId(1)]);
+        assert_eq!(p.ops().len(), 2);
+        assert!(!p.is_chain());
+        assert!(Pattern::nt(NtId(3)).is_chain());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 children")]
+    fn arity_checked() {
+        Pattern::op(add8(), vec![Pattern::nt(NtId(0))]);
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let names = vec!["reg".to_owned(), "addr".to_owned()];
+        let p = Pattern::op(
+            add8(),
+            vec![Pattern::nt(NtId(0)), Pattern::nt(NtId(1))],
+        );
+        assert_eq!(p.display(&names).to_string(), "AddI8(reg, addr)");
+    }
+}

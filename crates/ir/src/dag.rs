@@ -1,0 +1,169 @@
+//! DAG construction: hash-consed (value-numbered) node building.
+//!
+//! Tree parsing extends to DAGs while still using tree grammars [Ertl
+//! 1999]: the labeler already processes the arena in topological order,
+//! so shared nodes are labeled once; the reducer visits each
+//! (node, nonterminal) derivation once and reuses its result. What is
+//! needed is a way to *build* DAGs — [`CseBuilder`] interns structurally
+//! identical nodes (classic local value numbering), and [`cse_forest`]
+//! rebuilds an existing forest with sharing.
+//!
+//! Sharing loads across stores changes semantics; the IR client decides
+//! where sharing is sound (for labeling benchmarks, everywhere).
+
+use std::collections::HashMap;
+
+use crate::forest::Forest;
+use crate::node::{NodeId, Payload};
+use crate::op::Op;
+
+/// A hash-consing layer over [`Forest::push`]: structurally identical
+/// nodes are created once.
+///
+/// # Examples
+///
+/// ```
+/// use odburg_ir::{CseBuilder, Forest, Op, OpKind, Payload, TypeTag};
+///
+/// let mut f = Forest::new();
+/// let mut cse = CseBuilder::new();
+/// let op = Op::new(OpKind::Const, TypeTag::I8);
+/// let a = cse.push(&mut f, op, &[], Payload::Int(1));
+/// let b = cse.push(&mut f, op, &[], Payload::Int(1));
+/// assert_eq!(a, b);
+/// assert_eq!(f.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CseBuilder {
+    interned: HashMap<(Op, [NodeId; 2], u8, Payload), NodeId>,
+}
+
+impl CseBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        CseBuilder::default()
+    }
+
+    /// Creates the node, or returns the existing identical one.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Forest::push`] on arity mismatches.
+    pub fn push(
+        &mut self,
+        forest: &mut Forest,
+        op: Op,
+        children: &[NodeId],
+        payload: Payload,
+    ) -> NodeId {
+        let mut kids = [NodeId(0); 2];
+        kids[..children.len()].copy_from_slice(children);
+        let key = (op, kids, children.len() as u8, payload);
+        if let Some(&id) = self.interned.get(&key) {
+            return id;
+        }
+        let id = forest.push(op, children, payload);
+        self.interned.insert(key, id);
+        id
+    }
+
+    /// Number of distinct nodes interned.
+    pub fn len(&self) -> usize {
+        self.interned.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.interned.is_empty()
+    }
+}
+
+/// Rebuilds a forest with maximal structural sharing (within and across
+/// trees). Roots are preserved in order; symbols are re-interned.
+pub fn cse_forest(src: &Forest) -> Forest {
+    let mut dst = Forest::new();
+    let mut cse = CseBuilder::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(src.len());
+    for (_, node) in src.iter() {
+        let children: Vec<NodeId> = node.children().iter().map(|c| map[c.index()]).collect();
+        let payload = match node.payload() {
+            Payload::Sym(s) => Payload::Sym(dst.intern(src.symbol(s))),
+            p => p,
+        };
+        map.push(cse.push(&mut dst, node.op(), &children, payload));
+    }
+    for &root in src.roots() {
+        dst.add_root(map[root.index()]);
+    }
+    dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sexpr::parse_sexpr;
+
+    #[test]
+    fn rmw_addresses_share_one_node() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(
+            &mut f,
+            "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))",
+        )
+        .unwrap();
+        f.add_root(root);
+        assert_eq!(f.len(), 6);
+        let dag = cse_forest(&f);
+        // The two AddrLocalP @x nodes collapse into one.
+        assert_eq!(dag.len(), 5);
+        let store = dag.node(dag.roots()[0]);
+        let add = dag.node(store.child(1));
+        let load = dag.node(add.child(0));
+        assert_eq!(store.child(0), load.child(0), "shared address node");
+    }
+
+    #[test]
+    fn sharing_crosses_tree_boundaries() {
+        let mut f = Forest::new();
+        let r1 = parse_sexpr(&mut f, "(RetI8 (AddI8 (ConstI8 1) (ConstI8 2)))").unwrap();
+        let r2 = parse_sexpr(&mut f, "(RetI8 (AddI8 (ConstI8 1) (ConstI8 2)))").unwrap();
+        f.add_root(r1);
+        f.add_root(r2);
+        let dag = cse_forest(&f);
+        // Everything except the two Ret roots is shared… and the Rets are
+        // identical too, so they also merge into one node with two root
+        // registrations.
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.roots().len(), 2);
+        assert_eq!(dag.roots()[0], dag.roots()[1]);
+    }
+
+    #[test]
+    fn different_payloads_do_not_share() {
+        let mut f = Forest::new();
+        let mut cse = CseBuilder::new();
+        let op = Op::new(crate::OpKind::Const, crate::TypeTag::I8);
+        let a = cse.push(&mut f, op, &[], Payload::Int(1));
+        let b = cse.push(&mut f, op, &[], Payload::Int(2));
+        assert_ne!(a, b);
+        assert_eq!(cse.len(), 2);
+    }
+
+    #[test]
+    fn topological_order_preserved() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(
+            &mut f,
+            "(AddI8 (MulI8 (ConstI8 3) (ConstI8 3)) (MulI8 (ConstI8 3) (ConstI8 3)))",
+        )
+        .unwrap();
+        f.add_root(root);
+        let dag = cse_forest(&f);
+        assert_eq!(dag.len(), 3); // const, mul, add
+        for (id, node) in dag.iter() {
+            for &c in node.children() {
+                assert!(c < id);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Typed expression-tree intermediate representation (IR) for the `odburg`
+//! instruction-selection library.
+//!
+//! The IR mirrors the shape of classic tree-parsing compiler IRs (lcc's
+//! operator set is the model): every node carries an [`Op`] — an operator
+//! kind such as `Add` or `Load` combined with a type tag such as `I4` — up
+//! to two children, and an optional [`Payload`] (an integer constant, a
+//! float, or an interned symbol).
+//!
+//! Nodes live in a [`Forest`]: a flat arena in which children are always
+//! created before their parents, so the arena order is a topological order
+//! and a labeler can process all nodes bottom-up with a single linear scan.
+//!
+//! # Examples
+//!
+//! Build the running example of the paper family, `Store(addr, Plus(Load
+//! (addr), reg))`:
+//!
+//! ```
+//! use odburg_ir::{Forest, Op, OpKind, Payload, TypeTag};
+//!
+//! let mut f = Forest::new();
+//! let x = f.intern("x");
+//! let addr1 = f.leaf(Op::new(OpKind::AddrLocal, TypeTag::P), Payload::Sym(x));
+//! let load = f.unary(Op::new(OpKind::Load, TypeTag::I8), addr1);
+//! let c = f.leaf(Op::new(OpKind::Const, TypeTag::I8), Payload::Int(5));
+//! let add = f.binary(Op::new(OpKind::Add, TypeTag::I8), load, c);
+//! let addr2 = f.leaf(Op::new(OpKind::AddrLocal, TypeTag::P), Payload::Sym(x));
+//! let store = f.binary(Op::new(OpKind::Store, TypeTag::I8), addr2, add);
+//! f.add_root(store);
+//! assert_eq!(f.len(), 6);
+//! ```
+
+mod dag;
+mod forest;
+mod node;
+mod op;
+mod sexpr;
+mod traverse;
+
+pub use dag::{cse_forest, CseBuilder};
+pub use forest::{Forest, SymId};
+pub use node::{Node, NodeId, Payload};
+pub use op::{Op, OpId, OpKind, ParseOpError, TypeTag, ALL_KINDS, ALL_TYPE_TAGS, NUM_OPS};
+pub use sexpr::{parse_sexpr, to_sexpr, write_sexpr, SexprError};
+pub use traverse::{postorder, subtree_size, ForestStats};

@@ -1,0 +1,131 @@
+//! Nodes of the IR forest.
+
+use std::fmt;
+
+use crate::forest::SymId;
+use crate::op::Op;
+
+/// Index of a node inside a [`Forest`](crate::Forest).
+///
+/// Node ids are dense and topologically ordered: a node's children always
+/// have smaller ids than the node itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Immediate data attached to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Payload {
+    /// No payload.
+    #[default]
+    None,
+    /// An integer constant.
+    Int(i64),
+    /// A float constant, stored as raw bits so nodes stay `Eq`-comparable.
+    FloatBits(u64),
+    /// An interned symbol (variable, global, or label name).
+    Sym(SymId),
+}
+
+impl Payload {
+    /// The integer value, if this payload is an [`Payload::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Payload::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The symbol, if this payload is a [`Payload::Sym`].
+    pub fn as_sym(self) -> Option<SymId> {
+        match self {
+            Payload::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A single IR node: an operator, up to two children, and a payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    op: Op,
+    children: [NodeId; 2],
+    n_children: u8,
+    payload: Payload,
+}
+
+impl Node {
+    pub(crate) fn new(op: Op, children: &[NodeId], payload: Payload) -> Self {
+        debug_assert!(children.len() <= 2);
+        let mut kids = [NodeId(0); 2];
+        kids[..children.len()].copy_from_slice(children);
+        Node {
+            op,
+            children: kids,
+            n_children: children.len() as u8,
+            payload,
+        }
+    }
+
+    /// The node's operator.
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// The node's children, in order.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children[..self.n_children as usize]
+    }
+
+    /// The `i`-th child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not less than the node's arity.
+    pub fn child(&self, i: usize) -> NodeId {
+        self.children()[i]
+    }
+
+    /// The node's payload.
+    pub fn payload(&self) -> Payload {
+        self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, TypeTag};
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new(
+            Op::new(OpKind::Add, TypeTag::I4),
+            &[NodeId(1), NodeId(2)],
+            Payload::None,
+        );
+        assert_eq!(n.children(), &[NodeId(1), NodeId(2)]);
+        assert_eq!(n.child(1), NodeId(2));
+        assert_eq!(n.op().kind, OpKind::Add);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        assert_eq!(Payload::Int(7).as_int(), Some(7));
+        assert_eq!(Payload::None.as_int(), None);
+        assert_eq!(Payload::Sym(SymId(3)).as_sym(), Some(SymId(3)));
+        assert_eq!(Payload::Int(1).as_sym(), None);
+    }
+}

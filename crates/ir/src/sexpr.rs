@@ -1,0 +1,259 @@
+//! S-expression syntax for IR trees, used by tests, the CLI, and examples.
+//!
+//! Grammar (whitespace-separated):
+//!
+//! ```text
+//! tree    ::= "(" op payload? tree* ")" | op payload?     (leaves may omit parens)
+//! payload ::= integer | "#" float | "@" symbol
+//! ```
+//!
+//! Example: `(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) 5))`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::forest::Forest;
+use crate::node::{NodeId, Payload};
+use crate::op::Op;
+
+/// Error produced by [`parse_sexpr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SexprError {
+    message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl SexprError {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        SexprError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for SexprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl Error for SexprError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn token(&mut self) -> &'a str {
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len()
+            && !bytes[self.pos].is_ascii_whitespace()
+            && bytes[self.pos] != b'('
+            && bytes[self.pos] != b')'
+        {
+            self.pos += 1;
+        }
+        &self.input[start..self.pos]
+    }
+
+    fn parse_tree(&mut self, forest: &mut Forest) -> Result<NodeId, SexprError> {
+        self.skip_ws();
+        let parenthesized = self.peek() == Some(b'(');
+        if parenthesized {
+            self.pos += 1;
+            self.skip_ws();
+        }
+        let op_start = self.pos;
+        let op_tok = self.token();
+        if op_tok.is_empty() {
+            return Err(SexprError::new("expected operator name", self.pos));
+        }
+        let op: Op = op_tok
+            .parse()
+            .map_err(|e| SexprError::new(format!("{e}"), op_start))?;
+
+        self.skip_ws();
+        // Optional payload token.
+        let mut payload = Payload::None;
+        if let Some(c) = self.peek() {
+            if c == b'@' {
+                self.pos += 1;
+                let name = self.token();
+                if name.is_empty() {
+                    return Err(SexprError::new("expected symbol name after `@`", self.pos));
+                }
+                payload = Payload::Sym(forest.intern(name));
+            } else if c == b'#' {
+                self.pos += 1;
+                let start = self.pos;
+                let tok = self.token();
+                let v: f64 = tok
+                    .parse()
+                    .map_err(|_| SexprError::new("invalid float payload", start))?;
+                payload = Payload::FloatBits(v.to_bits());
+            } else if c == b'-' || c.is_ascii_digit() {
+                let start = self.pos;
+                let tok = self.token();
+                let v: i64 = tok
+                    .parse()
+                    .map_err(|_| SexprError::new("invalid integer payload", start))?;
+                payload = Payload::Int(v);
+            }
+        }
+
+        let mut children = Vec::new();
+        if parenthesized {
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(_) => children.push(self.parse_tree(forest)?),
+                    None => return Err(SexprError::new("missing `)`", self.pos)),
+                }
+            }
+        }
+        if children.len() != op.arity() {
+            return Err(SexprError::new(
+                format!(
+                    "operator {op} expects {} children, got {}",
+                    op.arity(),
+                    children.len()
+                ),
+                op_start,
+            ));
+        }
+        Ok(forest.push(op, &children, payload))
+    }
+}
+
+/// Parses one s-expression tree into `forest` and returns its root.
+///
+/// The root is **not** registered with [`Forest::add_root`]; callers decide.
+///
+/// # Errors
+///
+/// Returns [`SexprError`] on malformed input, unknown operators, or arity
+/// mismatches.
+///
+/// # Examples
+///
+/// ```
+/// use odburg_ir::{parse_sexpr, Forest};
+///
+/// let mut f = Forest::new();
+/// let root = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (ConstI8 2))")?;
+/// assert_eq!(f.node(root).children().len(), 2);
+/// # Ok::<(), odburg_ir::SexprError>(())
+/// ```
+pub fn parse_sexpr(forest: &mut Forest, input: &str) -> Result<NodeId, SexprError> {
+    let mut p = Parser { input, pos: 0 };
+    let id = p.parse_tree(forest)?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(SexprError::new("trailing input", p.pos));
+    }
+    Ok(id)
+}
+
+/// Writes the subtree rooted at `id` as an s-expression.
+pub fn write_sexpr(
+    out: &mut dyn fmt::Write,
+    forest: &Forest,
+    id: NodeId,
+) -> fmt::Result {
+    let node = forest.node(id);
+    write!(out, "({}", node.op())?;
+    match node.payload() {
+        Payload::None => {}
+        Payload::Int(v) => write!(out, " {v}")?,
+        Payload::FloatBits(b) => write!(out, " #{}", f64::from_bits(b))?,
+        Payload::Sym(s) => write!(out, " @{}", forest.symbol(s))?,
+    }
+    for &c in node.children() {
+        write!(out, " ")?;
+        write_sexpr(out, forest, c)?;
+    }
+    write!(out, ")")?;
+    Ok(())
+}
+
+/// Renders the subtree rooted at `id` as an s-expression string.
+pub fn to_sexpr(forest: &Forest, id: NodeId) -> String {
+    let mut s = String::new();
+    write_sexpr(&mut s, forest, id).expect("write to String cannot fail");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, TypeTag};
+
+    #[test]
+    fn parse_simple_add() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (ConstI8 -2))").unwrap();
+        let n = f.node(root);
+        assert_eq!(n.op(), Op::new(OpKind::Add, TypeTag::I8));
+        assert_eq!(f.node(n.child(1)).payload().as_int(), Some(-2));
+    }
+
+    #[test]
+    fn parse_symbols_and_nesting() {
+        let mut f = Forest::new();
+        let src = "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))";
+        let root = parse_sexpr(&mut f, src).unwrap();
+        assert_eq!(to_sexpr(&f, root), src);
+        // Both @x payloads intern to the same symbol.
+        let store = f.node(root);
+        let a1 = f.node(store.child(0)).payload().as_sym().unwrap();
+        let add = f.node(store.child(1));
+        let load = f.node(add.child(0));
+        let a2 = f.node(load.child(0)).payload().as_sym().unwrap();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn leaves_may_omit_parens() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(NegI4 (ConstI4 3))").unwrap();
+        let root2 = parse_sexpr(&mut f, "(NegI4 ConstI4 3)").unwrap();
+        // Second form: leaf without parens but payload binds to... the leaf.
+        assert_eq!(to_sexpr(&f, root), to_sexpr(&f, root2));
+    }
+
+    #[test]
+    fn float_payload_round_trips() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "ConstF8 #2.5").unwrap();
+        assert_eq!(to_sexpr(&f, root), "(ConstF8 #2.5)");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut f = Forest::new();
+        assert!(parse_sexpr(&mut f, "(AddI8 (ConstI8 1))").is_err());
+        assert!(parse_sexpr(&mut f, "(WeirdOp)").is_err());
+        assert!(parse_sexpr(&mut f, "(AddI8 ConstI8 1 ConstI8 2").is_err());
+        assert!(parse_sexpr(&mut f, "").is_err());
+        assert!(parse_sexpr(&mut f, "ConstI8 1 garbage").is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Tree traversal helpers and forest statistics.
+
+use std::collections::HashMap;
+
+use crate::forest::Forest;
+use crate::node::NodeId;
+use crate::op::{Op, OpKind};
+
+/// Returns the nodes of the subtree rooted at `root` in postorder
+/// (children before parents, left to right).
+///
+/// # Examples
+///
+/// ```
+/// use odburg_ir::{parse_sexpr, postorder, Forest};
+///
+/// let mut f = Forest::new();
+/// let root = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (NegI8 (ConstI8 2)))")?;
+/// let order = postorder(&f, root);
+/// assert_eq!(order.len(), 4);
+/// assert_eq!(*order.last().unwrap(), root);
+/// # Ok::<(), odburg_ir::SexprError>(())
+/// ```
+pub fn postorder(forest: &Forest, root: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    // Explicit stack: (node, next child index to visit).
+    let mut stack = vec![(root, 0usize)];
+    while let Some((id, idx)) = stack.pop() {
+        let node = forest.node(id);
+        if idx < node.children().len() {
+            stack.push((id, idx + 1));
+            stack.push((node.child(idx), 0));
+        } else {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Number of nodes in the subtree rooted at `root`.
+pub fn subtree_size(forest: &Forest, root: NodeId) -> usize {
+    postorder(forest, root).len()
+}
+
+/// Aggregate statistics over a forest, useful for characterizing workloads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForestStats {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Number of registered tree roots.
+    pub trees: usize,
+    /// Maximum tree depth over all roots.
+    pub max_depth: usize,
+    /// Node count per operator.
+    pub op_histogram: HashMap<Op, usize>,
+}
+
+impl ForestStats {
+    /// Computes statistics for `forest`.
+    pub fn compute(forest: &Forest) -> Self {
+        let mut stats = ForestStats {
+            nodes: forest.len(),
+            trees: forest.roots().len(),
+            ..ForestStats::default()
+        };
+        for (_, node) in forest.iter() {
+            *stats.op_histogram.entry(node.op()).or_insert(0) += 1;
+        }
+        for &root in forest.roots() {
+            stats.max_depth = stats.max_depth.max(depth(forest, root));
+        }
+        stats
+    }
+
+    /// Number of leaf nodes (arity-0 operators).
+    pub fn leaves(&self) -> usize {
+        self.op_histogram
+            .iter()
+            .filter(|(op, _)| op.arity() == 0)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Number of statement-rooted operators (stores, branches, …).
+    pub fn statements(&self) -> usize {
+        self.op_histogram
+            .iter()
+            .filter(|(op, _)| op.kind.is_statement() || op.kind == OpKind::Label)
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+fn depth(forest: &Forest, root: NodeId) -> usize {
+    let mut max = 1;
+    let mut stack = vec![(root, 1usize)];
+    while let Some((id, d)) = stack.pop() {
+        max = max.max(d);
+        for &c in forest.node(id).children() {
+            stack.push((c, d + 1));
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_sexpr;
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(
+            &mut f,
+            "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))",
+        )
+        .unwrap();
+        let order = postorder(&f, root);
+        assert_eq!(order.len(), 6);
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &id in &order {
+            for &c in f.node(id).children() {
+                assert!(pos[&c] < pos[&id], "child after parent");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_ops_and_depth() {
+        let mut f = Forest::new();
+        let r1 = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (ConstI8 2))").unwrap();
+        let r2 = parse_sexpr(&mut f, "(NegI8 (NegI8 (NegI8 (ConstI8 7))))").unwrap();
+        f.add_root(r1);
+        f.add_root(r2);
+        let stats = ForestStats::compute(&f);
+        assert_eq!(stats.nodes, 7);
+        assert_eq!(stats.trees, 2);
+        assert_eq!(stats.max_depth, 4);
+        assert_eq!(stats.leaves(), 3);
+    }
+
+    #[test]
+    fn subtree_size_counts() {
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(MulI4 (ConstI4 3) (ConstI4 4))").unwrap();
+        assert_eq!(subtree_size(&f, root), 3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workloads for the instruction-selection experiments.
+//!
+//! Two sources, mirroring the paper family's setup:
+//!
+//! * **Programs** — the MiniC benchmark suite
+//!   ([`odburg_frontend::programs`]) compiled to IR forests; these play
+//!   the role of the SPEC/CACAO inputs.
+//! * **Random trees** — sampled *from the grammar itself*
+//!   ([`TreeSampler`]): derivations are generated top-down by picking
+//!   rules at random, so every sampled tree is guaranteed to be
+//!   labelable, with payloads randomized to exercise the dynamic-cost
+//!   rules (immediate widths, scale factors). Random trees stress the
+//!   automata with much more shape diversity than compiler output.
+
+mod sampler;
+mod suite;
+
+pub use sampler::{SamplerConfig, TreeSampler};
+pub use suite::{combined_workload, program_workloads, random_workload, replicate, Workload};

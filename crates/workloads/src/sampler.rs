@@ -1,0 +1,272 @@
+//! Grammar-driven random tree generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use odburg_grammar::analysis::min_depths;
+use odburg_grammar::{NormalGrammar, NormalRhs, NormalRuleId, NtId};
+use odburg_ir::{Forest, NodeId, Op, OpKind, Payload, TypeTag};
+
+/// Configuration for [`TreeSampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Approximate maximum tree depth.
+    pub max_depth: usize,
+    /// Number of distinct symbols used for address payloads.
+    pub symbol_pool: u32,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            max_depth: 10,
+            symbol_pool: 12,
+        }
+    }
+}
+
+/// Samples random labelable trees by running the grammar's derivations
+/// top-down with random rule choices.
+///
+/// Only fixed-cost rules are used for structure (dynamic-cost rules have
+/// no guaranteed applicability), but the randomized payloads exercise the
+/// dynamic-cost rules in the labelers.
+///
+/// # Examples
+///
+/// ```
+/// use odburg_grammar::parse_grammar;
+/// use odburg_ir::Forest;
+/// use odburg_workloads::TreeSampler;
+///
+/// let g = parse_grammar("%start reg\nreg: ConstI8 (1)\nreg: AddI8(reg, reg) (1)\n")?;
+/// let normal = g.normalize();
+/// let mut sampler = TreeSampler::new(&normal, 42);
+/// let mut forest = Forest::new();
+/// let root = sampler.sample_tree(&mut forest);
+/// forest.add_root(root);
+/// assert!(forest.len() >= 1);
+/// # Ok::<(), odburg_grammar::GrammarError>(())
+/// ```
+#[derive(Debug)]
+pub struct TreeSampler<'g> {
+    grammar: &'g NormalGrammar,
+    config: SamplerConfig,
+    rng: StdRng,
+    depths: Vec<Option<usize>>,
+    fixed_rules_by_lhs: Vec<Vec<NormalRuleId>>,
+}
+
+impl<'g> TreeSampler<'g> {
+    /// Creates a sampler with the default configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grammar's start nonterminal cannot derive any tree
+    /// using fixed-cost rules (nothing could be sampled).
+    pub fn new(grammar: &'g NormalGrammar, seed: u64) -> Self {
+        Self::with_config(grammar, seed, SamplerConfig::default())
+    }
+
+    /// Creates a sampler with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// See [`TreeSampler::new`].
+    pub fn with_config(grammar: &'g NormalGrammar, seed: u64, config: SamplerConfig) -> Self {
+        let depths = min_depths(grammar);
+        assert!(
+            depths[grammar.start().0 as usize].is_some(),
+            "grammar `{}` cannot derive a tree from its start symbol with fixed-cost rules",
+            grammar.name()
+        );
+        let mut fixed_rules_by_lhs = vec![Vec::new(); grammar.num_nts()];
+        for rule in grammar.rules() {
+            if !rule.cost.is_dynamic() {
+                fixed_rules_by_lhs[rule.lhs.0 as usize].push(rule.id);
+            }
+        }
+        TreeSampler {
+            grammar,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            depths,
+            fixed_rules_by_lhs,
+        }
+    }
+
+    /// Samples one tree from the start nonterminal into `forest` and
+    /// returns its root (not yet registered as a forest root).
+    pub fn sample_tree(&mut self, forest: &mut Forest) -> NodeId {
+        let budget = self
+            .config
+            .max_depth
+            .max(self.min_rule_depth_needed(self.grammar.start()) + 2);
+        self.sample_nt(forest, self.grammar.start(), budget)
+    }
+
+    /// Samples `n` trees, registering each as a forest root.
+    pub fn sample_forest(&mut self, n: usize) -> Forest {
+        let mut forest = Forest::new();
+        for _ in 0..n {
+            let root = self.sample_tree(&mut forest);
+            forest.add_root(root);
+        }
+        forest
+    }
+
+    fn min_rule_depth_needed(&self, nt: NtId) -> usize {
+        self.depths[nt.0 as usize].unwrap_or(usize::MAX / 4)
+    }
+
+    /// Completion depth of a rule: how deep a tree it needs at minimum.
+    fn rule_depth(&self, rule: NormalRuleId) -> usize {
+        match &self.grammar.rule(rule).rhs {
+            NormalRhs::Base { operands, .. } => {
+                1 + operands
+                    .iter()
+                    .map(|&nt| self.min_rule_depth_needed(nt))
+                    .max()
+                    .unwrap_or(0)
+            }
+            NormalRhs::Chain { from } => 1 + self.min_rule_depth_needed(*from),
+        }
+    }
+
+    fn sample_nt(&mut self, forest: &mut Forest, nt: NtId, budget: usize) -> NodeId {
+        let candidates = &self.fixed_rules_by_lhs[nt.0 as usize];
+        debug_assert!(!candidates.is_empty(), "underivable nt sampled");
+        // Prefer a uniformly random rule that still fits the depth
+        // budget; otherwise fall back to a shallowest rule (terminates
+        // because base rules are preferred on ties).
+        let fitting: Vec<NormalRuleId> = candidates
+            .iter()
+            .copied()
+            .filter(|&r| self.rule_depth(r) <= budget)
+            .collect();
+        let rule_id = if fitting.is_empty() {
+            *candidates
+                .iter()
+                .min_by_key(|&&r| {
+                    let chain_penalty = self.grammar.rule(r).is_chain() as usize;
+                    self.rule_depth(r) * 2 + chain_penalty
+                })
+                .expect("candidates nonempty")
+        } else {
+            fitting[self.rng.gen_range(0..fitting.len())]
+        };
+
+        match self.grammar.rule(rule_id).rhs.clone() {
+            NormalRhs::Chain { from } => self.sample_nt(forest, from, budget.saturating_sub(1)),
+            NormalRhs::Base { op, operands } => {
+                let children: Vec<NodeId> = operands
+                    .iter()
+                    .map(|&o| self.sample_nt(forest, o, budget.saturating_sub(1)))
+                    .collect();
+                let payload = self.payload_for(forest, op);
+                forest.push(op, &children, payload)
+            }
+        }
+    }
+
+    /// A plausible random payload for an operator.
+    fn payload_for(&mut self, forest: &mut Forest, op: Op) -> Payload {
+        match op.kind {
+            OpKind::Const => {
+                if op.ty == TypeTag::F4 || op.ty == TypeTag::F8 {
+                    let v: f64 = self.rng.gen_range(-1000.0..1000.0);
+                    return Payload::FloatBits(v.to_bits());
+                }
+                // Mix immediate widths so the imm8/imm13/imm16/imm32
+                // dynamic rules all fire sometimes, plus scale-friendly
+                // small powers of two.
+                let v = match self.rng.gen_range(0..100) {
+                    0..=14 => *[1i64, 2, 4, 8].get(self.rng.gen_range(0..4)).unwrap(),
+                    15..=49 => self.rng.gen_range(-128..128),
+                    50..=69 => self.rng.gen_range(-4096..4096),
+                    70..=84 => self.rng.gen_range(-32768..32768),
+                    85..=94 => self.rng.gen_range(-(1i64 << 31)..(1i64 << 31)),
+                    _ => self.rng.gen_range(i64::MIN / 2..i64::MAX / 2),
+                };
+                Payload::Int(v)
+            }
+            OpKind::AddrGlobal | OpKind::AddrFrame | OpKind::AddrLocal => {
+                let k = self.rng.gen_range(0..self.config.symbol_pool);
+                Payload::Sym(forest.intern(&format!("g{k}")))
+            }
+            OpKind::Label | OpKind::Jump => {
+                let k = self.rng.gen_range(0..self.config.symbol_pool);
+                Payload::Sym(forest.intern(&format!("L{k}")))
+            }
+            OpKind::BrEq
+            | OpKind::BrNe
+            | OpKind::BrLt
+            | OpKind::BrLe
+            | OpKind::BrGt
+            | OpKind::BrGe => {
+                let k = self.rng.gen_range(0..self.config.symbol_pool);
+                Payload::Sym(forest.intern(&format!("L{k}")))
+            }
+            _ => Payload::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_grammar::parse_grammar;
+
+    const DEMO: &str = r#"
+        %start stmt
+        addr: reg (0)
+        reg: ConstI8 (1)
+        reg: LoadI8(addr) (1)
+        reg: AddI8(reg, reg) (1)
+        stmt: StoreI8(addr, reg) (1)
+    "#;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let g = parse_grammar(DEMO).unwrap().normalize();
+        let f1 = TreeSampler::new(&g, 7).sample_forest(20);
+        let f2 = TreeSampler::new(&g, 7).sample_forest(20);
+        assert_eq!(f1.len(), f2.len());
+        assert_eq!(f1.to_string(), f2.to_string());
+        let f3 = TreeSampler::new(&g, 8).sample_forest(20);
+        assert_ne!(f1.to_string(), f3.to_string());
+    }
+
+    #[test]
+    fn depth_budget_bounds_trees() {
+        let g = parse_grammar(DEMO).unwrap().normalize();
+        let mut s = TreeSampler::with_config(
+            &g,
+            1,
+            SamplerConfig {
+                max_depth: 5,
+                symbol_pool: 4,
+            },
+        );
+        let f = s.sample_forest(50);
+        let stats = odburg_ir::ForestStats::compute(&f);
+        assert!(stats.max_depth <= 7, "depth {}", stats.max_depth);
+    }
+
+    #[test]
+    fn trees_start_with_stmt_ops() {
+        let g = parse_grammar(DEMO).unwrap().normalize();
+        let mut s = TreeSampler::new(&g, 3);
+        let f = s.sample_forest(10);
+        for &root in f.roots() {
+            assert_eq!(f.node(root).op().kind, OpKind::Store);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot derive")]
+    fn dynamic_only_grammar_panics() {
+        let g = parse_grammar("%start a\na: ConstI8 [dc]\n").unwrap().normalize();
+        let _ = TreeSampler::new(&g, 0);
+    }
+}

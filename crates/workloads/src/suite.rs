@@ -1,0 +1,124 @@
+//! Named workloads combining MiniC programs and random trees.
+
+use odburg_frontend::programs;
+use odburg_grammar::NormalGrammar;
+use odburg_ir::Forest;
+
+use crate::sampler::{SamplerConfig, TreeSampler};
+
+/// A named IR workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// The IR forest to label.
+    pub forest: Forest,
+}
+
+impl Workload {
+    /// Number of IR nodes.
+    pub fn nodes(&self) -> usize {
+        self.forest.len()
+    }
+}
+
+/// One workload per built-in MiniC benchmark program.
+pub fn program_workloads() -> Vec<Workload> {
+    programs::all()
+        .iter()
+        .map(|p| Workload {
+            name: p.name.to_owned(),
+            forest: p.compile().expect("built-in programs compile"),
+        })
+        .collect()
+}
+
+/// The whole MiniC suite as one forest.
+pub fn combined_workload() -> Workload {
+    Workload {
+        name: "suite".to_owned(),
+        forest: programs::combined_forest().expect("built-in programs compile"),
+    }
+}
+
+/// A random workload of `trees` trees sampled from `grammar`.
+pub fn random_workload(grammar: &NormalGrammar, seed: u64, trees: usize) -> Workload {
+    let mut sampler = TreeSampler::with_config(
+        grammar,
+        seed,
+        SamplerConfig {
+            max_depth: 12,
+            symbol_pool: 16,
+        },
+    );
+    Workload {
+        name: format!("random-{}-{seed}", grammar.name()),
+        forest: sampler.sample_forest(trees),
+    }
+}
+
+/// Concatenates `times` copies of a forest — the cheap way to simulate a
+/// long compilation session from a small suite.
+pub fn replicate(forest: &Forest, times: usize) -> Forest {
+    let mut out = Forest::new();
+    for _ in 0..times {
+        out.append(forest);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_workloads_cover_suite() {
+        let w = program_workloads();
+        assert!(w.len() >= 12);
+        assert!(w.iter().all(|w| w.nodes() > 0));
+    }
+
+    #[test]
+    fn replicate_multiplies_nodes() {
+        let w = combined_workload();
+        let r = replicate(&w.forest, 3);
+        assert_eq!(r.len(), w.nodes() * 3);
+        assert_eq!(r.roots().len(), w.forest.roots().len() * 3);
+    }
+
+    #[test]
+    fn random_workloads_sample_from_targets() {
+        for g in odburg_targets::all() {
+            let normal = g.normalize();
+            let w = random_workload(&normal, 11, 50);
+            assert!(w.nodes() >= 50, "{}: {} nodes", w.name, w.nodes());
+        }
+    }
+
+    #[test]
+    fn every_target_labels_every_program() {
+        use odburg_core::Labeler;
+        // The cross-product smoke test: all grammars must cover the whole
+        // MiniC op stream.
+        let suite = combined_workload();
+        for g in odburg_targets::all().into_iter().skip(1) {
+            // demo covers only the RMW example, skip it.
+            let normal = std::sync::Arc::new(g.normalize());
+            let mut dp = odburg_dp::DpLabeler::new(normal);
+            dp.label_forest(&suite.forest)
+                .unwrap_or_else(|e| panic!("grammar {} failed: {e}", g.name()));
+        }
+    }
+
+    #[test]
+    fn every_target_labels_its_random_workload() {
+        use odburg_core::Labeler;
+        for g in odburg_targets::all() {
+            let normal = std::sync::Arc::new(g.normalize());
+            let w = random_workload(&normal, 5, 100);
+            let mut dp = odburg_dp::DpLabeler::new(normal);
+            dp.label_forest(&w.forest)
+                .unwrap_or_else(|e| panic!("grammar {} failed: {e}", g.name()));
+        }
+    }
+}

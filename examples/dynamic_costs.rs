@@ -1,0 +1,98 @@
+//! Dynamic costs in action — the flexibility an offline automaton cannot
+//! offer.
+//!
+//! The same tree *shape* selects different instructions depending on
+//! selection-time properties of the tree: immediate widths, and whether a
+//! store's value reads the stored-to address (read-modify-write).
+//! The example also shows what is lost when the dynamic rules are
+//! stripped, which is exactly the burg/offline-automaton situation.
+//!
+//! Run with: `cargo run --example dynamic_costs`
+
+use std::sync::Arc;
+
+use odburg::prelude::*;
+
+fn show(
+    normal: &Arc<NormalGrammar>,
+    automaton: &mut OnDemandAutomaton,
+    title: &str,
+    src: &str,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut forest = Forest::new();
+    let root = parse_sexpr(&mut forest, src)?;
+    forest.add_root(root);
+    let labeling = automaton.label_forest(&forest)?;
+    let chooser = labeling.chooser(&*automaton);
+    let code = reduce_forest(&forest, normal, &chooser)?;
+    println!("{title}\n  {src}");
+    for i in &code.instructions {
+        println!("    {i}");
+    }
+    println!("  (cost {})\n", code.total_cost);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grammar = odburg::targets::x86ish();
+    let normal = Arc::new(grammar.normalize());
+    let mut auto = OnDemandAutomaton::new(normal.clone());
+
+    println!("== immediate widths ==================================\n");
+    show(
+        &normal,
+        &mut auto,
+        "fits a 32-bit immediate -> short mov32 encoding:",
+        "(AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 100))",
+    )?;
+    show(
+        &normal,
+        &mut auto,
+        "too wide for imm32 -> full 64-bit constant load:",
+        "(AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 100000000000))",
+    )?;
+
+    println!("== strength reduction ================================\n");
+    show(
+        &normal,
+        &mut auto,
+        "multiply by a power of two becomes a shift:",
+        "(MulI8 (LoadI8 (AddrLocalP @x)) (ConstI8 8))",
+    )?;
+    show(
+        &normal,
+        &mut auto,
+        "multiply by 7 stays a multiply:",
+        "(MulI8 (LoadI8 (AddrLocalP @x)) (ConstI8 7))",
+    )?;
+
+    println!("== read-modify-write =================================\n");
+    show(
+        &normal,
+        &mut auto,
+        "x = x + k: one RMW add:",
+        "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 1)))",
+    )?;
+    show(
+        &normal,
+        &mut auto,
+        "y = x + k: different addresses, full sequence:",
+        "(StoreI8 (AddrLocalP @y) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 1)))",
+    )?;
+
+    println!("== the price of dropping dynamic rules ===============\n");
+    let stripped = grammar.without_dynamic_rules()?;
+    let stripped_normal = Arc::new(stripped.normalize());
+    let mut stripped_auto = OnDemandAutomaton::new(stripped_normal.clone());
+    show(
+        &stripped_normal,
+        &mut stripped_auto,
+        "the same RMW tree without dynamic rules (burg's world):",
+        "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 1)))",
+    )?;
+    println!(
+        "dynamic-cost signatures interned by the flexible automaton: {}",
+        auto.stats().signatures
+    );
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Grammar explorer: inspect a machine description the way a back-end
+//! author would while developing it.
+//!
+//! Prints grammar statistics, the normal form, the full offline automaton
+//! size, and how quickly the on-demand automaton converges on a random
+//! workload drawn from the grammar itself.
+//!
+//! Run with: `cargo run --release --example grammar_explorer [target]`
+//! where `target` is one of demo, x86ish, riscish, sparcish, jvmish
+//! (default: riscish).
+
+use std::sync::Arc;
+
+use odburg::grammar::analysis;
+use odburg::prelude::*;
+use odburg::workloads::random_workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "riscish".into());
+    let Some(grammar) = odburg::targets::by_name(&name) else {
+        eprintln!(
+            "unknown target `{name}`; available: {}",
+            odburg::targets::TARGET_NAMES.join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    let stats = grammar.stats();
+    println!("== grammar `{name}` =====================================");
+    println!("  rules:             {}", stats.rules);
+    println!("  chain rules:       {}", stats.chain_rules);
+    println!("  dynamic rules:     {}", stats.dynamic_rules);
+    println!("  nonterminals:      {}", stats.nonterminals);
+    println!("  operators:         {}", stats.operators);
+    println!("  normal rules:      {}", stats.normal_rules);
+    println!("  normal nts:        {}", stats.normal_nonterminals);
+
+    let normal = Arc::new(grammar.normalize());
+    for issue in analysis::check(&normal) {
+        println!("  lint: {}", issue.message);
+    }
+
+    println!("\n== normal form (first 15 rules) ========================");
+    for rule in normal.rules().iter().take(15) {
+        let lhs = normal.nt_name(rule.lhs);
+        match &rule.rhs {
+            odburg::grammar::NormalRhs::Base { op, operands } => {
+                let ops: Vec<&str> = operands.iter().map(|&n| normal.nt_name(n)).collect();
+                println!("  {lhs}: {op}({})", ops.join(", "));
+            }
+            odburg::grammar::NormalRhs::Chain { from } => {
+                println!("  {lhs}: {}", normal.nt_name(*from));
+            }
+        }
+    }
+    if normal.rules().len() > 15 {
+        println!("  … {} more", normal.rules().len() - 15);
+    }
+
+    println!("\n== offline automaton (dynamic rules stripped) ==========");
+    let fixed = Arc::new(grammar.without_dynamic_rules()?.normalize());
+    match OfflineAutomaton::build(fixed, OfflineConfig::default()) {
+        Ok(auto) => {
+            let s = auto.stats();
+            println!("  states:       {}", s.states);
+            println!("  representers: {}", s.representers);
+            println!("  transitions:  {}", s.transition_entries);
+            println!("  table bytes:  {}", s.bytes);
+            println!("  build time:   {:?}", s.build_time);
+        }
+        Err(e) => println!("  construction failed: {e}"),
+    }
+
+    println!("\n== on-demand convergence on a random workload ==========");
+    let workload = random_workload(&normal, 0xBEEF, 2000);
+    let mut auto = OnDemandAutomaton::new(normal.clone());
+    let mut labeled = 0usize;
+    let mut next_report = 50usize;
+    // Label tree by tree so we can watch the automaton grow.
+    for &root in workload.forest.roots() {
+        let mut single = Forest::new();
+        copy_subtree(&workload.forest, root, &mut single);
+        auto.label_forest(&single)?;
+        labeled += single.len();
+        if labeled >= next_report {
+            println!(
+                "  after {:>7} nodes: {:>5} states, {:>6} transitions",
+                labeled,
+                auto.stats().states,
+                auto.stats().transitions
+            );
+            next_report *= 2;
+        }
+    }
+    let c = auto.counters();
+    println!(
+        "  final: {} states; hit rate {:.2}%",
+        auto.stats().states,
+        100.0 * c.memo_hits as f64 / (c.memo_hits + c.memo_misses) as f64
+    );
+    Ok(())
+}
+
+/// Copies one tree into a fresh forest (roots it too).
+fn copy_subtree(src: &Forest, root: NodeId, dst: &mut Forest) {
+    fn go(src: &Forest, id: NodeId, dst: &mut Forest) -> NodeId {
+        let node = src.node(id);
+        let children: Vec<NodeId> = node.children().iter().map(|&c| go(src, c, dst)).collect();
+        let payload = match node.payload() {
+            Payload::Sym(s) => Payload::Sym(dst.intern(src.symbol(s))),
+            p => p,
+        };
+        dst.push(node.op(), &children, payload)
+    }
+    let new_root = go(src, root, dst);
+    dst.add_root(new_root);
+}

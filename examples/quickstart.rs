@@ -1,0 +1,67 @@
+//! Quickstart: the complete pipeline on the paper's running example.
+//!
+//! Builds the 8-rule demo grammar, labels the read-modify-write tree with
+//! the on-demand automaton, reduces it to AMD64-flavoured assembly, and
+//! prints what the automaton learned along the way.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use odburg::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The machine description: the running example of the paper, with
+    //    the RMW rule guarded by a `memop` dynamic cost.
+    let grammar = odburg::targets::demo();
+    println!("grammar `{}` ({} rules):", grammar.name(), grammar.rules().len());
+    print!("{grammar}");
+    let normal = Arc::new(grammar.normalize());
+
+    // 2. Two IR statements: one where the RMW store applies (same address
+    //    on both sides) and one where it does not.
+    let mut forest = Forest::new();
+    let rmw = parse_sexpr(
+        &mut forest,
+        "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))",
+    )?;
+    forest.add_root(rmw);
+    let plain = parse_sexpr(
+        &mut forest,
+        "(StoreI8 (AddrLocalP @y) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))",
+    )?;
+    forest.add_root(plain);
+
+    // 3. Label bottom-up. The automaton starts empty and builds exactly
+    //    the states this forest needs.
+    let mut automaton = OnDemandAutomaton::new(normal.clone());
+    let labeling = automaton.label_forest(&forest)?;
+
+    // 4. Reduce: walk the least-cost derivation and emit code.
+    let chooser = labeling.chooser(&automaton);
+    let code = reduce_forest(&forest, &normal, &chooser)?;
+    println!("\nselected code (total cost {}):", code.total_cost);
+    print!("{code}");
+
+    // 5. What did that cost us?
+    let stats = automaton.stats();
+    let c = automaton.counters();
+    println!("\nautomaton after one forest:");
+    println!("  states:      {}", stats.states);
+    println!("  transitions: {}", stats.transitions);
+    println!("  signatures:  {}", stats.signatures);
+    println!(
+        "  lookups:     {} hits, {} misses",
+        c.memo_hits, c.memo_misses
+    );
+
+    // Label the same forest again: pure fast path.
+    automaton.reset_counters();
+    automaton.label_forest(&forest)?;
+    let c = automaton.counters();
+    println!(
+        "relabeling:    {} hits, {} misses (the automaton has converged)",
+        c.memo_hits, c.memo_misses
+    );
+    Ok(())
+}
