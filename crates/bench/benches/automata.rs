@@ -26,8 +26,7 @@ fn bench_offline_build(c: &mut Criterion) {
             &stripped,
             |b, g| {
                 b.iter(|| {
-                    OfflineAutomaton::build(g.clone(), OfflineConfig::default())
-                        .expect("builds")
+                    OfflineAutomaton::build(g.clone(), OfflineConfig::default()).expect("builds")
                 })
             },
         );
@@ -42,7 +41,11 @@ fn bench_cold_start(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
     for name in ["x86ish", "riscish", "sparcish", "jvmish"] {
-        let normal = Arc::new(odburg::targets::by_name(name).expect("built-in").normalize());
+        let normal = Arc::new(
+            odburg::targets::by_name(name)
+                .expect("built-in")
+                .normalize(),
+        );
         group.bench_with_input(BenchmarkId::from_parameter(name), &suite, |b, w| {
             b.iter(|| {
                 let mut od = OnDemandAutomaton::new(normal.clone());

@@ -6,8 +6,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use odburg_core::{
-    Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandAutomaton,
-    OnDemandConfig,
+    Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandAutomaton, OnDemandConfig,
 };
 use odburg_dp::{DpLabeler, MacroExpander};
 use odburg_workloads::combined_workload;
@@ -28,9 +27,8 @@ fn bench_labelers(c: &mut Criterion) {
                 .expect("fixed fallbacks")
                 .normalize(),
         );
-        let offline = Arc::new(
-            OfflineAutomaton::build(stripped, OfflineConfig::default()).expect("builds"),
-        );
+        let offline =
+            Arc::new(OfflineAutomaton::build(stripped, OfflineConfig::default()).expect("builds"));
 
         let mut dp = DpLabeler::new(normal.clone());
         group.bench_with_input(BenchmarkId::new("dp", name), &suite, |b, w| {

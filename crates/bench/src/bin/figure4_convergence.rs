@@ -31,7 +31,10 @@ fn main() {
         };
 
         println!("grammar {} ({} nodes):", grammar.name(), forest.len());
-        println!("{:>9} {:>7} {:>8} {:>8}", "nodes", "states", "trans", "hit%");
+        println!(
+            "{:>9} {:>7} {:>8} {:>8}",
+            "nodes", "states", "trans", "hit%"
+        );
         let mut od = OnDemandAutomaton::new(normal);
         let mut labeled = 0usize;
         let mut checkpoint = 32usize;

@@ -11,9 +11,7 @@ use std::sync::Arc;
 
 use odburg_bench::{f, median_time, row, rule_line, warm_ondemand};
 use odburg_codegen::reduce_forest;
-use odburg_core::{
-    Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandConfig,
-};
+use odburg_core::{Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandConfig};
 use odburg_dp::DpLabeler;
 use odburg_frontend::programs;
 use odburg_workloads::replicate;

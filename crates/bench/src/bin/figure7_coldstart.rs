@@ -12,9 +12,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use odburg_bench::{f, row, rule_line};
-use odburg_core::{
-    Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandAutomaton,
-};
+use odburg_core::{Labeler, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandAutomaton};
 use odburg_dp::DpLabeler;
 use odburg_frontend::programs;
 

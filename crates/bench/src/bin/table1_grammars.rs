@@ -18,8 +18,8 @@ fn main() {
     println!("T1: grammar statistics (offline-automaton columns use the grammar without dynamic rules)\n");
     row(
         &[
-            "grammar", "rules", "chain", "dynamic", "ops", "nts", "n.rules", "n.nts",
-            "states", "bytes",
+            "grammar", "rules", "chain", "dynamic", "ops", "nts", "n.rules", "n.nts", "states",
+            "bytes",
         ]
         .map(String::from),
         &widths,
@@ -30,11 +30,9 @@ fn main() {
         let stripped = grammar
             .without_dynamic_rules()
             .expect("targets keep fixed fallbacks");
-        let auto = OfflineAutomaton::build(
-            Arc::new(stripped.normalize()),
-            OfflineConfig::default(),
-        )
-        .expect("offline automata build for the shipped targets");
+        let auto =
+            OfflineAutomaton::build(Arc::new(stripped.normalize()), OfflineConfig::default())
+                .expect("offline automata build for the shipped targets");
         let a = auto.stats();
         row(
             &[

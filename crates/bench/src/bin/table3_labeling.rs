@@ -40,8 +40,16 @@ fn main() {
     println!("T3: labeling cost per node on x86ish (work units | ns per node)\n");
     row(
         &[
-            "benchmark", "nodes", "dp.work", "od.work", "off.work", "mx.work", "dp.ns",
-            "od.ns", "off.ns", "dp/od",
+            "benchmark",
+            "nodes",
+            "dp.work",
+            "od.work",
+            "off.work",
+            "mx.work",
+            "dp.ns",
+            "od.ns",
+            "off.ns",
+            "dp/od",
         ]
         .map(String::from),
         &widths,
@@ -89,7 +97,10 @@ fn main() {
         );
     }
     rule_line(&widths);
-    println!("geometric-ish mean dp/od time ratio: {:.2}", total_ratio / count);
+    println!(
+        "geometric-ish mean dp/od time ratio: {:.2}",
+        total_ratio / count
+    );
     println!();
     println!("shape check (paper family): the automaton labeler beats DP per node by a");
     println!("factor in the 1.3-3x range, and sits near the offline automaton's speed;");

@@ -52,8 +52,8 @@ fn main() {
         let od_labeling = od.label_forest(&suite.forest).expect("labels");
         let od_chooser = od_labeling.chooser(&od);
         let od_red = reduce_forest(&suite.forest, &normal, &od_chooser).expect("reduces");
-        let identical = dp_red.instructions == od_red.instructions
-            && dp_red.total_cost == od_red.total_cost;
+        let identical =
+            dp_red.instructions == od_red.instructions && dp_red.total_cost == od_red.total_cost;
 
         // Speed with dynamic costs active.
         let mut dp = DpLabeler::new(normal.clone());

@@ -8,18 +8,25 @@
 //! odburg label   <grammar> <sexpr>     label one tree, print states and rules
 //! odburg emit    <grammar> <sexpr>     select and print instructions
 //! odburg compile <grammar> <file.mc>   compile a MiniC file and print assembly
-//! odburg bench   <grammar>             quick dp vs on-demand comparison
+//! odburg bench   <grammar>             quick cross-strategy comparison
 //! ```
 //!
 //! `<grammar>` is a built-in target name (demo, x86ish, riscish, sparcish,
 //! alphaish, jvmish) or a path to a `.burg` file (dynamic costs in files are
 //! declared but unbound, i.e. never applicable).
+//!
+//! `label`, `emit`, `compile` and `bench` accept `--labeler=<name>`
+//! (ondemand, ondemand-projected, shared, offline, dp, macro); every
+//! strategy is constructed and driven through the unified
+//! [`Labeler`](odburg_core::Labeler) trait via
+//! [`odburg::strategy::AnyLabeler`].
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use odburg::grammar::analysis;
 use odburg::prelude::*;
+use odburg::strategy::{AnyLabeler, AnyLabeling, Strategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,11 +39,27 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench> \
+                     <grammar> [input] [--labeler=<name>]";
+
 fn run(args: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench> <grammar> [input]";
-    let command = args.first().ok_or(usage)?;
-    let grammar_name = args.get(1).ok_or(usage)?;
+    // Split off the strategy flag; everything else is positional.
+    let mut strategy = Strategy::OnDemand;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--labeler=") {
+            strategy = name.parse().map_err(|e| format!("{e}"))?;
+        } else if arg == "--labeler" {
+            let name = iter.next().ok_or("--labeler needs a value")?;
+            strategy = name.parse().map_err(|e| format!("{e}"))?;
+        } else {
+            positional.push(arg);
+        }
+    }
+
+    let command = positional.first().ok_or(USAGE)?;
+    let grammar_name = positional.get(1).ok_or(USAGE)?;
     let grammar = load_grammar(grammar_name)?;
 
     match command.as_str() {
@@ -44,11 +67,23 @@ fn run(args: &[String]) -> Result<(), String> {
         "normal" => normal(&grammar),
         "automaton" => automaton(&grammar),
         "generate" => generate(&grammar),
-        "label" => label(&grammar, args.get(2).ok_or("label needs an s-expression")?),
-        "emit" => emit(&grammar, args.get(2).ok_or("emit needs an s-expression")?),
-        "compile" => compile(&grammar, args.get(2).ok_or("compile needs a MiniC file")?),
-        "bench" => bench(&grammar),
-        other => Err(format!("unknown command `{other}`\n{usage}")),
+        "label" => label(
+            &grammar,
+            strategy,
+            positional.get(2).ok_or("label needs an s-expression")?,
+        ),
+        "emit" => emit(
+            &grammar,
+            strategy,
+            positional.get(2).ok_or("emit needs an s-expression")?,
+        ),
+        "compile" => compile(
+            &grammar,
+            strategy,
+            positional.get(2).ok_or("compile needs a MiniC file")?,
+        ),
+        "bench" => bench(&grammar, strategy),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
 
@@ -56,9 +91,14 @@ fn load_grammar(name: &str) -> Result<Grammar, String> {
     if let Some(g) = odburg::targets::by_name(name) {
         return Ok(g);
     }
-    let text = std::fs::read_to_string(name)
-        .map_err(|e| format!("cannot read grammar `{name}`: {e}"))?;
+    let text =
+        std::fs::read_to_string(name).map_err(|e| format!("cannot read grammar `{name}`: {e}"))?;
     parse_grammar(&text).map_err(|e| format!("{name}: {e}"))
+}
+
+fn build_labeler(grammar: &Grammar, strategy: Strategy) -> Result<AnyLabeler, String> {
+    AnyLabeler::build(strategy, grammar)
+        .map_err(|e| format!("cannot build `{strategy}` labeler: {e}"))
 }
 
 fn stats(grammar: &Grammar) -> Result<(), String> {
@@ -149,97 +189,133 @@ fn parse_tree(grammar_name: &str, src: &str) -> Result<(Forest, NodeId), String>
     Ok((forest, root))
 }
 
-fn label(grammar: &Grammar, src: &str) -> Result<(), String> {
-    let normal = Arc::new(grammar.normalize());
+fn label(grammar: &Grammar, strategy: Strategy, src: &str) -> Result<(), String> {
     let (forest, _) = parse_tree(grammar.name(), src)?;
-    let mut od = OnDemandAutomaton::new(normal.clone());
-    let labeling = od
+    let mut labeler = build_labeler(grammar, strategy)?;
+    let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
-    for (id, node) in forest.iter() {
-        let state = labeling.state_of(id);
-        let data = od.state(state);
-        print!("{id} {:<10} -> state {:>3}:", node.op().to_string(), state.0);
-        for nt in 0..normal.num_nts() {
-            let nt = odburg::grammar::NtId(nt as u16);
-            if let Some(rule) = data.rule(nt) {
+    let normal = labeler.grammar();
+
+    match (&labeler, &labeling) {
+        // Automaton strategies: print the state table the automaton
+        // assigned, exactly as the paper's examples do.
+        (AnyLabeler::OnDemand(od), AnyLabeling::States(l)) => {
+            for (id, node) in forest.iter() {
+                let state = l.state_of(id);
+                let data = od.state(state);
                 print!(
-                    " {}={}#{}",
-                    normal.nt_name(nt),
-                    data.cost(nt),
-                    rule.0
+                    "{id} {:<10} -> state {:>3}:",
+                    node.op().to_string(),
+                    state.0
                 );
+                for nt in 0..normal.num_nts() {
+                    let nt = odburg::grammar::NtId(nt as u16);
+                    if let Some(rule) = data.rule(nt) {
+                        print!(" {}={}#{}", normal.nt_name(nt), data.cost(nt), rule.0);
+                    }
+                }
+                println!();
             }
         }
-        println!();
+        // Every other strategy: print the chosen rule per derivable
+        // nonterminal through the unified chooser.
+        _ => {
+            let chooser = labeler.chooser(&labeling);
+            for (id, node) in forest.iter() {
+                print!("{id} {:<10} ->", node.op().to_string());
+                for nt in 0..normal.num_nts() {
+                    let nt = odburg::grammar::NtId(nt as u16);
+                    if let Some(rule) = chooser.rule_for(id, nt) {
+                        print!(" {}=#{}", normal.nt_name(nt), rule.0);
+                    }
+                }
+                println!();
+            }
+        }
     }
-    let stats = od.stats();
-    println!(
-        "{} states, {} transitions, {} signatures created",
-        stats.states, stats.transitions, stats.signatures
-    );
+    println!("{}", labeler.stats_line());
     Ok(())
 }
 
-fn emit(grammar: &Grammar, src: &str) -> Result<(), String> {
-    let normal = Arc::new(grammar.normalize());
+fn emit(grammar: &Grammar, strategy: Strategy, src: &str) -> Result<(), String> {
     let (forest, _) = parse_tree(grammar.name(), src)?;
-    let mut od = OnDemandAutomaton::new(normal.clone());
-    let labeling = od
+    let mut labeler = build_labeler(grammar, strategy)?;
+    let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
-    let chooser = labeling.chooser(&od);
-    let red = odburg::codegen::reduce_forest(&forest, &normal, &chooser)
+    let chooser = labeler.chooser(&labeling);
+    let red = odburg::codegen::reduce_forest(&forest, &labeler.grammar(), &chooser)
         .map_err(|e| format!("reduction failed: {e}"))?;
     print!("{red}");
     println!("; cost {}", red.total_cost);
     Ok(())
 }
 
-fn compile(grammar: &Grammar, path: &str) -> Result<(), String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+fn compile(grammar: &Grammar, strategy: Strategy, path: &str) -> Result<(), String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let forest = odburg::frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
-    let normal = Arc::new(grammar.normalize());
-    let mut od = OnDemandAutomaton::new(normal.clone());
-    let labeling = od
+    let mut labeler = build_labeler(grammar, strategy)?;
+    let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
-    let chooser = labeling.chooser(&od);
-    let red = odburg::codegen::reduce_forest(&forest, &normal, &chooser)
+    let chooser = labeler.chooser(&labeling);
+    let red = odburg::codegen::reduce_forest(&forest, &labeler.grammar(), &chooser)
         .map_err(|e| format!("reduction failed: {e}"))?;
     print!("{red}");
     eprintln!(
-        "; {} nodes, {} instructions, cost {}, {} states",
+        "; {} nodes, {} instructions, cost {}, {}",
         forest.len(),
         red.len(),
         red.total_cost,
-        od.stats().states
+        labeler.stats_line()
     );
     Ok(())
 }
 
-fn bench(grammar: &Grammar) -> Result<(), String> {
+/// Compares the chosen strategy against every other on a replicated
+/// MiniC workload — all driven through the `Labeler` trait.
+fn bench(grammar: &Grammar, chosen: Strategy) -> Result<(), String> {
     use std::time::Instant;
-    let normal = Arc::new(grammar.normalize());
     let suite = odburg::workloads::combined_workload();
     let forest = odburg::workloads::replicate(&suite.forest, 20);
-
-    let mut dp = DpLabeler::new(normal.clone());
-    dp.label_forest(&forest).map_err(|e| e.to_string())?;
-    let t = Instant::now();
-    dp.label_forest(&forest).map_err(|e| e.to_string())?;
-    let dp_ns = t.elapsed().as_nanos() as f64 / forest.len() as f64;
-
-    let mut od = OnDemandAutomaton::new(normal);
-    od.label_forest(&forest).map_err(|e| e.to_string())?;
-    let t = Instant::now();
-    od.label_forest(&forest).map_err(|e| e.to_string())?;
-    let od_ns = t.elapsed().as_nanos() as f64 / forest.len() as f64;
-
     println!("workload: MiniC suite x20 ({} nodes)", forest.len());
-    println!("dp:        {dp_ns:.1} ns/node");
-    println!("on-demand: {od_ns:.1} ns/node  ({:.2}x faster)", dp_ns / od_ns);
-    println!("states:    {}", od.stats().states);
+
+    let mut results: Vec<(Strategy, f64)> = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut labeler = match AnyLabeler::build(strategy, grammar) {
+            Ok(l) => l,
+            Err(e) => {
+                println!("{:<20} unavailable: {e}", strategy.to_string());
+                continue;
+            }
+        };
+        // Warm (matters for the automata), then measure one pass.
+        if labeler.label_forest(&forest).is_err() {
+            println!("{:<20} cannot label this workload", strategy.to_string());
+            continue;
+        }
+        let t = Instant::now();
+        labeler
+            .label_forest(&forest)
+            .map_err(|e| format!("{strategy}: {e}"))?;
+        let ns = t.elapsed().as_nanos() as f64 / forest.len() as f64;
+        println!("{:<20} {ns:>8.1} ns/node", strategy.to_string());
+        results.push((strategy, ns));
+    }
+    if let (Some(&(_, chosen_ns)), Some(&(_, dp_ns))) = (
+        results.iter().find(|(s, _)| *s == chosen),
+        results.iter().find(|(s, _)| *s == Strategy::Dp),
+    ) {
+        println!(
+            "{chosen} vs dp: {:.2}x {}",
+            (dp_ns / chosen_ns).max(chosen_ns / dp_ns),
+            if chosen_ns <= dp_ns {
+                "faster"
+            } else {
+                "slower"
+            }
+        );
+    }
     Ok(())
 }

@@ -94,6 +94,79 @@ fn generate_emits_rust_tables() {
 }
 
 #[test]
+fn labeler_flag_selects_strategies() {
+    // Every strategy is constructible through the flag and produces the
+    // same optimal cost on this tree (macro included: it is optimal on
+    // the plain store).
+    for strategy in [
+        "ondemand",
+        "ondemand-projected",
+        "shared",
+        "offline",
+        "dp",
+        "macro",
+    ] {
+        let (ok, stdout, stderr) = odburg(&[
+            "emit",
+            "demo",
+            "(StoreI8 (AddrLocalP @x) (ConstI8 1))",
+            &format!("--labeler={strategy}"),
+        ]);
+        assert!(ok, "{strategy}: {stderr}");
+        assert!(stdout.contains("cost 2"), "{strategy}: {stdout}");
+    }
+}
+
+#[test]
+fn labeler_flag_changes_selection() {
+    // The RMW tree: optimal strategies fold the add into the store
+    // (cost 2); the offline automaton lost the dynamic rule and pays the
+    // full sequence.
+    let tree = "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))";
+    let (ok, stdout, _) = odburg(&["emit", "demo", tree, "--labeler=dp"]);
+    assert!(ok);
+    assert!(stdout.contains("add v0, (x)"), "{stdout}");
+    let (ok, stdout, _) = odburg(&["emit", "demo", tree, "--labeler=offline"]);
+    assert!(ok);
+    assert!(
+        !stdout.contains("add v0, (x)"),
+        "offline kept RMW: {stdout}"
+    );
+}
+
+#[test]
+fn labeler_flag_works_on_label_and_compile() {
+    let (ok, stdout, _) = odburg(&[
+        "label",
+        "demo",
+        "(AddI8 (ConstI8 1) (ConstI8 2))",
+        "--labeler=dp",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("dp:"), "{stdout}");
+    let dir = std::env::temp_dir().join("odburg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("strat.mc");
+    std::fs::write(&path, "fn twice(x) { return x + x; }\n").unwrap();
+    let (ok, stdout, stderr) = odburg(&[
+        "compile",
+        "x86ish",
+        path.to_str().unwrap(),
+        "--labeler=shared",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fn_twice:"), "{stdout}");
+    assert!(stderr.contains("shared"), "{stderr}");
+}
+
+#[test]
+fn unknown_labeler_rejected() {
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(ConstI8 1)", "--labeler=z80burg"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown labeler"), "{stderr}");
+}
+
+#[test]
 fn errors_exit_nonzero_with_messages() {
     let (ok, _, stderr) = odburg(&["stats", "z80"]);
     assert!(!ok);

@@ -43,7 +43,11 @@ impl fmt::Display for ReduceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReduceError::MissingRule { node, nt } => {
-                write!(f, "no rule recorded for node {node} / nonterminal #{}", nt.0)
+                write!(
+                    f,
+                    "no rule recorded for node {node} / nonterminal #{}",
+                    nt.0
+                )
             }
             ReduceError::InapplicableRule { node, rule } => write!(
                 f,
@@ -243,7 +247,13 @@ fn fire_action(
     // nonterminal leaves by walking the pattern over the subtree.
     let mut leaves: Vec<(NodeId, NtId)> = Vec::new();
     let mut first_payload: Option<Payload> = None;
-    collect_pattern_leaves(forest, &source.pattern, node, &mut leaves, &mut first_payload);
+    collect_pattern_leaves(
+        forest,
+        &source.pattern,
+        node,
+        &mut leaves,
+        &mut first_payload,
+    );
 
     let Some(template) = &source.template else {
         // No action: chain rules pass their operand's value through.
@@ -268,8 +278,15 @@ fn fire_action(
         if part.is_empty() {
             continue;
         }
-        out.instructions
-            .push(render(part, forest, node, dst, &leaves, first_payload, results));
+        out.instructions.push(render(
+            part,
+            forest,
+            node,
+            dst,
+            &leaves,
+            first_payload,
+            results,
+        ));
     }
 }
 
@@ -290,7 +307,13 @@ fn collect_pattern_leaves(
                 }
             }
             for (i, c) in children.iter().enumerate() {
-                collect_pattern_leaves(forest, c, forest.node(node).child(i), leaves, first_payload);
+                collect_pattern_leaves(
+                    forest,
+                    c,
+                    forest.node(node).child(i),
+                    leaves,
+                    first_payload,
+                );
             }
         }
     }
@@ -436,8 +459,7 @@ mod tests {
 
     #[test]
     fn rmw_emits_single_add() {
-        let (_, red) =
-            reduce_src("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
+        let (_, red) = reduce_src("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
         // Expected: one `mov $k, vN` per const leaf (both address copies
         // and the operand), plus one RMW add. The Load inside the pattern
         // emits nothing (covered by the RMW rule).

@@ -1,5 +1,5 @@
-use std::sync::Arc;
 use odburg_core::{generate_rust, OfflineAutomaton, OfflineConfig};
+use std::sync::Arc;
 fn main() {
     let g = odburg_grammar::parse_grammar(
         "%grammar demo\n%start stmt\naddr: reg (0)\nreg: ConstI8 (1)\nreg: LoadI8(addr) (1)\nreg: AddI8(reg, reg) (1)\nstmt: StoreI8(addr, reg) (1)\nstmt: StoreI8(addr, AddI8(LoadI8(addr), reg)) (1)\n",

@@ -171,13 +171,7 @@ mod tests {
         let const_s = compute_state(&g, op("ConstI8"), &[], fixed_only, &mut c);
         let load_s = compute_state(&g, op("LoadI8"), &[&const_s], fixed_only, &mut c);
         let add_s = compute_state(&g, op("AddI8"), &[&load_s, &const_s], fixed_only, &mut c);
-        let store_s = compute_state(
-            &g,
-            op("StoreI8"),
-            &[&const_s, &add_s],
-            fixed_only,
-            &mut c,
-        );
+        let store_s = compute_state(&g, op("StoreI8"), &[&const_s, &add_s], fixed_only, &mut c);
         // Rule 6 (split) derives stmt at relative cost 0 while the plain
         // store (rule 5) needs the full Add derivation: the optimal rule
         // for stmt must be the final split rule of source rule 5 (0-based).
@@ -208,13 +202,7 @@ mod tests {
         .normalize();
         let mut c = WorkCounters::new();
         // Dynamic rule applicable with cost 0: it wins.
-        let s = compute_state(
-            &g,
-            op("ConstI8"),
-            &[],
-            |_| RuleCost::Finite(0),
-            &mut c,
-        );
+        let s = compute_state(&g, op("ConstI8"), &[], |_| RuleCost::Finite(0), &mut c);
         assert_eq!(s.rule(g.start()), Some(NormalRuleId(0)));
         // Dynamic rule inapplicable: fixed rule wins.
         let s = compute_state(&g, op("ConstI8"), &[], fixed_only, &mut c);

@@ -8,6 +8,7 @@
 //! measured separately by the Criterion benches.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Work performed by a labeler, accumulated across `label_forest` calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +83,85 @@ impl WorkCounters {
     }
 }
 
+/// Lock-free work counters for concurrent labelers.
+///
+/// The snapshot-based [`SharedOnDemand`](crate::SharedOnDemand) merges
+/// each forest's locally accumulated [`WorkCounters`] into one of these
+/// with relaxed atomic adds — counters are statistics, not
+/// synchronization, so no ordering is needed and the stats `Mutex` of the
+/// coarse-lock design disappears.
+#[derive(Debug, Default)]
+pub struct AtomicWorkCounters {
+    nodes: AtomicU64,
+    rule_checks: AtomicU64,
+    chain_checks: AtomicU64,
+    hash_lookups: AtomicU64,
+    table_lookups: AtomicU64,
+    states_built: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    dyncost_evals: AtomicU64,
+}
+
+impl AtomicWorkCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        AtomicWorkCounters::default()
+    }
+
+    /// Adds a locally accumulated counter set (relaxed; statistics only).
+    pub fn merge(&self, local: &WorkCounters) {
+        // Skip the RMW entirely for zero fields — the common warm path
+        // only touches a few of them.
+        let add = |cell: &AtomicU64, v: u64| {
+            if v != 0 {
+                cell.fetch_add(v, Ordering::Relaxed);
+            }
+        };
+        add(&self.nodes, local.nodes);
+        add(&self.rule_checks, local.rule_checks);
+        add(&self.chain_checks, local.chain_checks);
+        add(&self.hash_lookups, local.hash_lookups);
+        add(&self.table_lookups, local.table_lookups);
+        add(&self.states_built, local.states_built);
+        add(&self.memo_hits, local.memo_hits);
+        add(&self.memo_misses, local.memo_misses);
+        add(&self.dyncost_evals, local.dyncost_evals);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> WorkCounters {
+        WorkCounters {
+            nodes: self.nodes.load(Ordering::Relaxed),
+            rule_checks: self.rule_checks.load(Ordering::Relaxed),
+            chain_checks: self.chain_checks.load(Ordering::Relaxed),
+            hash_lookups: self.hash_lookups.load(Ordering::Relaxed),
+            table_lookups: self.table_lookups.load(Ordering::Relaxed),
+            states_built: self.states_built.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            dyncost_evals: self.dyncost_evals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for cell in [
+            &self.nodes,
+            &self.rule_checks,
+            &self.chain_checks,
+            &self.hash_lookups,
+            &self.table_lookups,
+            &self.states_built,
+            &self.memo_hits,
+            &self.memo_misses,
+            &self.dyncost_evals,
+        ] {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 impl fmt::Display for WorkCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -143,5 +223,44 @@ mod tests {
         };
         c.reset();
         assert_eq!(c, WorkCounters::default());
+    }
+
+    #[test]
+    fn atomic_counters_merge_and_reset() {
+        let shared = AtomicWorkCounters::new();
+        let local = WorkCounters {
+            nodes: 3,
+            memo_hits: 5,
+            ..WorkCounters::default()
+        };
+        shared.merge(&local);
+        shared.merge(&local);
+        let snap = shared.snapshot();
+        assert_eq!(snap.nodes, 6);
+        assert_eq!(snap.memo_hits, 10);
+        assert_eq!(snap.rule_checks, 0);
+        shared.reset();
+        assert_eq!(shared.snapshot(), WorkCounters::default());
+    }
+
+    #[test]
+    fn atomic_counters_merge_concurrently() {
+        let shared = AtomicWorkCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        shared.merge(&WorkCounters {
+                            nodes: 1,
+                            hash_lookups: 2,
+                            ..WorkCounters::default()
+                        });
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.nodes, 4000);
+        assert_eq!(snap.hash_lookups, 8000);
     }
 }

@@ -63,6 +63,13 @@ pub trait RuleChooser {
 }
 
 /// A labeler: consumes a forest, produces a per-node decision structure.
+///
+/// This is the single entry point every selection strategy in the
+/// workspace implements — dynamic programming, macro expansion, and the
+/// offline, on-demand and shared (concurrent) automata. The CLI, the
+/// benchmarks and the integration tests drive all of them through this
+/// trait; see `odburg::strategy` in the facade crate for choosing a
+/// strategy at runtime.
 pub trait Labeler {
     /// The labeling produced for one forest.
     type Output;
@@ -76,7 +83,11 @@ pub trait Labeler {
     fn label_forest(&mut self, forest: &Forest) -> Result<Self::Output, LabelError>;
 
     /// Work accumulated over all `label_forest` calls so far.
-    fn counters(&self) -> &WorkCounters;
+    ///
+    /// Returned by value so that concurrent labelers can assemble the
+    /// counters from lock-free atomics instead of handing out a
+    /// reference into a locked struct.
+    fn counters(&self) -> WorkCounters;
 
     /// Resets the work counters.
     fn reset_counters(&mut self);

@@ -72,12 +72,14 @@ mod offline;
 mod ondemand;
 mod shared;
 pub mod signature;
+mod snapshot;
 mod state;
 
-pub use counters::WorkCounters;
+pub use counters::{AtomicWorkCounters, WorkCounters};
 pub use generate::generate_rust;
 pub use label::{LabelError, Labeler, Labeling, RuleChooser, StateChooser, StateLookup};
 pub use offline::{DynCostMode, OfflineAutomaton, OfflineConfig, OfflineLabeler, OfflineStats};
 pub use ondemand::{BudgetPolicy, OnDemandAutomaton, OnDemandConfig, OnDemandStats};
-pub use shared::SharedOnDemand;
+pub use shared::{CoarseSharedOnDemand, PinnedLabeling, SharedOnDemand};
+pub use snapshot::{AutomatonSnapshot, SnapshotStats};
 pub use state::{StateData, StateId, StateSet};

@@ -115,10 +115,7 @@ impl OfflineAutomaton {
     ///   [`DynCostMode::Error`] if the grammar has dynamic rules.
     /// * [`LabelError::StateBudgetExceeded`] if the state closure exceeds
     ///   the budget.
-    pub fn build(
-        grammar: Arc<NormalGrammar>,
-        config: OfflineConfig,
-    ) -> Result<Self, LabelError> {
+    pub fn build(grammar: Arc<NormalGrammar>, config: OfflineConfig) -> Result<Self, LabelError> {
         let grammar = if grammar.has_dynamic_rules() {
             match config.dyncost_mode {
                 DynCostMode::Error => return Err(LabelError::DynamicCostsUnsupported),
@@ -338,12 +335,7 @@ impl OfflineAutomaton {
         (n0, n1, entries)
     }
 
-    fn lookup(
-        &self,
-        op: Op,
-        kids: &[StateId],
-        counters: &mut WorkCounters,
-    ) -> Option<StateId> {
+    fn lookup(&self, op: Op, kids: &[StateId], counters: &mut WorkCounters) -> Option<StateId> {
         let table = &self.ops[op.id().0 as usize];
         if !table.used {
             return None;
@@ -352,10 +344,10 @@ impl OfflineAutomaton {
             0 => table.leaf_state,
             arity => {
                 let mut combo = (0u32, 0u32);
-                for pos in 0..arity {
+                for (pos, kid) in kids.iter().take(arity).enumerate() {
                     counters.table_lookups += 1;
                     let map = &table.rep_of_state[pos];
-                    let rep = map.get(kids[pos].0 as usize).copied()?;
+                    let rep = map.get(kid.0 as usize).copied()?;
                     if rep == u32::MAX {
                         return None;
                     }
@@ -428,8 +420,8 @@ impl Labeler for OfflineLabeler {
         Ok(Labeling::from_states(states))
     }
 
-    fn counters(&self) -> &WorkCounters {
-        &self.counters
+    fn counters(&self) -> WorkCounters {
+        self.counters
     }
 
     fn reset_counters(&mut self) {
@@ -511,11 +503,9 @@ mod tests {
     #[test]
     fn dynamic_costs_rejected_or_stripped() {
         let g = Arc::new(
-            parse_grammar(
-                "%start reg\n%dyncost d\nreg: ConstI8 [d]\nreg: ConstI8 (4)\n",
-            )
-            .unwrap()
-            .normalize(),
+            parse_grammar("%start reg\n%dyncost d\nreg: ConstI8 [d]\nreg: ConstI8 (4)\n")
+                .unwrap()
+                .normalize(),
         );
         assert!(matches!(
             OfflineAutomaton::build(g.clone(), OfflineConfig::default()),
@@ -567,8 +557,20 @@ mod tests {
         let store: Op = "StoreI8".parse().unwrap();
         let mut c = WorkCounters::new();
         // Both constants must drive Store through the same transition.
-        let s8 = compute_state(auto.grammar(), "ConstI8".parse().unwrap(), &[], crate::compute::fixed_only, &mut c);
-        let s4 = compute_state(auto.grammar(), "ConstI4".parse().unwrap(), &[], crate::compute::fixed_only, &mut c);
+        let s8 = compute_state(
+            auto.grammar(),
+            "ConstI8".parse().unwrap(),
+            &[],
+            crate::compute::fixed_only,
+            &mut c,
+        );
+        let s4 = compute_state(
+            auto.grammar(),
+            "ConstI4".parse().unwrap(),
+            &[],
+            crate::compute::fixed_only,
+            &mut c,
+        );
         assert_ne!(s8, s4, "full states differ");
         assert_eq!(
             s8.project(auto.grammar().operand_nts(store, 0)),

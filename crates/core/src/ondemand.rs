@@ -28,9 +28,8 @@ use crate::counters::WorkCounters;
 use crate::fxhash::FxHashMap;
 use crate::label::{LabelError, Labeler, Labeling, StateLookup};
 use crate::signature::{SigId, SignatureInterner};
+use crate::snapshot::{AutomatonSnapshot, TransKey, NO_CHILD};
 use crate::state::{StateData, StateId, StateSet};
-
-const NO_CHILD: u32 = u32::MAX;
 
 /// What to do when the automaton outgrows its state budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +44,28 @@ pub enum BudgetPolicy {
     /// incremental [`OnDemandAutomaton::label_node`] path still reports
     /// the error because its caller holds state ids a flush would
     /// invalidate.
+    ///
+    /// # Epoch semantics under the snapshot-based shared automaton
+    ///
+    /// A flush starts a new **epoch** (see
+    /// [`OnDemandAutomaton::epoch`]): the state arena, transition table
+    /// and signature interner are replaced, so state ids from different
+    /// epochs are unrelated values. The concurrent
+    /// [`SharedOnDemand`](crate::SharedOnDemand) handles this without
+    /// ever invalidating in-flight readers:
+    ///
+    /// * every published [`AutomatonSnapshot`] carries its epoch, and
+    ///   snapshots are *retired, not freed* on publication — a reader
+    ///   that loaded a pre-flush snapshot keeps labeling against that
+    ///   snapshot's frozen tables, and state ids it produced stay
+    ///   dereferenceable for the shared automaton's whole lifetime;
+    /// * a reader entering the writer lock compares its snapshot's epoch
+    ///   with the master's and restarts the forest from scratch on a
+    ///   mismatch (labelings never mix state ids across epochs);
+    /// * callers that hold labelings across forests should use
+    ///   [`SharedOnDemand::label_forest_pinned`]
+    ///   (crate::SharedOnDemand::label_forest_pinned), which returns the
+    ///   labeling together with the exact snapshot it refers to.
     Flush,
 }
 
@@ -91,13 +112,6 @@ pub struct OnDemandStats {
     /// Times the automaton was flushed by [`BudgetPolicy::Flush`] or
     /// [`OnDemandAutomaton::clear`].
     pub flushes: usize,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct TransKey {
-    op: u16,
-    kids: [u32; 2],
-    sig: SigId,
 }
 
 /// The on-demand tree-parsing automaton.
@@ -178,6 +192,34 @@ impl OnDemandAutomaton {
         &self.grammar
     }
 
+    /// The current epoch: the number of flushes so far. State ids are
+    /// only meaningful within one epoch; a [`clear`]
+    /// (OnDemandAutomaton::clear) (or a [`BudgetPolicy::Flush`]) starts
+    /// the next one.
+    pub fn epoch(&self) -> u64 {
+        self.flushes as u64
+    }
+
+    /// Freezes the automaton's current tables into an immutable
+    /// [`AutomatonSnapshot`].
+    ///
+    /// The snapshot shares the state data by reference count; the
+    /// transition table, projection cache and signature interner are
+    /// copied. Publication cost is therefore proportional to table
+    /// *size*, paid only when the automaton grew — never on the warm
+    /// path.
+    pub fn snapshot(&self) -> AutomatonSnapshot {
+        AutomatonSnapshot::new(
+            self.epoch(),
+            Arc::clone(&self.grammar),
+            self.config,
+            self.states.share_arena(),
+            self.transitions.clone(),
+            self.projection_cache.clone(),
+            self.signatures.clone(),
+        )
+    }
+
     /// The configuration.
     pub fn config(&self) -> OnDemandConfig {
         self.config
@@ -211,12 +253,7 @@ impl OnDemandAutomaton {
 
     /// Non-mutating transition lookup: `Some(state)` if the transition for
     /// `(op, kids, sig)` is already memoized, `None` on a miss.
-    pub fn peek_transition(
-        &self,
-        op: Op,
-        kid_states: &[StateId],
-        sig: SigId,
-    ) -> Option<StateId> {
+    pub fn peek_transition(&self, op: Op, kid_states: &[StateId], sig: SigId) -> Option<StateId> {
         let mut key = TransKey {
             op: op.id().0,
             kids: [NO_CHILD; 2],
@@ -348,13 +385,7 @@ impl OnDemandAutomaton {
                 .map(|&(_, c)| c)
                 .unwrap_or(RuleCost::Infinite)
         };
-        let state = compute_state(
-            &self.grammar,
-            op,
-            &kid_data,
-            dyn_cost,
-            &mut self.counters,
-        );
+        let state = compute_state(&self.grammar, op, &kid_data, dyn_cost, &mut self.counters);
         let (id, new) = self.states.intern(state);
         if new {
             self.counters.states_built += 1;
@@ -408,8 +439,8 @@ impl Labeler for OnDemandAutomaton {
         }
     }
 
-    fn counters(&self) -> &WorkCounters {
-        &self.counters
+    fn counters(&self) -> WorkCounters {
+        self.counters
     }
 
     fn reset_counters(&mut self) {
@@ -473,8 +504,7 @@ mod tests {
         // The running example has 6 automaton states (Fig. 5 of the
         // CC'18 background; the same grammar without constraints).
         let mut auto = demo_automaton();
-        let (f, _) =
-            forest_of("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
+        let (f, _) = forest_of("(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 0)) (ConstI8 5)))");
         auto.label_forest(&f).unwrap();
         let (f2, _) = forest_of("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
         auto.label_forest(&f2).unwrap();
@@ -546,11 +576,9 @@ mod tests {
         let mut g = g;
         g.bind_dyncost(
             "imm8",
-            Arc::new(|forest, node| {
-                match forest.node(node).payload().as_int() {
-                    Some(v) if (-128..128).contains(&v) => RuleCost::Finite(1),
-                    _ => RuleCost::Infinite,
-                }
+            Arc::new(|forest, node| match forest.node(node).payload().as_int() {
+                Some(v) if (-128..128).contains(&v) => RuleCost::Finite(1),
+                _ => RuleCost::Infinite,
             }),
         )
         .unwrap();

@@ -1,38 +1,427 @@
-//! A thread-safe shared on-demand automaton for concurrent JIT
-//! compilation threads.
+//! Thread-safe shared on-demand automata for concurrent JIT compilation.
 //!
-//! Compilation threads overwhelmingly hit transitions that already exist,
-//! so [`SharedOnDemand::label_forest`] first walks the forest under a
-//! *read* lock using only non-mutating lookups; only when it encounters a
-//! transition the automaton has not seen yet does it upgrade to a write
-//! lock and run the normal (mutating) slow path for the rest of the
-//! forest. The warmer the automaton, the closer the behaviour is to a
-//! wait-free table lookup per node.
+//! Two implementations live here:
+//!
+//! * [`SharedOnDemand`] — the **snapshot-based concurrent core**. The
+//!   automaton's tables are published as an immutable
+//!   [`AutomatonSnapshot`] behind an atomically swappable pointer
+//!   ([`arc_swap::ArcSwap`]); reader threads label entire forests against
+//!   the current snapshot with **zero locks and zero shared-memory
+//!   writes** (one atomic pointer load per forest, one atomic counter
+//!   merge at the end). Only a forest that contains a transition the
+//!   snapshot has not seen enters the single-writer grow path: the
+//!   mutable master automaton behind a mutex, which computes the missing
+//!   states and publishes a fresh snapshot. The warmer the automaton, the
+//!   closer every thread is to private table lookups — which is the
+//!   paper's convergence argument carried over to the memory system.
+//! * [`CoarseSharedOnDemand`] — the previous design: one `RwLock` around
+//!   the whole automaton, readers under the read lock, upgrade to the
+//!   write lock on a miss. Kept as the comparison baseline for the
+//!   `thread_scaling` benchmark and as the simplest correct reference.
+//!
+//! Why the snapshot core scales: under the coarse lock, every
+//! `label_forest` call bounces the `RwLock`'s reader count between cores
+//! even when the automaton is fully warmed, and one cold forest blocks
+//! all readers for its entire labeling. Under snapshots, warm readers
+//! touch no shared cache line at all (the pointer load is a read of a
+//! rarely-written line) and a cold forest blocks nobody — readers keep
+//! answering from the still-current snapshot while the writer grows the
+//! master.
 
+use std::sync::Arc;
+
+use arc_swap::ArcSwap;
 use parking_lot::{Mutex, RwLock};
 
 use odburg_grammar::{NormalRuleId, NtId, RuleCost};
 use odburg_ir::{Forest, NodeId, Op};
 
-use crate::counters::WorkCounters;
-use crate::label::{LabelError, Labeler, Labeling, StateLookup};
-use crate::ondemand::OnDemandAutomaton;
+use crate::counters::{AtomicWorkCounters, WorkCounters};
+use crate::label::{LabelError, Labeler, Labeling, StateChooser, StateLookup};
+use crate::ondemand::{BudgetPolicy, OnDemandAutomaton};
 use crate::signature::SigId;
+use crate::snapshot::AutomatonSnapshot;
 use crate::state::StateId;
 
-/// A shareable, lock-protected [`OnDemandAutomaton`].
+/// The snapshot-based shared on-demand automaton.
 ///
-/// Wrap it in an `Arc` and hand clones to compilation threads.
+/// Wrap it in an `Arc` and hand clones to compilation threads; see the
+/// [module docs](self) for the design.
+///
+/// # Examples
+///
+/// ```
+/// use odburg_core::{OnDemandAutomaton, SharedOnDemand};
+/// use odburg_grammar::parse_grammar;
+/// use odburg_ir::{parse_sexpr, Forest};
+/// use std::sync::Arc;
+///
+/// let g = parse_grammar("%start reg\nreg: ConstI8 (1)\nreg: AddI8(reg, reg) (1)\n")?;
+/// let shared = Arc::new(SharedOnDemand::new(OnDemandAutomaton::new(
+///     Arc::new(g.normalize()),
+/// )));
+/// let mut handles = Vec::new();
+/// for _ in 0..4 {
+///     let shared = Arc::clone(&shared);
+///     handles.push(std::thread::spawn(move || {
+///         let mut f = Forest::new();
+///         let root = parse_sexpr(&mut f, "(AddI8 (ConstI8 1) (ConstI8 2))").unwrap();
+///         f.add_root(root);
+///         shared.label_forest(&f).unwrap();
+///     }));
+/// }
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(shared.stats().states, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct SharedOnDemand {
+    /// The published snapshot readers label against. Replaced snapshots
+    /// are retired (kept alive), which is what keeps pre-flush state ids
+    /// dereferenceable; see [`BudgetPolicy::Flush`].
+    current: ArcSwap<AutomatonSnapshot>,
+    /// The mutable master automaton — the single-writer grow path.
+    writer: Mutex<OnDemandAutomaton>,
+    /// Lock-free work counters (the coarse design kept these in a
+    /// `Mutex`).
+    counters: AtomicWorkCounters,
+}
+
+/// A labeling pinned to the exact snapshot its state ids refer to.
+///
+/// Returned by [`SharedOnDemand::label_forest_pinned`]; this is the
+/// flush-safe way to hold labelings across forests, because the pinned
+/// snapshot keeps its epoch's tables alive regardless of how often the
+/// shared automaton is flushed afterwards.
+#[derive(Debug)]
+pub struct PinnedLabeling {
+    snapshot: Arc<AutomatonSnapshot>,
+    labeling: Labeling,
+}
+
+impl PinnedLabeling {
+    /// The per-node states.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The snapshot the state ids belong to.
+    pub fn snapshot(&self) -> &Arc<AutomatonSnapshot> {
+        &self.snapshot
+    }
+
+    /// The state assigned to `node`, resolved against the pinned
+    /// snapshot.
+    pub fn state_data(&self, node: NodeId) -> &crate::StateData {
+        self.snapshot.state(self.labeling.state_of(node))
+    }
+
+    /// A [`RuleChooser`](crate::RuleChooser) over the pinned snapshot.
+    pub fn chooser(&self) -> StateChooser<'_, AutomatonSnapshot> {
+        self.labeling.chooser(&self.snapshot)
+    }
+}
+
+impl SharedOnDemand {
+    /// Wraps an automaton for shared use, publishing its current tables
+    /// as the initial snapshot.
+    pub fn new(automaton: OnDemandAutomaton) -> Self {
+        SharedOnDemand {
+            current: ArcSwap::new(Arc::new(automaton.snapshot())),
+            writer: Mutex::new(automaton),
+            counters: AtomicWorkCounters::new(),
+        }
+    }
+
+    /// Labels a forest. On the warm path (every transition present in
+    /// the current snapshot) this takes **no lock**: one atomic pointer
+    /// load, immutable reads, one atomic counter merge.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnDemandAutomaton::label_forest`].
+    pub fn label_forest(&self, forest: &Forest) -> Result<Labeling, LabelError> {
+        let snap = self.current.peek();
+        let (states, _) = self.label_core(snap, forest)?;
+        Ok(Labeling::from_states(states))
+    }
+
+    /// Labels a forest and pins the snapshot the resulting state ids
+    /// refer to. Use this when labelings outlive the next flush (see
+    /// [`BudgetPolicy::Flush`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OnDemandAutomaton::label_forest`].
+    pub fn label_forest_pinned(&self, forest: &Forest) -> Result<PinnedLabeling, LabelError> {
+        let snap = self.current.load_full();
+        let (states, published) = self.label_core(&snap, forest)?;
+        Ok(PinnedLabeling {
+            snapshot: published.unwrap_or(snap),
+            labeling: Labeling::from_states(states),
+        })
+    }
+
+    /// The shared labeling algorithm: fast path against `snap`, slow
+    /// path through the writer. Returns the per-node states and, if the
+    /// slow path ran, the snapshot it published (whose epoch the states
+    /// belong to).
+    fn label_core(
+        &self,
+        snap: &AutomatonSnapshot,
+        forest: &Forest,
+    ) -> Result<(Vec<StateId>, Option<Arc<AutomatonSnapshot>>), LabelError> {
+        let mut states: Vec<StateId> = Vec::with_capacity(forest.len());
+        let mut local = WorkCounters::new();
+
+        // Fast path: immutable lookups against the snapshot, no locks.
+        for (id, node) in forest.iter() {
+            let mut kids = [StateId(0); 2];
+            for (i, &c) in node.children().iter().enumerate() {
+                kids[i] = states[c.index()];
+            }
+            local.nodes += 1;
+            local.hash_lookups += 1;
+            match peek(snap, forest, id, node.op(), &kids, &mut local) {
+                Some(sid) => {
+                    if snap.state(sid).is_dead() {
+                        self.counters.merge(&local);
+                        return Err(LabelError::NoCover {
+                            node: id,
+                            op: node.op(),
+                        });
+                    }
+                    local.memo_hits += 1;
+                    states.push(sid);
+                }
+                None => break,
+            }
+        }
+
+        // Warm path: everything answered from the snapshot.
+        if states.len() == forest.len() {
+            self.counters.merge(&local);
+            return Ok((states, None));
+        }
+
+        // Slow path: single-writer grow, then publish a new snapshot.
+        let result = {
+            let mut master = self.writer.lock();
+
+            // A flush may have started a new epoch since our snapshot was
+            // loaded; prefix state ids would then be meaningless in the
+            // master, so relabel the forest from the top. (Within an
+            // epoch the master is append-only, so the prefix is valid.)
+            if master.epoch() != snap.epoch() {
+                states.clear();
+            }
+
+            let mut outcome = label_rest(&mut master, forest, &mut states);
+            if matches!(outcome, Err(LabelError::StateBudgetExceeded { .. }))
+                && master.config().budget_policy == BudgetPolicy::Flush
+            {
+                // Bounded-memory mode: flush (starting a new epoch) and
+                // give this forest one fresh start. A second overflow
+                // means the forest alone exceeds the budget.
+                master.clear();
+                states.clear();
+                outcome = label_rest(&mut master, forest, &mut states);
+            }
+
+            // Publish what the writer learned — also on failure: dead
+            // states and new epochs must reach the snapshot so repeated
+            // errors (and post-flush forests) are answered lock-free.
+            let published = Arc::new(master.snapshot());
+            self.current.store(Arc::clone(&published));
+            outcome.map(|()| published)
+        };
+
+        self.counters.merge(&local);
+        Ok((states, Some(result?)))
+    }
+
+    /// Work accumulated by the snapshot fast path plus the master
+    /// automaton's grow path.
+    pub fn counters(&self) -> WorkCounters {
+        let mut c = self.counters.snapshot();
+        c.merge(&self.writer.lock().counters());
+        c
+    }
+
+    /// Size statistics of the master automaton (the most recent tables,
+    /// published or not).
+    pub fn stats(&self) -> crate::OnDemandStats {
+        self.writer.lock().stats()
+    }
+
+    /// The currently published snapshot, pinned.
+    pub fn snapshot(&self) -> Arc<AutomatonSnapshot> {
+        self.current.load_full()
+    }
+
+    /// Number of snapshots retired by publications so far (a measure of
+    /// grow-path activity and of the retire-list's memory cost).
+    pub fn snapshots_published(&self) -> usize {
+        self.current.retired_len()
+    }
+
+    /// Runs `f` with shared access to the master automaton. Takes the
+    /// writer lock; intended for inspection, not for hot paths.
+    pub fn with_read<R>(&self, f: impl FnOnce(&OnDemandAutomaton) -> R) -> R {
+        f(&self.writer.lock())
+    }
+
+    /// Consumes the wrapper and returns the master automaton.
+    pub fn into_inner(self) -> OnDemandAutomaton {
+        self.writer.into_inner()
+    }
+}
+
+/// Labels `forest` from `states.len()` onward against the master.
+fn label_rest(
+    master: &mut OnDemandAutomaton,
+    forest: &Forest,
+    states: &mut Vec<StateId>,
+) -> Result<(), LabelError> {
+    let mut kid_buf: Vec<StateId> = Vec::with_capacity(2);
+    for idx in states.len()..forest.len() {
+        let id = NodeId(idx as u32);
+        let node = forest.node(id);
+        kid_buf.clear();
+        for &c in node.children() {
+            kid_buf.push(states[c.index()]);
+        }
+        let sid = master.label_node(forest, id, &kid_buf)?;
+        if master.state(sid).is_dead() {
+            return Err(LabelError::NoCover {
+                node: id,
+                op: node.op(),
+            });
+        }
+        states.push(sid);
+    }
+    Ok(())
+}
+
+/// Read-only view of an automaton's transition tables; the fast-path
+/// lookup [`peek`] is written against this so the snapshot core and the
+/// coarse-lock baseline share one signature/key construction (they must
+/// never drift apart, or the benchmark comparison stops being one).
+trait TransitionView {
+    fn view_grammar(&self) -> &odburg_grammar::NormalGrammar;
+    fn view_signature(&self, costs: &[RuleCost]) -> Option<SigId>;
+    fn view_lookup(&self, op: Op, kids: &[StateId], sig: SigId) -> Option<StateId>;
+}
+
+impl TransitionView for AutomatonSnapshot {
+    fn view_grammar(&self) -> &odburg_grammar::NormalGrammar {
+        self.grammar()
+    }
+    fn view_signature(&self, costs: &[RuleCost]) -> Option<SigId> {
+        self.find_signature(costs)
+    }
+    fn view_lookup(&self, op: Op, kids: &[StateId], sig: SigId) -> Option<StateId> {
+        self.lookup(op, kids, sig)
+    }
+}
+
+impl TransitionView for OnDemandAutomaton {
+    fn view_grammar(&self) -> &odburg_grammar::NormalGrammar {
+        self.grammar()
+    }
+    fn view_signature(&self, costs: &[RuleCost]) -> Option<SigId> {
+        self.find_signature(costs)
+    }
+    fn view_lookup(&self, op: Op, kids: &[StateId], sig: SigId) -> Option<StateId> {
+        self.peek_transition(op, kids, sig)
+    }
+}
+
+/// Non-mutating transition lookup; `None` means "miss, take the slow
+/// path". Mirrors the key construction of
+/// [`OnDemandAutomaton::label_node`].
+fn peek<V: TransitionView>(
+    view: &V,
+    forest: &Forest,
+    node: NodeId,
+    op: Op,
+    kids: &[StateId; 2],
+    local: &mut WorkCounters,
+) -> Option<StateId> {
+    let grammar = view.view_grammar();
+    let sig = if grammar.has_dynamic_rules() {
+        let base = grammar.dynamic_base_rules(op);
+        let chains = grammar.dynamic_chain_rules();
+        if base.is_empty() && chains.is_empty() {
+            SigId::EMPTY
+        } else {
+            let costs: Vec<RuleCost> = base
+                .iter()
+                .chain(chains)
+                .map(|&r| {
+                    local.dyncost_evals += 1;
+                    grammar.rule_cost_at(r, forest, node)
+                })
+                .collect();
+            view.view_signature(&costs)?
+        }
+    } else {
+        SigId::EMPTY
+    };
+    view.view_lookup(op, &kids[..op.arity()], sig)
+}
+
+impl StateLookup for SharedOnDemand {
+    /// Resolves against the currently published snapshot. Within an
+    /// epoch this is always correct (ids are append-only). Across a
+    /// [`BudgetPolicy::Flush`], a stale id degrades to `None` (the
+    /// snapshot's lookup is bounds-checked) — prefer
+    /// [`SharedOnDemand::label_forest_pinned`] when labelings outlive
+    /// flushes.
+    fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId> {
+        self.current.peek().rule_in_state(state, nt)
+    }
+}
+
+impl Labeler for SharedOnDemand {
+    type Output = Labeling;
+
+    fn label_forest(&mut self, forest: &Forest) -> Result<Labeling, LabelError> {
+        SharedOnDemand::label_forest(self, forest)
+    }
+
+    fn counters(&self) -> WorkCounters {
+        SharedOnDemand::counters(self)
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+        self.writer.get_mut().reset_counters();
+    }
+
+    fn name(&self) -> &'static str {
+        "shared"
+    }
+}
+
+/// The coarse-lock shared automaton: one `RwLock` around the whole
+/// automaton (read lock on the warm path, write lock from the first miss
+/// onward).
+///
+/// Superseded by the snapshot-based [`SharedOnDemand`]; kept as the
+/// baseline the `thread_scaling` benchmark compares against.
+#[derive(Debug)]
+pub struct CoarseSharedOnDemand {
     inner: RwLock<OnDemandAutomaton>,
     counters: Mutex<WorkCounters>,
 }
 
-impl SharedOnDemand {
+impl CoarseSharedOnDemand {
     /// Wraps an automaton for shared use.
     pub fn new(automaton: OnDemandAutomaton) -> Self {
-        SharedOnDemand {
+        CoarseSharedOnDemand {
             inner: RwLock::new(automaton),
             counters: Mutex::new(WorkCounters::new()),
         }
@@ -48,7 +437,9 @@ impl SharedOnDemand {
         let mut states: Vec<StateId> = Vec::with_capacity(forest.len());
         let mut local = WorkCounters::new();
 
-        // Fast path: read lock, non-mutating lookups.
+        // Fast path: read lock, non-mutating lookups through the same
+        // `peek` the snapshot core uses. The whole-automaton lock is
+        // exactly what the snapshot design eliminates.
         {
             let auto = self.inner.read();
             for (id, node) in forest.iter() {
@@ -58,9 +449,10 @@ impl SharedOnDemand {
                 }
                 local.nodes += 1;
                 local.hash_lookups += 1;
-                match peek(&auto, forest, id, node.op(), &kids, &mut local) {
+                match peek(&*auto, forest, id, node.op(), &kids, &mut local) {
                     Some(sid) => {
                         if auto.state(sid).is_dead() {
+                            self.counters.lock().merge(&local);
                             return Err(LabelError::NoCover {
                                 node: id,
                                 op: node.op(),
@@ -77,23 +469,7 @@ impl SharedOnDemand {
         // Slow path: write lock from the first miss onward.
         if states.len() < forest.len() {
             let mut auto = self.inner.write();
-            let mut kid_buf: Vec<StateId> = Vec::with_capacity(2);
-            for idx in states.len()..forest.len() {
-                let id = NodeId(idx as u32);
-                let node = forest.node(id);
-                kid_buf.clear();
-                for &c in node.children() {
-                    kid_buf.push(states[c.index()]);
-                }
-                let sid = auto.label_node(forest, id, &kid_buf)?;
-                if auto.state(sid).is_dead() {
-                    return Err(LabelError::NoCover {
-                        node: id,
-                        op: node.op(),
-                    });
-                }
-                states.push(sid);
-            }
+            label_rest(&mut auto, forest, &mut states)?;
         }
 
         self.counters.lock().merge(&local);
@@ -103,7 +479,7 @@ impl SharedOnDemand {
     /// Work accumulated by the fast path plus the inner automaton.
     pub fn counters(&self) -> WorkCounters {
         let mut c = *self.counters.lock();
-        c.merge(self.inner.read().counters());
+        c.merge(&self.inner.read().counters());
         c
     }
 
@@ -112,52 +488,13 @@ impl SharedOnDemand {
         self.inner.read().stats()
     }
 
-    /// Runs `f` with shared access to the wrapped automaton.
-    pub fn with_read<R>(&self, f: impl FnOnce(&OnDemandAutomaton) -> R) -> R {
-        f(&self.inner.read())
-    }
-
     /// Consumes the wrapper and returns the automaton.
     pub fn into_inner(self) -> OnDemandAutomaton {
         self.inner.into_inner()
     }
 }
 
-/// Non-mutating transition lookup; `None` means "miss, take the slow
-/// path". Mirrors the key construction of
-/// [`OnDemandAutomaton::label_node`].
-fn peek(
-    auto: &OnDemandAutomaton,
-    forest: &Forest,
-    node: NodeId,
-    op: Op,
-    kids: &[StateId; 2],
-    local: &mut WorkCounters,
-) -> Option<StateId> {
-    let grammar = auto.grammar();
-    let sig = if grammar.has_dynamic_rules() {
-        let base = grammar.dynamic_base_rules(op);
-        let chains = grammar.dynamic_chain_rules();
-        if base.is_empty() && chains.is_empty() {
-            SigId::EMPTY
-        } else {
-            let costs: Vec<RuleCost> = base
-                .iter()
-                .chain(chains)
-                .map(|&r| {
-                    local.dyncost_evals += 1;
-                    grammar.rule_cost_at(r, forest, node)
-                })
-                .collect();
-            auto.find_signature(&costs)?
-        }
-    } else {
-        SigId::EMPTY
-    };
-    auto.peek_transition(op, kids, sig)
-}
-
-impl StateLookup for SharedOnDemand {
+impl StateLookup for CoarseSharedOnDemand {
     fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId> {
         self.inner.read().rule_in_state(state, nt)
     }
@@ -170,7 +507,9 @@ mod tests {
     use odburg_ir::parse_sexpr;
     use std::sync::Arc;
 
-    fn shared_demo() -> SharedOnDemand {
+    use crate::ondemand::OnDemandConfig;
+
+    fn demo_automaton() -> OnDemandAutomaton {
         let g = parse_grammar(
             r#"
             %start stmt
@@ -183,7 +522,11 @@ mod tests {
         )
         .unwrap()
         .normalize();
-        SharedOnDemand::new(OnDemandAutomaton::new(Arc::new(g)))
+        OnDemandAutomaton::new(Arc::new(g))
+    }
+
+    fn shared_demo() -> SharedOnDemand {
+        SharedOnDemand::new(demo_automaton())
     }
 
     fn forest(src: &str) -> Forest {
@@ -199,9 +542,28 @@ mod tests {
         let f = forest("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
         shared.label_forest(&f).unwrap();
         let warm_states = shared.stats().states;
-        // Second pass must be answered entirely from the read path.
+        let published = shared.snapshots_published();
+        // Second pass must be answered entirely from the snapshot: no
+        // state growth and no new publication.
         shared.label_forest(&f).unwrap();
         assert_eq!(shared.stats().states, warm_states);
+        assert_eq!(shared.snapshots_published(), published);
+    }
+
+    #[test]
+    fn cold_miss_publishes_one_snapshot_per_forest() {
+        let shared = shared_demo();
+        assert_eq!(shared.snapshots_published(), 0);
+        shared
+            .label_forest(&forest("(StoreI8 (ConstI8 0) (ConstI8 1))"))
+            .unwrap();
+        assert_eq!(shared.snapshots_published(), 1);
+        shared
+            .label_forest(&forest(
+                "(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))",
+            ))
+            .unwrap();
+        assert_eq!(shared.snapshots_published(), 2);
     }
 
     #[test]
@@ -241,10 +603,166 @@ mod tests {
             shared.label_forest(&f),
             Err(LabelError::NoCover { .. })
         ));
-        // And again, now that the dead transition may be cached.
+        // And again, now that the dead transition is cached in the
+        // published snapshot (this exercises the fast-path dead check).
         assert!(matches!(
             shared.label_forest(&f),
             Err(LabelError::NoCover { .. })
         ));
+    }
+
+    #[test]
+    fn pinned_labeling_survives_flush() {
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        let auto = OnDemandAutomaton::with_config(
+            Arc::new(g),
+            OnDemandConfig {
+                // Each test forest needs 3 distinct states on its own;
+                // their union needs 4, so the second forest forces a
+                // flush that its solo relabel survives.
+                state_budget: 3,
+                budget_policy: BudgetPolicy::Flush,
+                ..OnDemandConfig::default()
+            },
+        );
+        let shared = SharedOnDemand::new(auto);
+
+        use crate::label::RuleChooser;
+
+        let f1 = forest("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        let pinned = shared.label_forest_pinned(&f1).unwrap();
+        let epoch_before = pinned.snapshot().epoch();
+        let start = pinned.snapshot().grammar().start();
+        assert!(pinned.chooser().rule_for(f1.roots()[0], start).is_some());
+
+        // The load forest needs a state the budget has no room for.
+        let f2 = forest("(StoreI8 (ConstI8 0) (LoadI8 (ConstI8 4)))");
+        shared.label_forest(&f2).unwrap();
+        let now = shared.snapshot();
+        assert!(now.epoch() > epoch_before, "flush must advance the epoch");
+
+        // The pinned labeling still resolves against its own epoch's
+        // tables even though the shared automaton has moved on.
+        assert!(pinned.state_data(f1.roots()[0]).rule(start).is_some());
+    }
+
+    #[test]
+    fn labeler_trait_drives_shared() {
+        let mut shared = shared_demo();
+        let f = forest("(StoreI8 (ConstI8 0) (ConstI8 1))");
+        let labeling = Labeler::label_forest(&mut shared, &f).unwrap();
+        assert_eq!(labeling.states().len(), f.len());
+        assert_eq!(Labeler::name(&shared), "shared");
+        assert!(Labeler::counters(&shared).nodes >= f.len() as u64);
+        shared.reset_counters();
+        assert_eq!(Labeler::counters(&shared).nodes, 0);
+    }
+
+    #[test]
+    fn coarse_baseline_agrees_with_snapshot_core() {
+        let coarse = CoarseSharedOnDemand::new(demo_automaton());
+        let snappy = shared_demo();
+        for src in [
+            "(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))",
+            "(StoreI8 (ConstI8 0) (LoadI8 (ConstI8 8)))",
+        ] {
+            let f = forest(src);
+            let a = coarse.label_forest(&f).unwrap();
+            let b = snappy.label_forest(&f).unwrap();
+            assert_eq!(a, b, "coarse vs snapshot on {src}");
+        }
+    }
+
+    #[test]
+    fn stale_state_id_after_flush_degrades_to_none() {
+        // A labeling obtained through the non-pinned path before a flush
+        // may hold state ids beyond the post-flush snapshot's arena; the
+        // StateLookup path must answer `None` (→ `MissingRule` at
+        // reduction), never panic.
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        let auto = OnDemandAutomaton::with_config(
+            Arc::new(g),
+            OnDemandConfig {
+                state_budget: 3,
+                budget_policy: BudgetPolicy::Flush,
+                ..OnDemandConfig::default()
+            },
+        );
+        let shared = SharedOnDemand::new(auto);
+        let f1 = forest("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        let stale = shared.label_forest(&f1).unwrap();
+        // Flush into a new, smaller epoch.
+        shared
+            .label_forest(&forest("(StoreI8 (ConstI8 0) (LoadI8 (ConstI8 4)))"))
+            .unwrap();
+        // Highest id of the stale labeling exceeds nothing fatal: every
+        // lookup either resolves (id still in range) or returns None.
+        let start = shared.with_read(|a| a.grammar().start());
+        for (id, _) in f1.iter() {
+            let _ = shared.rule_in_state(stale.state_of(id), start);
+        }
+    }
+
+    #[test]
+    fn use_after_flush_epoch_restart() {
+        // A reader whose loaded snapshot predates a flush must restart
+        // against the new epoch and still produce a valid labeling.
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        let auto = OnDemandAutomaton::with_config(
+            Arc::new(g),
+            OnDemandConfig {
+                // Each test forest needs 3 distinct states on its own;
+                // their union needs 4, so the second forest forces a
+                // flush that its solo relabel survives.
+                state_budget: 3,
+                budget_policy: BudgetPolicy::Flush,
+                ..OnDemandConfig::default()
+            },
+        );
+        let shared = SharedOnDemand::new(auto);
+        // Warm epoch 0, flush into epoch 1+, then label an epoch-0 shape
+        // again: the snapshot path must re-enter the writer and restart.
+        let small = forest("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        shared.label_forest(&small).unwrap();
+        let big = forest("(StoreI8 (ConstI8 0) (LoadI8 (ConstI8 4)))");
+        shared.label_forest(&big).unwrap();
+        let labeling = shared.label_forest(&small).unwrap();
+        let start = shared.with_read(|a| a.grammar().start());
+        assert!(shared
+            .rule_in_state(labeling.state_of(small.roots()[0]), start)
+            .is_some());
     }
 }

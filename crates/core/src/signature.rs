@@ -25,7 +25,11 @@ impl SigId {
 }
 
 /// Interner for dynamic-cost vectors.
-#[derive(Debug)]
+///
+/// `Clone` is cheap relative to publication frequency and is used to
+/// freeze the interner into an [`AutomatonSnapshot`]
+/// (crate::AutomatonSnapshot).
+#[derive(Debug, Clone)]
 pub struct SignatureInterner {
     sigs: Vec<Box<[RuleCost]>>,
     ids: FxHashMap<Box<[RuleCost]>, SigId>,
@@ -110,9 +114,6 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(s.len(), 3);
-        assert_eq!(
-            s.get(c),
-            &[RuleCost::Finite(1), RuleCost::Infinite]
-        );
+        assert_eq!(s.get(c), &[RuleCost::Finite(1), RuleCost::Infinite]);
     }
 }

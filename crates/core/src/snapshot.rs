@@ -1,0 +1,253 @@
+//! Immutable, shareable snapshots of an on-demand automaton.
+//!
+//! The concurrent labeling core ([`SharedOnDemand`](crate::SharedOnDemand))
+//! separates the automaton into two halves:
+//!
+//! * an **immutable snapshot** (this module): state arena, transition
+//!   table, projection cache and signature interner, frozen at a point in
+//!   time and published behind an atomically swappable pointer. Reader
+//!   threads label whole forests against a snapshot with *zero* locks and
+//!   zero shared-memory writes — every operation is a read of immutable
+//!   data;
+//! * a **single-writer grow path**: the mutable master automaton behind a
+//!   mutex, entered only when a forest contains a transition the current
+//!   snapshot has not seen. The writer computes the missing states and
+//!   publishes a fresh snapshot.
+//!
+//! Because the master automaton is append-only within an epoch (state,
+//! transition and signature ids are never reassigned until a
+//! [`BudgetPolicy::Flush`](crate::BudgetPolicy) wipe), any prefix of a
+//! forest labeled against an older snapshot remains valid against the
+//! newer master — the slow path can resume exactly where the fast path
+//! stopped.
+
+use std::sync::Arc;
+
+use odburg_grammar::{NormalGrammar, NormalRuleId, NtId, RuleCost};
+use odburg_ir::Op;
+
+use crate::fxhash::FxHashMap;
+use crate::label::StateLookup;
+use crate::ondemand::OnDemandConfig;
+use crate::signature::{SigId, SignatureInterner};
+use crate::state::{StateData, StateId};
+
+pub(crate) const NO_CHILD: u32 = u32::MAX;
+
+/// Transition-table key: `(operator, child states, dynamic-cost
+/// signature)` — the lookup the paper performs per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct TransKey {
+    pub op: u16,
+    pub kids: [u32; 2],
+    pub sig: SigId,
+}
+
+/// Size statistics of a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Epoch the snapshot belongs to (see [`AutomatonSnapshot::epoch`]).
+    pub epoch: u64,
+    /// States in the arena.
+    pub states: usize,
+    /// Memoized transitions.
+    pub transitions: usize,
+    /// Interned dynamic-cost signatures.
+    pub signatures: usize,
+}
+
+/// An immutable copy of an on-demand automaton's tables, safe to read
+/// from any number of threads without synchronization.
+///
+/// Snapshots are created by
+/// [`OnDemandAutomaton::snapshot`](crate::OnDemandAutomaton::snapshot)
+/// and published by [`SharedOnDemand`](crate::SharedOnDemand); state ids
+/// in a snapshot agree with the master automaton of the same epoch.
+#[derive(Debug)]
+pub struct AutomatonSnapshot {
+    epoch: u64,
+    grammar: Arc<NormalGrammar>,
+    config: OnDemandConfig,
+    states: Vec<Arc<StateData>>,
+    transitions: FxHashMap<TransKey, StateId>,
+    projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
+    signatures: SignatureInterner,
+}
+
+impl AutomatonSnapshot {
+    pub(crate) fn new(
+        epoch: u64,
+        grammar: Arc<NormalGrammar>,
+        config: OnDemandConfig,
+        states: Vec<Arc<StateData>>,
+        transitions: FxHashMap<TransKey, StateId>,
+        projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
+        signatures: SignatureInterner,
+    ) -> Self {
+        AutomatonSnapshot {
+            epoch,
+            grammar,
+            config,
+            states,
+            transitions,
+            projection_cache,
+            signatures,
+        }
+    }
+
+    /// The flush epoch this snapshot belongs to. State ids are only
+    /// comparable between snapshots (or labelings) of the same epoch; see
+    /// the epoch discussion on
+    /// [`BudgetPolicy::Flush`](crate::BudgetPolicy).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The grammar the automaton selects for.
+    pub fn grammar(&self) -> &Arc<NormalGrammar> {
+        &self.grammar
+    }
+
+    /// The configuration the master automaton was created with.
+    pub fn config(&self) -> OnDemandConfig {
+        self.config
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            epoch: self.epoch,
+            states: self.states.len(),
+            transitions: self.transitions.len(),
+            signatures: self.signatures.len(),
+        }
+    }
+
+    /// The data of a state.
+    pub fn state(&self, id: StateId) -> &StateData {
+        &self.states[id.0 as usize]
+    }
+
+    /// Looks up an already-interned dynamic-cost signature. `None` means
+    /// the signature is unknown to this snapshot — a miss that must go to
+    /// the writer.
+    pub fn find_signature(&self, costs: &[RuleCost]) -> Option<SigId> {
+        self.signatures.find(costs)
+    }
+
+    /// Non-mutating transition lookup: `Some(state)` if `(op, kids, sig)`
+    /// is memoized in this snapshot, `None` on a miss.
+    ///
+    /// In projection mode the child states are first resolved through the
+    /// frozen projection cache; an unseen `(child, op, position)` triple
+    /// is a miss like any other.
+    pub fn lookup(&self, op: Op, kid_states: &[StateId], sig: SigId) -> Option<StateId> {
+        let mut key = TransKey {
+            op: op.id().0,
+            kids: [NO_CHILD; 2],
+            sig,
+        };
+        for (i, &k) in kid_states.iter().take(op.arity()).enumerate() {
+            key.kids[i] = if self.config.project_children {
+                self.projection_cache.get(&(k, op.id().0, i as u8))?.0
+            } else {
+                k.0
+            };
+        }
+        self.transitions.get(&key).copied()
+    }
+}
+
+impl StateLookup for AutomatonSnapshot {
+    /// Bounds-checked: a stale id from an earlier flush epoch can exceed
+    /// this snapshot's arena; it must degrade to "no rule" (the reducer
+    /// reports `MissingRule`), never panic. Ids valid for this snapshot's
+    /// epoch are unaffected.
+    fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId> {
+        self.states.get(state.0 as usize)?.rule(nt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Labeler;
+    use crate::ondemand::OnDemandAutomaton;
+    use odburg_grammar::parse_grammar;
+    use odburg_ir::{parse_sexpr, Forest};
+
+    fn warmed() -> (OnDemandAutomaton, Forest) {
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        let mut auto = OnDemandAutomaton::new(Arc::new(g));
+        let mut f = Forest::new();
+        let root = parse_sexpr(
+            &mut f,
+            "(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 4)) (ConstI8 2)))",
+        )
+        .unwrap();
+        f.add_root(root);
+        auto.label_forest(&f).unwrap();
+        (auto, f)
+    }
+
+    #[test]
+    fn snapshot_reproduces_warm_labeling() {
+        let (auto, forest) = warmed();
+        let snap = auto.snapshot();
+        assert_eq!(snap.stats().states, auto.stats().states);
+        assert_eq!(snap.stats().transitions, auto.stats().transitions);
+        // Re-label the forest against the snapshot only.
+        let mut states: Vec<StateId> = Vec::new();
+        for (_, node) in forest.iter() {
+            let kids: Vec<StateId> = node.children().iter().map(|c| states[c.index()]).collect();
+            let sid = snap
+                .lookup(node.op(), &kids, SigId::EMPTY)
+                .expect("warm snapshot must hit");
+            states.push(sid);
+        }
+        // Same states as the master automaton assigns.
+        let relabeled = {
+            let mut auto = auto;
+            auto.label_forest(&forest).unwrap()
+        };
+        assert_eq!(relabeled.states(), &states[..]);
+    }
+
+    #[test]
+    fn snapshot_misses_unseen_transitions() {
+        let (auto, _) = warmed();
+        let snap = auto.snapshot();
+        // A (op, kids) combination never labeled: Load of the Add state.
+        let op: Op = "LoadI8".parse().unwrap();
+        let unseen = snap.lookup(op, &[StateId(1)], SigId::EMPTY);
+        assert!(unseen.is_none());
+    }
+
+    #[test]
+    fn snapshot_is_decoupled_from_master_growth() {
+        let (mut auto, _) = warmed();
+        let snap = auto.snapshot();
+        let before = snap.stats().states;
+        let mut f = Forest::new();
+        let root = parse_sexpr(
+            &mut f,
+            "(StoreI8 (ConstI8 0) (AddI8 (AddI8 (ConstI8 1) (ConstI8 2)) (ConstI8 3)))",
+        )
+        .unwrap();
+        f.add_root(root);
+        auto.label_forest(&f).unwrap();
+        assert!(auto.stats().transitions > snap.stats().transitions);
+        assert_eq!(snap.stats().states, before, "snapshot must stay frozen");
+    }
+}

@@ -1,6 +1,8 @@
 //! Automaton states: per-nonterminal normalized costs and optimal rules,
 //! with hash-consing.
 
+use std::sync::Arc;
+
 use odburg_grammar::{Cost, NormalRuleId, NtId};
 
 use crate::fxhash::FxHashMap;
@@ -139,10 +141,17 @@ impl StateData {
 }
 
 /// A hash-consing interner for [`StateData`].
+///
+/// States are stored behind `Arc`s so that an immutable
+/// [`AutomatonSnapshot`](crate::AutomatonSnapshot) can be published from
+/// a set with reference-count bumps instead of deep copies. Ids are
+/// append-only: once assigned, a `StateId` never changes meaning for the
+/// lifetime of the set (until [`OnDemandAutomaton::clear`]
+/// (crate::OnDemandAutomaton::clear) replaces the whole set).
 #[derive(Debug, Default)]
 pub struct StateSet {
-    states: Vec<StateData>,
-    ids: FxHashMap<StateData, StateId>,
+    states: Vec<Arc<StateData>>,
+    ids: FxHashMap<Arc<StateData>, StateId>,
 }
 
 impl StateSet {
@@ -157,7 +166,8 @@ impl StateSet {
             return (id, false);
         }
         let id = StateId(self.states.len() as u32);
-        self.states.push(state.clone());
+        let state = Arc::new(state);
+        self.states.push(Arc::clone(&state));
         self.ids.insert(state, id);
         (id, true)
     }
@@ -165,6 +175,12 @@ impl StateSet {
     /// The state with the given id.
     pub fn get(&self, id: StateId) -> &StateData {
         &self.states[id.0 as usize]
+    }
+
+    /// A shared copy of the arena, cheap to clone (one refcount bump per
+    /// state). This is what snapshot publication uses.
+    pub fn share_arena(&self) -> Vec<Arc<StateData>> {
+        self.states.clone()
     }
 
     /// Number of interned states.
@@ -182,12 +198,12 @@ impl StateSet {
         self.states
             .iter()
             .enumerate()
-            .map(|(i, s)| (StateId(i as u32), s))
+            .map(|(i, s)| (StateId(i as u32), &**s))
     }
 
     /// Total approximate byte size of all states.
     pub fn byte_size(&self) -> usize {
-        self.states.iter().map(StateData::byte_size).sum()
+        self.states.iter().map(|s| s.byte_size()).sum()
     }
 }
 

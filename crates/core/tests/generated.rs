@@ -12,6 +12,9 @@ use odburg_core::{
 use odburg_grammar::{parse_grammar, NormalGrammar, NtId};
 use odburg_ir::{parse_sexpr, Forest};
 
+// `allow(dead_code)`: the generated module exports its full API
+// (START_NT & co.); this test only drives `label_node`.
+#[allow(dead_code)]
 mod demo_tables {
     include!("generated/demo_tables.rs");
 }
@@ -57,11 +60,7 @@ fn generated_labeler_matches_interpreted_automaton() {
         // Drive the generated module over the same forest.
         let mut states: Vec<u32> = Vec::new();
         for (_, node) in forest.iter() {
-            let kids: Vec<u32> = node
-                .children()
-                .iter()
-                .map(|c| states[c.index()])
-                .collect();
+            let kids: Vec<u32> = node.children().iter().map(|c| states[c.index()]).collect();
             let s = demo_tables::label_node(node.op().id().0, &kids)
                 .unwrap_or_else(|| panic!("{src}: generated labeler rejected a node"));
             states.push(s);

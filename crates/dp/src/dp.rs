@@ -168,8 +168,8 @@ impl Labeler for DpLabeler {
         })
     }
 
-    fn counters(&self) -> &WorkCounters {
-        &self.counters
+    fn counters(&self) -> WorkCounters {
+        self.counters
     }
 
     fn reset_counters(&mut self) {
@@ -254,16 +254,17 @@ mod tests {
 
     #[test]
     fn dynamic_costs_evaluated_per_node() {
-        let mut g = parse_grammar(
-            "%start reg\n%dyncost imm\nreg: ConstI8 [imm]\nreg: ConstI8 (4)\n",
-        )
-        .unwrap();
+        let mut g =
+            parse_grammar("%start reg\n%dyncost imm\nreg: ConstI8 [imm]\nreg: ConstI8 (4)\n")
+                .unwrap();
         g.bind_dyncost(
             "imm",
-            Arc::new(|forest: &Forest, node| match forest.node(node).payload().as_int() {
-                Some(v) if v < 100 => RuleCost::Finite(1),
-                _ => RuleCost::Infinite,
-            }),
+            Arc::new(
+                |forest: &Forest, node| match forest.node(node).payload().as_int() {
+                    Some(v) if v < 100 => RuleCost::Finite(1),
+                    _ => RuleCost::Infinite,
+                },
+            ),
         )
         .unwrap();
         let g = Arc::new(g.normalize());

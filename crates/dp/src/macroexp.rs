@@ -213,8 +213,8 @@ impl Labeler for MacroExpander {
         Ok(out)
     }
 
-    fn counters(&self) -> &WorkCounters {
-        &self.counters
+    fn counters(&self) -> WorkCounters {
+        self.counters
     }
 
     fn reset_counters(&mut self) {

@@ -117,9 +117,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &source[start..i];
@@ -214,9 +212,7 @@ mod tests {
         assert_eq!(toks[0].kind, TokenKind::Fn);
         assert_eq!(toks[1].kind, TokenKind::Ident("foo".into()));
         assert!(toks.iter().any(|t| t.kind == TokenKind::Let));
-        assert!(toks
-            .iter()
-            .any(|t| t.kind == TokenKind::Ident("y1".into())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Ident("y1".into())));
     }
 
     #[test]

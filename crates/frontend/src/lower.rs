@@ -123,9 +123,7 @@ impl Lowerer<'_> {
         // a pointer value that must be loaded first.
         let base_ptr = match kind {
             VarKind::GlobalArray => addr,
-            _ => self
-                .forest
-                .unary(Self::op(OpKind::Load, TypeTag::P), addr),
+            _ => self.forest.unary(Self::op(OpKind::Load, TypeTag::P), addr),
         };
         let idx = self.expr(index)?;
         // Elements are 8 bytes; scale with a shift (the strength
@@ -161,9 +159,7 @@ impl Lowerer<'_> {
             }
             Expr::Index(base, index) => {
                 let addr = self.element_addr(base, index)?;
-                Ok(self
-                    .forest
-                    .unary(Self::op(OpKind::Load, TypeTag::I8), addr))
+                Ok(self.forest.unary(Self::op(OpKind::Load, TypeTag::I8), addr))
             }
             Expr::Un(UnOp::Not, _) => self.materialize_bool(e),
             Expr::Un(op, inner) => {
@@ -199,9 +195,7 @@ impl Lowerer<'_> {
                 // the call itself yields the value.
                 for a in args {
                     let v = self.expr(a)?;
-                    let arg = self
-                        .forest
-                        .unary(Self::op(OpKind::Arg, TypeTag::I8), v);
+                    let arg = self.forest.unary(Self::op(OpKind::Arg, TypeTag::I8), v);
                     self.forest.add_root(arg);
                 }
                 let sym = self.forest.intern(name);
@@ -230,9 +224,7 @@ impl Lowerer<'_> {
         self.store_var(&tmp, Expr::Int(1))?;
         self.emit_label(&l_end);
         let (addr, _) = self.var_addr(&tmp)?;
-        Ok(self
-            .forest
-            .unary(Self::op(OpKind::Load, TypeTag::I8), addr))
+        Ok(self.forest.unary(Self::op(OpKind::Load, TypeTag::I8), addr))
     }
 
     fn store_var(&mut self, name: &str, value: Expr) -> Result<(), FrontendError> {
@@ -247,12 +239,7 @@ impl Lowerer<'_> {
 
     /// Emits a conditional branch to `target` taken iff `cond` is
     /// `want_true`. Short-circuit operators become branch chains.
-    fn branch(
-        &mut self,
-        cond: &Expr,
-        target: &str,
-        want_true: bool,
-    ) -> Result<(), FrontendError> {
+    fn branch(&mut self, cond: &Expr, target: &str, want_true: bool) -> Result<(), FrontendError> {
         match cond {
             Expr::Un(UnOp::Not, inner) => {
                 return self.branch(inner, target, !want_true);
@@ -310,12 +297,9 @@ impl Lowerer<'_> {
         let lv = self.expr(&l)?;
         let rv = self.expr(&r)?;
         let sym = self.forest.intern(target);
-        let br = self.forest.binary_with(
-            Self::op(kind, TypeTag::I8),
-            lv,
-            rv,
-            Payload::Sym(sym),
-        );
+        let br = self
+            .forest
+            .binary_with(Self::op(kind, TypeTag::I8), lv, rv, Payload::Sym(sym));
         self.forest.add_root(br);
         Ok(())
     }

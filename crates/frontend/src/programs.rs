@@ -476,9 +476,9 @@ mod tests {
     #[test]
     fn all_programs_compile() {
         for p in all() {
-            let forest = p.compile().unwrap_or_else(|e| {
-                panic!("program {} failed to compile: {e}", p.name)
-            });
+            let forest = p
+                .compile()
+                .unwrap_or_else(|e| panic!("program {} failed to compile: {e}", p.name));
             assert!(!forest.is_empty(), "{} produced no IR", p.name);
             assert!(!forest.roots().is_empty());
         }
@@ -511,12 +511,7 @@ mod tests {
         // nodes).
         for p in all() {
             let n = p.compile().unwrap().len();
-            assert!(
-                (10..4000).contains(&n),
-                "{} has {} nodes",
-                p.name,
-                n
-            );
+            assert!((10..4000).contains(&n), "{} has {} nodes", p.name, n);
         }
     }
 }

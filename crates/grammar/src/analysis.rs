@@ -192,9 +192,20 @@ pub fn chain_reachability(grammar: &NormalGrammar) -> Vec<Vec<bool>> {
                 continue;
             };
             // lhs reaches everything `from` reaches.
-            for b in 0..n {
-                if reach[from.0 as usize][b] && !reach[rule.lhs.0 as usize][b] {
-                    reach[rule.lhs.0 as usize][b] = true;
+            let (from, lhs) = (from.0 as usize, rule.lhs.0 as usize);
+            if from == lhs {
+                continue;
+            }
+            let (src, dst) = if from < lhs {
+                let (head, tail) = reach.split_at_mut(lhs);
+                (&head[from], &mut tail[0])
+            } else {
+                let (head, tail) = reach.split_at_mut(from);
+                (&tail[0], &mut head[lhs])
+            };
+            for (s, d) in src.iter().zip(dst.iter_mut()) {
+                if *s && !*d {
+                    *d = true;
                     changed = true;
                 }
             }
@@ -323,18 +334,13 @@ mod tests {
         let g = parse_grammar("%start a\na: ConstI8 [dc]\n").unwrap();
         let n = g.normalize();
         assert!(min_costs(&n, DynTreatment::Skip)[0].is_infinite());
-        assert_eq!(
-            min_costs(&n, DynTreatment::AssumeZero)[0],
-            Cost::ZERO
-        );
+        assert_eq!(min_costs(&n, DynTreatment::AssumeZero)[0], Cost::ZERO);
     }
 
     #[test]
     fn min_depths_reflect_nesting() {
-        let g = parse_grammar(
-            "%start a\na: LoadI8(b) (1)\nb: LoadP(c) (1)\nc: ConstP (1)\n",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("%start a\na: LoadI8(b) (1)\nb: LoadP(c) (1)\nc: ConstP (1)\n").unwrap();
         let n = g.normalize();
         let d = min_depths(&n);
         assert_eq!(d[g.find_nt("a").unwrap().0 as usize], Some(3));
@@ -351,10 +357,8 @@ mod tests {
 
     #[test]
     fn lint_finds_shadowed_rules() {
-        let g = parse_grammar(
-            "%start a\na: ConstI8 (1)\na: ConstI8 (3)\na: ConstI8 [dc]\n",
-        )
-        .unwrap();
+        let g =
+            parse_grammar("%start a\na: ConstI8 (1)\na: ConstI8 (3)\na: ConstI8 [dc]\n").unwrap();
         let issues = lint(&g.normalize());
         let shadowed: Vec<_> = issues
             .iter()

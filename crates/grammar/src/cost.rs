@@ -186,7 +186,10 @@ mod tests {
         assert!((Cost::INFINITE + Cost::finite(1)).is_infinite());
         assert!((Cost::finite(1) + Cost::INFINITE).is_infinite());
         let big = Cost::finite(u32::MAX - 2);
-        assert!((big + big).is_finite(), "saturation must not reach infinity");
+        assert!(
+            (big + big).is_finite(),
+            "saturation must not reach infinity"
+        );
     }
 
     #[test]

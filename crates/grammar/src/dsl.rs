@@ -314,7 +314,10 @@ mod tests {
         assert_eq!(g.name(), "demo");
         assert_eq!(g.rules().len(), 6);
         assert_eq!(g.nt_name(g.start()), "stmt");
-        assert_eq!(g.rule(crate::RuleId(1)).template.as_deref(), Some("mov ${imm}, {dst}"));
+        assert_eq!(
+            g.rule(crate::RuleId(1)).template.as_deref(),
+            Some("mov ${imm}, {dst}")
+        );
         assert_eq!(g.rule(crate::RuleId(5)).pattern.op_count(), 3);
     }
 
@@ -336,7 +339,10 @@ mod tests {
     #[test]
     fn hash_inside_template_is_not_a_comment() {
         let g = parse_grammar("reg: ConstI8 (1) \"li #imm\"\n").unwrap();
-        assert_eq!(g.rule(crate::RuleId(0)).template.as_deref(), Some("li #imm"));
+        assert_eq!(
+            g.rule(crate::RuleId(0)).template.as_deref(),
+            Some("li #imm")
+        );
     }
 
     #[test]
@@ -350,7 +356,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(g.dyncosts().len(), 1);
-        assert_eq!(g.rule(crate::RuleId(0)).cost, CostExpr::Dynamic(crate::DynCostId(0)));
+        assert_eq!(
+            g.rule(crate::RuleId(0)).cost,
+            CostExpr::Dynamic(crate::DynCostId(0))
+        );
     }
 
     #[test]

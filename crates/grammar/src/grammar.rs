@@ -474,10 +474,7 @@ mod tests {
         let ghost = b.nt("ghost");
         b.rule(
             reg,
-            Pattern::op(
-                Op::new(OpKind::Load, TypeTag::I8),
-                vec![Pattern::nt(ghost)],
-            ),
+            Pattern::op(Op::new(OpKind::Load, TypeTag::I8), vec![Pattern::nt(ghost)]),
             CostExpr::Fixed(1),
             None,
         );
@@ -505,14 +502,20 @@ mod tests {
             (g.dyncost(DynCostId(0)).func)(&f2, n),
             crate::RuleCost::Infinite
         );
-        g.bind_dyncost("imm8", std::sync::Arc::new(|_, _| crate::RuleCost::Finite(0)))
-            .unwrap();
+        g.bind_dyncost(
+            "imm8",
+            std::sync::Arc::new(|_, _| crate::RuleCost::Finite(0)),
+        )
+        .unwrap();
         assert_eq!(
             (g.dyncost(DynCostId(0)).func)(&f2, n),
             crate::RuleCost::Finite(0)
         );
         assert!(g
-            .bind_dyncost("nope", std::sync::Arc::new(|_, _| crate::RuleCost::Infinite))
+            .bind_dyncost(
+                "nope",
+                std::sync::Arc::new(|_, _| crate::RuleCost::Infinite)
+            )
             .is_err());
     }
 

@@ -265,10 +265,7 @@ pub(crate) fn normalize(grammar: &Grammar) -> NormalGrammar {
                 rules.push(NormalRule {
                     id,
                     lhs: rule.lhs,
-                    rhs: NormalRhs::Base {
-                        op: *op,
-                        operands,
-                    },
+                    rhs: NormalRhs::Base { op: *op, operands },
                     cost: rule.cost,
                     source: rule.id,
                     is_final: true,
@@ -283,10 +280,9 @@ pub(crate) fn normalize(grammar: &Grammar) -> NormalGrammar {
     let mut chain_rules = Vec::new();
     let mut dynamic_chain_rules = Vec::new();
     let mut chain_by_from: Vec<Vec<NormalRuleId>> = vec![Vec::new(); nonterminals.len()];
-    let mut operand_nts: Vec<[Vec<NtId>; 2]> =
-        std::iter::repeat_with(|| [Vec::new(), Vec::new()])
-            .take(NUM_OPS)
-            .collect();
+    let mut operand_nts: Vec<[Vec<NtId>; 2]> = std::iter::repeat_with(|| [Vec::new(), Vec::new()])
+        .take(NUM_OPS)
+        .collect();
     let mut ops_seen: HashMap<Op, ()> = HashMap::new();
     let mut ops_used = Vec::new();
 
@@ -370,10 +366,7 @@ fn flatten_operand(
             rules.push(NormalRule {
                 id,
                 lhs: helper,
-                rhs: NormalRhs::Base {
-                    op: *op,
-                    operands,
-                },
+                rhs: NormalRhs::Base { op: *op, operands },
                 cost: CostExpr::Fixed(0),
                 source: source.id,
                 is_final: false,

@@ -170,10 +170,7 @@ mod tests {
     #[test]
     fn display_uses_names() {
         let names = vec!["reg".to_owned(), "addr".to_owned()];
-        let p = Pattern::op(
-            add8(),
-            vec![Pattern::nt(NtId(0)), Pattern::nt(NtId(1))],
-        );
+        let p = Pattern::op(add8(), vec![Pattern::nt(NtId(0)), Pattern::nt(NtId(1))]);
         assert_eq!(p.display(&names).to_string(), "AddI8(reg, addr)");
     }
 }

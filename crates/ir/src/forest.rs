@@ -137,13 +137,7 @@ impl Forest {
     }
 
     /// Creates a binary node carrying a payload (e.g. a branch target).
-    pub fn binary_with(
-        &mut self,
-        op: Op,
-        left: NodeId,
-        right: NodeId,
-        payload: Payload,
-    ) -> NodeId {
+    pub fn binary_with(&mut self, op: Op, left: NodeId, right: NodeId, payload: Payload) -> NodeId {
         self.push(op, &[left, right], payload)
     }
 
@@ -189,11 +183,8 @@ impl Forest {
             sym_map.push(self.intern(name));
         }
         for node in &other.nodes {
-            let children: Vec<NodeId> = node
-                .children()
-                .iter()
-                .map(|c| NodeId(c.0 + base))
-                .collect();
+            let children: Vec<NodeId> =
+                node.children().iter().map(|c| NodeId(c.0 + base)).collect();
             let payload = match node.payload() {
                 Payload::Sym(s) => Payload::Sym(sym_map[s.0 as usize]),
                 p => p,
@@ -249,11 +240,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn dangling_child_panics() {
         let mut f = Forest::new();
-        f.push(
-            op(OpKind::Load, TypeTag::I4),
-            &[NodeId(42)],
-            Payload::None,
-        );
+        f.push(op(OpKind::Load, TypeTag::I4), &[NodeId(42)], Payload::None);
     }
 
     #[test]

@@ -174,11 +174,7 @@ pub fn parse_sexpr(forest: &mut Forest, input: &str) -> Result<NodeId, SexprErro
 }
 
 /// Writes the subtree rooted at `id` as an s-expression.
-pub fn write_sexpr(
-    out: &mut dyn fmt::Write,
-    forest: &Forest,
-    id: NodeId,
-) -> fmt::Result {
+pub fn write_sexpr(out: &mut dyn fmt::Write, forest: &Forest, id: NodeId) -> fmt::Result {
     let node = forest.node(id);
     write!(out, "({}", node.op())?;
     match node.payload() {

@@ -118,8 +118,7 @@ mod tests {
         .unwrap();
         let order = postorder(&f, root);
         assert_eq!(order.len(), 6);
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for &id in &order {
             for &c in f.node(id).children() {
                 assert!(pos[&c] < pos[&id], "child after parent");

@@ -14,6 +14,7 @@
 //! | [`targets`] | built-in machine descriptions (x86ish, riscish, …) |
 //! | [`frontend`] | MiniC: a small language lowered to IR forests |
 //! | [`workloads`] | benchmark programs and random-tree workloads |
+//! | [`strategy`] | runtime strategy choice behind the unified `Labeler` trait |
 //!
 //! # Quick start
 //!
@@ -52,12 +53,13 @@ pub use odburg_ir as ir;
 pub use odburg_targets as targets;
 pub use odburg_workloads as workloads;
 
+pub mod strategy;
+
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
 
 use odburg_codegen::{reduce_forest, ReduceError, Reduction};
-use odburg_core::{LabelError, Labeler, OnDemandAutomaton};
+use odburg_core::{LabelError, Labeler};
 use odburg_grammar::Grammar;
 use odburg_ir::Forest;
 
@@ -125,22 +127,56 @@ impl From<ReduceError> for SelectError {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn select(grammar: &Grammar, forest: &Forest) -> Result<Reduction, SelectError> {
-    let normal = Arc::new(grammar.normalize());
-    let mut automaton = OnDemandAutomaton::new(normal.clone());
-    let labeling = automaton.label_forest(forest)?;
-    let chooser = labeling.chooser(&automaton);
-    Ok(reduce_forest(forest, &normal, &chooser)?)
+    select_with(strategy::Strategy::OnDemand, grammar, forest)
+}
+
+/// Like [`select`], but with the labeling strategy chosen at runtime —
+/// everything routes through the unified [`Labeler`] trait.
+///
+/// # Errors
+///
+/// Returns [`SelectError`] if the strategy cannot be built for the
+/// grammar (offline construction limits) or the grammar does not cover
+/// the forest.
+///
+/// # Examples
+///
+/// ```
+/// use odburg::strategy::Strategy;
+/// use odburg_ir::{parse_sexpr, Forest};
+///
+/// let grammar = odburg::targets::demo();
+/// let mut forest = Forest::new();
+/// let root = parse_sexpr(&mut forest, "(StoreI8 (AddrLocalP @x) (ConstI8 1))")?;
+/// forest.add_root(root);
+/// let dp = odburg::select_with(Strategy::Dp, &grammar, &forest)?;
+/// let od = odburg::select_with(Strategy::OnDemand, &grammar, &forest)?;
+/// assert_eq!(dp.total_cost, od.total_cost); // both are optimal selectors
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn select_with(
+    strategy: strategy::Strategy,
+    grammar: &Grammar,
+    forest: &Forest,
+) -> Result<Reduction, SelectError> {
+    let mut labeler = strategy::AnyLabeler::build(strategy, grammar)?;
+    let labeling = labeler.label_forest(forest)?;
+    let chooser = labeler.chooser(&labeling);
+    Ok(reduce_forest(forest, &labeler.grammar(), &chooser)?)
 }
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};
     pub use odburg_core::{
-        BudgetPolicy, DynCostMode, LabelError, Labeler, Labeling, OfflineAutomaton,
-        OfflineConfig, OfflineLabeler, OnDemandAutomaton, OnDemandConfig, RuleChooser,
-        SharedOnDemand, WorkCounters,
+        AutomatonSnapshot, BudgetPolicy, CoarseSharedOnDemand, DynCostMode, LabelError, Labeler,
+        Labeling, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandAutomaton,
+        OnDemandConfig, PinnedLabeling, RuleChooser, SharedOnDemand, WorkCounters,
     };
     pub use odburg_dp::{DpLabeler, MacroExpander};
     pub use odburg_grammar::{parse_grammar, Cost, Grammar, NormalGrammar, RuleCost};
-    pub use odburg_ir::{parse_sexpr, to_sexpr, Forest, Node, NodeId, Op, OpKind, Payload, TypeTag};
+    pub use odburg_ir::{
+        parse_sexpr, to_sexpr, Forest, Node, NodeId, Op, OpKind, Payload, TypeTag,
+    };
 }

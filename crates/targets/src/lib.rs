@@ -33,8 +33,9 @@ use std::sync::Arc;
 use odburg_grammar::{parse_grammar, DynCostFn, Grammar};
 
 /// The names of all built-in targets, in presentation order.
-pub const TARGET_NAMES: [&str; 6] =
-    ["demo", "x86ish", "riscish", "sparcish", "alphaish", "jvmish"];
+pub const TARGET_NAMES: [&str; 6] = [
+    "demo", "x86ish", "riscish", "sparcish", "alphaish", "jvmish",
+];
 
 fn build(name: &str, text: &str, bindings: &[(&str, DynCostFn)]) -> Grammar {
     let mut g = parse_grammar(text)
@@ -135,7 +136,14 @@ pub fn jvmish() -> Grammar {
 
 /// All built-in targets, in [`TARGET_NAMES`] order.
 pub fn all() -> Vec<Grammar> {
-    vec![demo(), x86ish(), riscish(), sparcish(), alphaish(), jvmish()]
+    vec![
+        demo(),
+        x86ish(),
+        riscish(),
+        sparcish(),
+        alphaish(),
+        jvmish(),
+    ]
 }
 
 /// Looks up a built-in target by name.

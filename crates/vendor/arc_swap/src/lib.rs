@@ -1,0 +1,201 @@
+//! Offline workspace shim for [`arc-swap`]: an atomically swappable
+//! `Arc<T>` used to publish immutable snapshots to lock-free readers.
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so this crate provides the operations the `odburg` snapshot core needs
+//! with the same concurrency contract as the real `arc-swap`:
+//!
+//! * [`ArcSwap::peek`] — wait-free read access to the current value: one
+//!   `Acquire` pointer load, **no reference-count traffic and no lock**.
+//!   This is the per-forest hot-path operation.
+//! * [`ArcSwap::load_full`] — clones out an owning `Arc` of the current
+//!   value (one atomic refcount increment), for callers that must pin a
+//!   snapshot beyond the borrow of the cell.
+//! * [`ArcSwap::store`] — atomically publishes a new value.
+//!
+//! # The retire-on-store design
+//!
+//! The hard part of an atomic `Arc` cell is the race between a reader
+//! loading the pointer and a writer dropping the last reference to the
+//! value just unlinked. The real `arc-swap` solves it with hazard-pointer
+//! style debt tracking. This shim instead *retires* replaced values: a
+//! [`store`](ArcSwap::store) moves the previous `Arc` onto an internal
+//! retire list, where it stays alive until the `ArcSwap` itself is
+//! dropped. Every pointer a reader can possibly observe is therefore
+//! backed by a strong count owned by the cell for the cell's whole
+//! lifetime, which makes `peek` (a plain borrow) and `load_full` (an
+//! increment of a provably live count) sound.
+//!
+//! The cost is memory: one retired `Arc<T>` per `store` call. That is the
+//! right trade for snapshot publication — stores happen only when an
+//! automaton *grows* (a few hundred times over the life of a JIT, with
+//! geometrically decreasing frequency), while reads happen on every
+//! compilation. Callers with high-frequency stores should not use this
+//! shim.
+
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An `Arc<T>` that can be atomically replaced while other threads read
+/// it without locks.
+///
+/// # Examples
+///
+/// ```
+/// use arc_swap::ArcSwap;
+/// use std::sync::Arc;
+///
+/// let cell = ArcSwap::new(Arc::new(1));
+/// assert_eq!(*cell.peek(), 1);
+/// cell.store(Arc::new(2));
+/// assert_eq!(*cell.peek(), 2);
+/// let pinned = cell.load_full();
+/// cell.store(Arc::new(3));
+/// assert_eq!(*pinned, 2); // pinned value survives the store
+/// ```
+pub struct ArcSwap<T> {
+    /// Raw pointer obtained from `Arc::into_raw`; the strong count it
+    /// represents is owned by this cell (as "the current value").
+    current: AtomicPtr<T>,
+    /// Previously published values, kept alive until the cell drops so
+    /// that in-flight readers can never observe a freed pointer. Also
+    /// serializes concurrent `store` calls.
+    retired: Mutex<Vec<Arc<T>>>,
+}
+
+// SAFETY: the cell hands out `&T` and `Arc<T>` across threads, so the
+// bounds mirror `Arc<T>`'s own Send/Sync requirements.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            current: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Borrows the current value: one `Acquire` load, no refcount
+    /// traffic, no lock. The borrow is valid for as long as the cell
+    /// lives (retired values are never freed before the cell drops), but
+    /// it observes the value current *at the time of the call* — a
+    /// concurrent [`store`](ArcSwap::store) does not retarget it.
+    pub fn peek(&self) -> &T {
+        // SAFETY: the pointer was produced by `Arc::into_raw` and the
+        // cell owns a strong count for it (as current or retired) until
+        // `self` drops; `&self` cannot outlive `self`.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    /// Clones out an owning handle to the current value.
+    pub fn load_full(&self) -> Arc<T> {
+        let ptr = self.current.load(Ordering::Acquire);
+        // SAFETY: as in `peek`, the cell owns a strong count for `ptr`
+        // until it drops, so the count cannot reach zero concurrently;
+        // incrementing before `from_raw` gives this clone its own count.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Atomically publishes `value`; the previous value is retired (kept
+    /// alive until the cell drops) so concurrent readers stay valid.
+    pub fn store(&self, value: Arc<T>) {
+        let mut retired = self.retired.lock().unwrap_or_else(PoisonError::into_inner);
+        let old = self
+            .current
+            .swap(Arc::into_raw(value) as *mut T, Ordering::AcqRel);
+        // SAFETY: `old` came from `Arc::into_raw` and its strong count is
+        // owned by the cell; `from_raw` moves that ownership onto the
+        // retire list.
+        retired.push(unsafe { Arc::from_raw(old) });
+    }
+
+    /// Number of values retired by [`store`](ArcSwap::store) so far.
+    pub fn retired_len(&self) -> usize {
+        self.retired
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // SAFETY: reclaim the strong count owned as "the current value";
+        // the retire list drops its Arcs normally.
+        unsafe { drop(Arc::from_raw(self.current.load(Ordering::Acquire))) }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("current", self.peek())
+            .field("retired", &self.retired_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peek_and_store() {
+        let cell = ArcSwap::new(Arc::new(String::from("a")));
+        assert_eq!(cell.peek(), "a");
+        cell.store(Arc::new(String::from("b")));
+        assert_eq!(cell.peek(), "b");
+        assert_eq!(cell.retired_len(), 1);
+    }
+
+    #[test]
+    fn load_full_survives_store_and_drop() {
+        let cell = ArcSwap::new(Arc::new(vec![1, 2, 3]));
+        let pinned = cell.load_full();
+        cell.store(Arc::new(vec![4]));
+        assert_eq!(*pinned, vec![1, 2, 3]);
+        drop(cell);
+        assert_eq!(*pinned, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn old_peek_borrow_stays_valid_across_store() {
+        let cell = ArcSwap::new(Arc::new(7u64));
+        let old: &u64 = cell.peek();
+        cell.store(Arc::new(8u64));
+        assert_eq!(*old, 7);
+        assert_eq!(*cell.peek(), 8);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = Arc::new(ArcSwap::new(Arc::new(0usize)));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let v = *cell.peek();
+                        assert!(v <= 100);
+                        let pinned = cell.load_full();
+                        assert!(*pinned <= 100);
+                    }
+                });
+            }
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                for i in 1..=100 {
+                    cell.store(Arc::new(i));
+                }
+            });
+        });
+        assert_eq!(*cell.peek(), 100);
+        assert_eq!(cell.retired_len(), 100);
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline workspace shim for [`criterion`].
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so this crate provides the subset of the criterion API the workspace
+//! benches use — groups, `bench_with_input`, `Bencher::iter` /
+//! `iter_custom`, throughput annotation — backed by a straightforward
+//! median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery.
+//!
+//! Results are printed per benchmark and, at the end of the run, written
+//! as a JSON array to `target/criterion-results.json` (override with the
+//! `CRITERION_JSON` environment variable) so perf trajectories can be
+//! tracked across commits.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque-to-the-optimizer identity function.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured benchmark, as recorded into the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Elements (or bytes) per second, when a throughput was set.
+    pub throughput_per_sec: Option<f64>,
+}
+
+/// The benchmark driver. Create through [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// A top-level benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, f);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the summary and writes the JSON report. Called by
+    /// [`criterion_main!`] after all groups ran.
+    pub fn finalize(&self) {
+        let path = std::env::var("CRITERION_JSON")
+            .unwrap_or_else(|_| format!("{}/criterion-results.json", target_dir()));
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!(
+                "criterion(shim): wrote {} results to {path}",
+                self.results.len()
+            ),
+            Err(e) => eprintln!("criterion(shim): cannot write {path}: {e}"),
+        }
+    }
+
+    /// The JSON report: an array of result objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"throughput_per_sec\": {}}}",
+                escape(&r.group),
+                escape(&r.id),
+                r.median_ns,
+                r.mean_ns,
+                r.samples,
+                r.iters_per_sample,
+                r.throughput_per_sec
+                    .map_or("null".to_owned(), |t| format!("{t:.1}")),
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The build's target directory. Bench binaries run with the *package*
+/// directory as CWD, so a relative `target/` would land inside the
+/// package in a workspace; resolve the real one from the bench
+/// executable's location (`target/<profile>/deps/...`) instead.
+fn target_dir() -> String {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return dir;
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.display().to_string();
+            }
+        }
+    }
+    "target".to_owned()
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            measurement: None,
+        };
+        f(&mut bencher, input);
+        self.record(id.id, bencher);
+        self
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            measurement: None,
+        };
+        f(&mut bencher);
+        self.record(id.to_string(), bencher);
+        self
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        let m = bencher
+            .measurement
+            .expect("benchmark closure must call Bencher::iter or iter_custom");
+        let throughput_per_sec = self.throughput.map(|t| {
+            let per_iter = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n,
+            };
+            per_iter as f64 / (m.median_ns / 1e9)
+        });
+        let result = BenchResult {
+            group: self.name.clone(),
+            id,
+            median_ns: m.median_ns,
+            mean_ns: m.mean_ns,
+            samples: m.samples,
+            iters_per_sample: m.iters,
+            throughput_per_sec,
+        };
+        let rate = result
+            .throughput_per_sec
+            .map_or(String::new(), |t| format!("  ({t:.3e} elem/s)"));
+        println!(
+            "{:<40} {:>14.1} ns/iter{rate}",
+            format!("{}/{}", result.group, result.id),
+            result.median_ns
+        );
+        self.criterion.results.push(result);
+    }
+
+    /// Ends the group (results were recorded as they ran).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `f`, reporting wall-clock nanoseconds per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times batches of `iters` calls with caller-controlled measurement:
+    /// `f` receives the iteration count and returns the elapsed time of
+    /// exactly those iterations.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let mut per_iter = {
+            let warmup_start = Instant::now();
+            let mut total = Duration::ZERO;
+            let mut iters = 0u64;
+            while warmup_start.elapsed() < self.warm_up_time && iters < 1_000_000 {
+                total += f(1);
+                iters += 1;
+            }
+            total.as_secs_f64() / iters.max(1) as f64
+        };
+        if per_iter <= 0.0 {
+            per_iter = 1e-9;
+        }
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_iter).round() as u64).max(1);
+        let mut samples_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| f(iters).as_secs_f64() * 1e9 / iters as f64)
+            .collect();
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.measurement = Some(Measurement {
+            median_ns,
+            mean_ns,
+            samples: samples_ns.len(),
+            iters,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring the real
+/// criterion macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups and writing the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_measures_and_serializes() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.group, "tiny");
+        assert_eq!(r.id, "sum/10");
+        assert!(r.median_ns > 0.0);
+        assert!(r.throughput_per_sec.unwrap() > 0.0);
+        let json = c.to_json();
+        assert!(json.contains("\"group\": \"tiny\""));
+        assert!(json.contains("\"median_ns\""));
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_durations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("custom");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(4));
+        group.bench_with_input(BenchmarkId::from_parameter(1), &(), |b, _| {
+            b.iter_custom(Duration::from_micros)
+        });
+        group.finish();
+        let r = &c.results()[0];
+        // 1 µs per iteration was reported.
+        assert!((r.median_ns - 1000.0).abs() < 300.0, "{}", r.median_ns);
+    }
+}

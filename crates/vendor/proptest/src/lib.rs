@@ -1,0 +1,232 @@
+//! Offline workspace shim for [`proptest`].
+//!
+//! The build environment of this repository has no access to crates.io,
+//! so this crate provides the subset of the proptest API the workspace
+//! uses: the [`proptest!`] macro over single `ident in range` arguments,
+//! [`prop_assert!`] / [`prop_assert_eq!`], [`ProptestConfig`], and
+//! [`TestCaseError`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * cases are drawn from a **deterministic** per-test RNG (no
+//!   `PROPTEST_` environment knobs, no persisted failure files), so runs
+//!   are reproducible by construction;
+//! * there is **no shrinking** — the failing input is reported verbatim,
+//!   which is adequate for the seed-shaped inputs used here.
+
+pub use rand;
+
+use std::error::Error;
+use std::fmt;
+
+/// A failed property within a [`proptest!`] body.
+///
+/// Produced by [`prop_assert!`] / [`prop_assert_eq!`]; bodies may also
+/// return it through `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for TestCaseError {}
+
+/// Configuration for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Derives the deterministic RNG seed of one test case.
+#[doc(hidden)]
+pub fn __case_seed(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index, so distinct
+    // properties explore distinct input streams.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Declares deterministic property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]   // optional
+///     #[test]
+///     fn property_name(input in 0u64..100) { ... }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( $cfg:expr; $( $(#[$meta:meta])* fn $name:ident($arg:ident in $range:expr) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            $crate::__case_seed(stringify!($name), case),
+                        );
+                    let $arg = $crate::rand::Rng::gen_range(&mut rng, $range);
+                    let rendered = ::std::format!("{:?}", $arg);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{} ({} = {}): {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            stringify!($arg),
+                            rendered,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current property if the two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// The usual blanket import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn helper(x: u64) -> Result<(), TestCaseError> {
+        prop_assert!(x < 1_000_000, "x was {}", x);
+        prop_assert_eq!(x * 2, x + x);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_are_respected(x in 10u64..20) {
+            prop_assert!((10..20).contains(&x));
+            helper(x)?;
+        }
+
+        #[test]
+        fn bodies_may_loop(n in 1usize..4) {
+            for i in 0..n {
+                prop_assert!(i < n);
+            }
+        }
+    }
+
+    #[test]
+    fn case_seeds_differ_per_test_and_case() {
+        assert_ne!(super::__case_seed("a", 0), super::__case_seed("b", 0));
+        assert_ne!(super::__case_seed("a", 0), super::__case_seed("a", 1));
+        assert_eq!(super::__case_seed("a", 3), super::__case_seed("a", 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "property always_fails failed at case 1/")]
+    fn failures_report_case_and_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(2))]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x is only {}", x);
+            }
+        }
+        always_fails();
+    }
+}

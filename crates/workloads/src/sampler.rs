@@ -120,6 +120,13 @@ impl<'g> TreeSampler<'g> {
     }
 
     /// Completion depth of a rule: how deep a tree it needs at minimum.
+    ///
+    /// Chain rules produce no node, so they add no depth (matching
+    /// [`min_depths`]). Counting them as a level would make a recursive
+    /// base rule look as shallow as the chain that escapes toward a leaf,
+    /// and the budget-exhausted fallback below could then recurse forever
+    /// on nonterminals whose only leaf derivations go through a chain
+    /// (e.g. a float-register class fed by a constant class).
     fn rule_depth(&self, rule: NormalRuleId) -> usize {
         match &self.grammar.rule(rule).rhs {
             NormalRhs::Base { operands, .. } => {
@@ -129,7 +136,7 @@ impl<'g> TreeSampler<'g> {
                     .max()
                     .unwrap_or(0)
             }
-            NormalRhs::Chain { from } => 1 + self.min_rule_depth_needed(*from),
+            NormalRhs::Chain { from } => self.min_rule_depth_needed(*from),
         }
     }
 
@@ -181,7 +188,7 @@ impl<'g> TreeSampler<'g> {
                 // dynamic rules all fire sometimes, plus scale-friendly
                 // small powers of two.
                 let v = match self.rng.gen_range(0..100) {
-                    0..=14 => *[1i64, 2, 4, 8].get(self.rng.gen_range(0..4)).unwrap(),
+                    0..=14 => *[1i64, 2, 4, 8].get(self.rng.gen_range(0..4usize)).unwrap(),
                     15..=49 => self.rng.gen_range(-128..128),
                     50..=69 => self.rng.gen_range(-4096..4096),
                     70..=84 => self.rng.gen_range(-32768..32768),
@@ -266,7 +273,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot derive")]
     fn dynamic_only_grammar_panics() {
-        let g = parse_grammar("%start a\na: ConstI8 [dc]\n").unwrap().normalize();
+        let g = parse_grammar("%start a\na: ConstI8 [dc]\n")
+            .unwrap()
+            .normalize();
         let _ = TreeSampler::new(&g, 0);
     }
 }

@@ -43,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let warm_states = automaton.stats().states;
-    println!(
-        "\nthe automaton converged to {warm_states} states; later methods are mostly hits.\n"
-    );
+    println!("\nthe automaton converged to {warm_states} states; later methods are mostly hits.\n");
 
     // ---- Phase 2: concurrent compilation threads --------------------
     println!("phase 2: four threads share one automaton");

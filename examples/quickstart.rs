@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The machine description: the running example of the paper, with
     //    the RMW rule guarded by a `memop` dynamic cost.
     let grammar = odburg::targets::demo();
-    println!("grammar `{}` ({} rules):", grammar.name(), grammar.rules().len());
+    println!(
+        "grammar `{}` ({} rules):",
+        grammar.name(),
+        grammar.rules().len()
+    );
     print!("{grammar}");
     let normal = Arc::new(grammar.normalize());
 

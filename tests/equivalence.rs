@@ -10,11 +10,7 @@ use odburg::prelude::*;
 use odburg::workloads::random_workload;
 
 /// Total optimal cost of a forest according to a labeler + reducer.
-fn reduced_cost(
-    forest: &Forest,
-    normal: &Arc<NormalGrammar>,
-    chooser: &dyn RuleChooser,
-) -> Cost {
+fn reduced_cost(forest: &Forest, normal: &Arc<NormalGrammar>, chooser: &dyn RuleChooser) -> Cost {
     odburg::codegen::reduce_forest(forest, normal, chooser)
         .expect("reduce")
         .total_cost
@@ -46,7 +42,13 @@ fn check_equivalence(target: &str, seed: u64, trees: usize) -> Result<(), TestCa
     let odp_chooser = odp_labeling.chooser(&odp);
     let odp_cost = reduced_cost(forest, &normal, &odp_chooser);
 
-    prop_assert_eq!(dp_cost, od_cost, "dp vs ondemand on {} seed {}", target, seed);
+    prop_assert_eq!(
+        dp_cost,
+        od_cost,
+        "dp vs ondemand on {} seed {}",
+        target,
+        seed
+    );
     prop_assert_eq!(dp_cost, odp_cost, "projection on {} seed {}", target, seed);
 
     // Per-nonterminal optimality: for every node, the automaton's state

@@ -32,11 +32,7 @@ fn uncovered_operator_fails_identically_everywhere() {
     let grammar = odburg::targets::jvmish();
     let normal = Arc::new(grammar.normalize());
     let mut forest = Forest::new();
-    let root = parse_sexpr(
-        &mut forest,
-        "(StoreF8 (AddrLocalP @x) (ConstF8 #1.0))",
-    )
-    .unwrap();
+    let root = parse_sexpr(&mut forest, "(StoreF8 (AddrLocalP @x) (ConstF8 #1.0))").unwrap();
     forest.add_root(root);
 
     let mut dp = DpLabeler::new(normal.clone());

@@ -28,12 +28,12 @@ fn shared_automaton_serves_concurrent_threads_correctly() {
     let expected = dp_costs_per_program(&normal);
     let shared = Arc::new(SharedOnDemand::new(OnDemandAutomaton::new(normal.clone())));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..4 {
             let shared = Arc::clone(&shared);
             let normal = Arc::clone(&normal);
             let expected = &expected;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for round in 0..2 {
                     for (i, program) in programs::all().iter().enumerate() {
                         let forest = program.compile().unwrap();
@@ -51,8 +51,7 @@ fn shared_automaton_serves_concurrent_threads_correctly() {
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
 }
 
 #[test]

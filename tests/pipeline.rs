@@ -75,7 +75,10 @@ fn every_selector_handles_every_program_on_every_target() {
             let dps_labeling = dp_stripped.label_forest(&forest).expect(&name);
             let (dps_cost, dps_instrs) = run_reduction(&forest, &stripped, &dps_labeling);
             assert_eq!(off_cost, dps_cost, "{name}: offline vs stripped dp");
-            assert_eq!(off_instrs, dps_instrs, "{name}: offline vs stripped dp code");
+            assert_eq!(
+                off_instrs, dps_instrs,
+                "{name}: offline vs stripped dp code"
+            );
             assert!(
                 off_cost >= dp_cost,
                 "{name}: stripping dynamic rules cannot improve cost"
@@ -127,7 +130,11 @@ fn relabeling_is_stable_and_all_hits() {
     od.reset_counters();
     let second = od.label_forest(&forest).unwrap();
     assert_eq!(first, second, "labeling must be deterministic");
-    assert_eq!(od.counters().memo_misses, 0, "second pass must be pure hits");
+    assert_eq!(
+        od.counters().memo_misses,
+        0,
+        "second pass must be pure hits"
+    );
 }
 
 #[test]
@@ -185,7 +192,9 @@ fn labelers_agree_on_sexpr_corpus() {
         let mut forest = Forest::new();
         let root = parse_sexpr(&mut forest, src).unwrap();
         forest.add_root(root);
-        let dp_l = dp.label_forest(&forest).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let dp_l = dp
+            .label_forest(&forest)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
         let od_l = od.label_forest(&forest).unwrap();
         let od_c = od_l.chooser(&od);
         let (c1, i1) = run_reduction(&forest, &normal, &dp_l);

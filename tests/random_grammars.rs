@@ -22,9 +22,7 @@ fn random_grammar(seed: u64) -> Grammar {
     let mut b = GrammarBuilder::new(&format!("random-{seed}"));
 
     let num_nts = rng.gen_range(2..5usize);
-    let nts: Vec<_> = (0..num_nts)
-        .map(|i| b.nt(&format!("n{i}")))
-        .collect();
+    let nts: Vec<_> = (0..num_nts).map(|i| b.nt(&format!("n{i}"))).collect();
 
     let leaf_ops = [
         Op::new(OpKind::Const, TypeTag::I8),
@@ -55,7 +53,7 @@ fn random_grammar(seed: u64) -> Grammar {
     // Random base rules, sometimes with nested (multi-node) patterns.
     for _ in 0..rng.gen_range(3..10usize) {
         let lhs = nts[rng.gen_range(0..nts.len())];
-        let mut leaf = |rng: &mut StdRng| Pattern::nt(nts[rng.gen_range(0..nts.len())]);
+        let leaf = |rng: &mut StdRng| Pattern::nt(nts[rng.gen_range(0..nts.len())]);
         let pattern = if rng.gen_bool(0.5) {
             let op = unary_ops[rng.gen_range(0..unary_ops.len())];
             if rng.gen_bool(0.25) {
@@ -104,14 +102,12 @@ fn random_grammar(seed: u64) -> Grammar {
             None,
         );
     }
-    b.start(nts[0]).build().expect("random grammars are well-formed")
+    b.start(nts[0])
+        .build()
+        .expect("random grammars are well-formed")
 }
 
-fn total_cost(
-    forest: &Forest,
-    normal: &Arc<NormalGrammar>,
-    chooser: &dyn RuleChooser,
-) -> Cost {
+fn total_cost(forest: &Forest, normal: &Arc<NormalGrammar>, chooser: &dyn RuleChooser) -> Cost {
     odburg::codegen::reduce_forest(forest, normal, chooser)
         .expect("reduce")
         .total_cost
