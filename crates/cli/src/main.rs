@@ -9,6 +9,8 @@
 //! odburg emit    <grammar> <sexpr>     select and print instructions
 //! odburg compile <grammar> <file.mc>   compile a MiniC file and print assembly
 //! odburg bench   <grammar>             quick cross-strategy comparison
+//! odburg tables export <grammar> <out> warm an automaton, persist its tables
+//! odburg tables import <grammar> <in>  validate persisted tables, print sizes
 //! ```
 //!
 //! `<grammar>` is a built-in target name (demo, x86ish, riscish, sparcish,
@@ -19,14 +21,18 @@
 //! (ondemand, ondemand-projected, shared, offline, dp, macro); every
 //! strategy is constructed and driven through the unified
 //! [`Labeler`](odburg_core::Labeler) trait via
-//! [`odburg::strategy::AnyLabeler`].
+//! [`odburg::strategy::AnyLabeler`]. They also accept `--tables=<path>`
+//! to warm-start an on-demand strategy from tables persisted by
+//! `tables export` — a mismatched or corrupted file is rejected with an
+//! error, never silently mislabeled.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use odburg::grammar::analysis;
 use odburg::prelude::*;
-use odburg::strategy::{AnyLabeler, AnyLabeling, Strategy};
+use odburg::strategy::{self, AnyLabeler, AnyLabeling, Strategy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,12 +45,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench> \
-                     <grammar> [input] [--labeler=<name>]";
+const USAGE: &str =
+    "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables> \
+     <grammar> [input] [--labeler=<name>] [--tables=<path>]";
 
 fn run(args: &[String]) -> Result<(), String> {
-    // Split off the strategy flag; everything else is positional.
+    // Split off the flags; everything else is positional.
     let mut strategy = Strategy::OnDemand;
+    let mut tables: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -53,12 +61,28 @@ fn run(args: &[String]) -> Result<(), String> {
         } else if arg == "--labeler" {
             let name = iter.next().ok_or("--labeler needs a value")?;
             strategy = name.parse().map_err(|e| format!("{e}"))?;
+        } else if let Some(path) = arg.strip_prefix("--tables=") {
+            tables = Some(path.to_owned());
+        } else if arg == "--tables" {
+            let path = iter.next().ok_or("--tables needs a path")?;
+            tables = Some(path.clone());
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`\n{USAGE}"));
         } else {
             positional.push(arg);
         }
     }
+    let tables = tables.as_deref();
 
     let command = positional.first().ok_or(USAGE)?;
+    if command.as_str() == "tables" {
+        if tables.is_some() {
+            return Err(
+                "the tables subcommand takes its path positionally, not via --tables".into(),
+            );
+        }
+        return tables_command(&positional, strategy);
+    }
     let grammar_name = positional.get(1).ok_or(USAGE)?;
     let grammar = load_grammar(grammar_name)?;
 
@@ -70,19 +94,22 @@ fn run(args: &[String]) -> Result<(), String> {
         "label" => label(
             &grammar,
             strategy,
+            tables,
             positional.get(2).ok_or("label needs an s-expression")?,
         ),
         "emit" => emit(
             &grammar,
             strategy,
+            tables,
             positional.get(2).ok_or("emit needs an s-expression")?,
         ),
         "compile" => compile(
             &grammar,
             strategy,
+            tables,
             positional.get(2).ok_or("compile needs a MiniC file")?,
         ),
-        "bench" => bench(&grammar, strategy),
+        "bench" => bench(&grammar, strategy, tables),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -96,9 +123,85 @@ fn load_grammar(name: &str) -> Result<Grammar, String> {
     parse_grammar(&text).map_err(|e| format!("{name}: {e}"))
 }
 
-fn build_labeler(grammar: &Grammar, strategy: Strategy) -> Result<AnyLabeler, String> {
-    AnyLabeler::build(strategy, grammar)
-        .map_err(|e| format!("cannot build `{strategy}` labeler: {e}"))
+fn build_labeler(
+    grammar: &Grammar,
+    strategy: Strategy,
+    tables: Option<&str>,
+) -> Result<AnyLabeler, String> {
+    let Some(path) = tables else {
+        return AnyLabeler::build(strategy, grammar)
+            .map_err(|e| format!("cannot build `{strategy}` labeler: {e}"));
+    };
+    let snapshot = load_tables_for(grammar, strategy, path)?;
+    AnyLabeler::build_warm(strategy, Arc::new(snapshot)).map_err(|e| format!("--tables: {e}"))
+}
+
+/// Imports persisted tables for `strategy`, validating grammar
+/// fingerprint and configuration.
+fn load_tables_for(
+    grammar: &Grammar,
+    strategy: Strategy,
+    path: &str,
+) -> Result<AutomatonSnapshot, String> {
+    let config = strategy
+        .ondemand_config()
+        .ok_or_else(|| format!("--tables: {}", strategy::WarmStartUnsupported { strategy }))?;
+    odburg::select::persist::load_tables(Path::new(path), Arc::new(grammar.normalize()), config)
+        .map_err(|e| format!("cannot load tables `{path}`: {e}"))
+}
+
+/// `odburg tables export <grammar> <out>` / `odburg tables import
+/// <grammar> <in>`.
+fn tables_command(positional: &[&String], strategy: Strategy) -> Result<(), String> {
+    const TABLES_USAGE: &str = "usage: odburg tables <export|import> <grammar> <path> \
+                                [--labeler=<name>]";
+    let action = positional.get(1).ok_or(TABLES_USAGE)?;
+    let grammar = load_grammar(positional.get(2).ok_or(TABLES_USAGE)?)?;
+    let path = positional.get(3).ok_or(TABLES_USAGE)?;
+    let config = strategy
+        .ondemand_config()
+        .ok_or_else(|| format!("{}", strategy::WarmStartUnsupported { strategy }))?;
+
+    match action.as_str() {
+        "export" => {
+            let normal = Arc::new(grammar.normalize());
+            let mut auto = OnDemandAutomaton::with_config(Arc::clone(&normal), config);
+            // Warm on the MiniC suite when the grammar covers it,
+            // otherwise on trees sampled from the grammar itself.
+            let suite = odburg::workloads::combined_workload();
+            let workload = if auto.label_forest(&suite.forest).is_ok() {
+                suite
+            } else {
+                odburg::workloads::random_workload(&normal, 0xD0, 256)
+            };
+            auto.label_forest(&workload.forest)
+                .map_err(|e| format!("cannot warm the automaton on `{}`: {e}", workload.name))?;
+            let snapshot = auto.snapshot();
+            odburg::select::persist::save_tables(&snapshot, Path::new(path))
+                .map_err(|e| format!("cannot write tables `{path}`: {e}"))?;
+            let s = snapshot.stats();
+            println!(
+                "exported {}: {} states, {} transitions, {} signatures (warmed on {}, {} nodes)",
+                path,
+                s.states,
+                s.transitions,
+                s.signatures,
+                workload.name,
+                workload.forest.len(),
+            );
+            Ok(())
+        }
+        "import" => {
+            let snapshot = load_tables_for(&grammar, strategy, path)?;
+            let s = snapshot.stats();
+            println!(
+                "imported {}: epoch {}, {} states, {} transitions, {} signatures",
+                path, s.epoch, s.states, s.transitions, s.signatures,
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown tables action `{other}`\n{TABLES_USAGE}")),
+    }
 }
 
 fn stats(grammar: &Grammar) -> Result<(), String> {
@@ -189,9 +292,14 @@ fn parse_tree(grammar_name: &str, src: &str) -> Result<(Forest, NodeId), String>
     Ok((forest, root))
 }
 
-fn label(grammar: &Grammar, strategy: Strategy, src: &str) -> Result<(), String> {
+fn label(
+    grammar: &Grammar,
+    strategy: Strategy,
+    tables: Option<&str>,
+    src: &str,
+) -> Result<(), String> {
     let (forest, _) = parse_tree(grammar.name(), src)?;
-    let mut labeler = build_labeler(grammar, strategy)?;
+    let mut labeler = build_labeler(grammar, strategy, tables)?;
     let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
@@ -238,9 +346,14 @@ fn label(grammar: &Grammar, strategy: Strategy, src: &str) -> Result<(), String>
     Ok(())
 }
 
-fn emit(grammar: &Grammar, strategy: Strategy, src: &str) -> Result<(), String> {
+fn emit(
+    grammar: &Grammar,
+    strategy: Strategy,
+    tables: Option<&str>,
+    src: &str,
+) -> Result<(), String> {
     let (forest, _) = parse_tree(grammar.name(), src)?;
-    let mut labeler = build_labeler(grammar, strategy)?;
+    let mut labeler = build_labeler(grammar, strategy, tables)?;
     let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
@@ -252,10 +365,15 @@ fn emit(grammar: &Grammar, strategy: Strategy, src: &str) -> Result<(), String> 
     Ok(())
 }
 
-fn compile(grammar: &Grammar, strategy: Strategy, path: &str) -> Result<(), String> {
+fn compile(
+    grammar: &Grammar,
+    strategy: Strategy,
+    tables: Option<&str>,
+    path: &str,
+) -> Result<(), String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let forest = odburg::frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
-    let mut labeler = build_labeler(grammar, strategy)?;
+    let mut labeler = build_labeler(grammar, strategy, tables)?;
     let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
@@ -274,21 +392,51 @@ fn compile(grammar: &Grammar, strategy: Strategy, path: &str) -> Result<(), Stri
 }
 
 /// Compares the chosen strategy against every other on a replicated
-/// MiniC workload — all driven through the `Labeler` trait.
-fn bench(grammar: &Grammar, chosen: Strategy) -> Result<(), String> {
+/// MiniC workload — all driven through the `Labeler` trait. With
+/// `--tables`, every strategy whose configuration matches the persisted
+/// tables is warm-started from them.
+fn bench(grammar: &Grammar, chosen: Strategy, tables: Option<&str>) -> Result<(), String> {
     use std::time::Instant;
     let suite = odburg::workloads::combined_workload();
     let forest = odburg::workloads::replicate(&suite.forest, 20);
     println!("workload: MiniC suite x20 ({} nodes)", forest.len());
 
+    // Import the table file once per distinct automaton configuration
+    // (ondemand and shared use the same tables) and reuse the snapshot
+    // across strategies.
+    let mut imported: Vec<(OnDemandConfig, Option<Arc<AutomatonSnapshot>>)> = Vec::new();
+    let mut snapshot_for = |strategy: Strategy| -> Option<Arc<AutomatonSnapshot>> {
+        let path = tables?;
+        let config = strategy.ondemand_config()?;
+        if let Some((_, cached)) = imported.iter().find(|(c, _)| *c == config) {
+            return cached.clone();
+        }
+        let loaded = load_tables_for(grammar, strategy, path).ok().map(Arc::new);
+        imported.push((config, loaded.clone()));
+        loaded
+    };
+    // Fail loudly if the chosen strategy cannot use the given tables;
+    // other strategies just fall back to a cold start.
+    if let Some(path) = tables {
+        if snapshot_for(chosen).is_none() {
+            // Re-run uncached for the error message.
+            load_tables_for(grammar, chosen, path)?;
+        }
+    }
+
     let mut results: Vec<(Strategy, f64)> = Vec::new();
     for strategy in Strategy::ALL {
-        let mut labeler = match AnyLabeler::build(strategy, grammar) {
-            Ok(l) => l,
-            Err(e) => {
-                println!("{:<20} unavailable: {e}", strategy.to_string());
-                continue;
-            }
+        let warm =
+            snapshot_for(strategy).and_then(|snap| AnyLabeler::build_warm(strategy, snap).ok());
+        let mut labeler = match warm {
+            Some(l) => l,
+            None => match AnyLabeler::build(strategy, grammar) {
+                Ok(l) => l,
+                Err(e) => {
+                    println!("{:<20} unavailable: {e}", strategy.to_string());
+                    continue;
+                }
+            },
         };
         // Warm (matters for the automata), then measure one pass.
         if labeler.label_forest(&forest).is_err() {

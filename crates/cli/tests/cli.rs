@@ -167,6 +167,149 @@ fn unknown_labeler_rejected() {
 }
 
 #[test]
+fn tables_round_trip_through_the_cli() {
+    let dir = std::env::temp_dir().join("odburg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tables = dir.join("x86ish.odbt");
+    let tables = tables.to_str().unwrap();
+
+    let (ok, stdout, stderr) = odburg(&["tables", "export", "x86ish", tables]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("exported"), "{stdout}");
+    assert!(stdout.contains("states"), "{stdout}");
+
+    let (ok, stdout, stderr) = odburg(&["tables", "import", "x86ish", tables]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("imported"), "{stdout}");
+
+    // Warm-started compilation works end to end, for the single-threaded
+    // and the shared strategy.
+    let path = dir.join("warm.mc");
+    std::fs::write(&path, "fn triple(x) { return x + x + x; }\n").unwrap();
+    for labeler in ["ondemand", "shared"] {
+        let (ok, stdout, stderr) = odburg(&[
+            "compile",
+            "x86ish",
+            path.to_str().unwrap(),
+            &format!("--tables={tables}"),
+            &format!("--labeler={labeler}"),
+        ]);
+        assert!(ok, "{labeler}: {stderr}");
+        assert!(stdout.contains("fn_triple:"), "{labeler}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_table_files_are_rejected_not_mislabeled() {
+    let dir = std::env::temp_dir().join("odburg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tables = dir.join("reject.odbt");
+    let (ok, _, stderr) = odburg(&["tables", "export", "x86ish", tables.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+
+    // Wrong grammar.
+    let (ok, _, stderr) = odburg(&["tables", "import", "demo", tables.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("different grammar"), "{stderr}");
+
+    // Wrong configuration (projection mode vs direct tables).
+    let (ok, _, stderr) = odburg(&[
+        "tables",
+        "import",
+        "x86ish",
+        tables.to_str().unwrap(),
+        "--labeler=ondemand-projected",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("different automaton configuration"),
+        "{stderr}"
+    );
+
+    // Corrupted payload.
+    let mut bytes = std::fs::read(&tables).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    let corrupt = dir.join("corrupt.odbt");
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let (ok, _, stderr) = odburg(&["tables", "import", "x86ish", corrupt.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("corrupted"), "{stderr}");
+
+    // Truncated file.
+    let truncated = dir.join("truncated.odbt");
+    std::fs::write(&truncated, &std::fs::read(&tables).unwrap()[..40]).unwrap();
+    let (ok, _, stderr) = odburg(&["tables", "import", "x86ish", truncated.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("truncated"), "{stderr}");
+
+    // Not a table file at all.
+    let nottables = dir.join("nottables.odbt");
+    std::fs::write(&nottables, "%start reg\nreg: ConstI8 (1)\n").unwrap();
+    let (ok, _, stderr) = odburg(&["tables", "import", "x86ish", nottables.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("not an odburg table file"), "{stderr}");
+
+    // Missing file, strategy without tables, unknown action and flag.
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(ConstI8 1)", "--tables=/no/such.odbt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load tables"), "{stderr}");
+    let (ok, _, stderr) = odburg(&[
+        "emit",
+        "demo",
+        "(ConstI8 1)",
+        "--tables",
+        tables.to_str().unwrap(),
+        "--labeler=dp",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot warm-start"), "{stderr}");
+    let (ok, _, stderr) = odburg(&["tables", "frobnicate", "demo", "x.odbt"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown tables action"), "{stderr}");
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(ConstI8 1)", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+}
+
+#[test]
+fn malformed_grammar_and_sexpr_inputs_error_cleanly() {
+    let dir = std::env::temp_dir().join("odburg-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Malformed grammar file: bad operator, bad cost, binary garbage.
+    for (name, text) in [
+        ("badop.burg", "%start reg\nreg: Frobnicate (1)\n"),
+        ("badcost.burg", "%start reg\nreg: ConstI8 (99999)\n"),
+        ("garbage.burg", "\u{1}\u{2}\u{3}"),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        let (ok, _, stderr) = odburg(&["stats", path.to_str().unwrap()]);
+        assert!(!ok, "{name} must be rejected");
+        assert!(stderr.contains(name), "{name}: {stderr}");
+    }
+
+    // Malformed s-expressions: unbalanced, empty, payload overflow.
+    for sexpr in [
+        "((((",
+        "(AddI8 (ConstI8 1)",
+        "(ConstI8 99999999999999999999999)",
+    ] {
+        let (ok, _, stderr) = odburg(&["label", "demo", sexpr]);
+        assert!(!ok, "`{sexpr}` must be rejected");
+        assert!(stderr.contains("bad tree"), "`{sexpr}`: {stderr}");
+    }
+
+    // Malformed MiniC input through compile.
+    let path = dir.join("bad.mc");
+    std::fs::write(&path, "fn broken( { return 1; }\n").unwrap();
+    let (ok, _, stderr) = odburg(&["compile", "x86ish", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("bad.mc"), "{stderr}");
+}
+
+#[test]
 fn errors_exit_nonzero_with_messages() {
     let (ok, _, stderr) = odburg(&["stats", "z80"]);
     assert!(!ok);

@@ -70,6 +70,7 @@ mod generate;
 mod label;
 mod offline;
 mod ondemand;
+pub mod persist;
 mod shared;
 pub mod signature;
 mod snapshot;
@@ -80,6 +81,7 @@ pub use generate::generate_rust;
 pub use label::{LabelError, Labeler, Labeling, RuleChooser, StateChooser, StateLookup};
 pub use offline::{DynCostMode, OfflineAutomaton, OfflineConfig, OfflineLabeler, OfflineStats};
 pub use ondemand::{BudgetPolicy, OnDemandAutomaton, OnDemandConfig, OnDemandStats};
+pub use persist::PersistError;
 pub use shared::{CoarseSharedOnDemand, PinnedLabeling, SharedOnDemand};
 pub use snapshot::{AutomatonSnapshot, SnapshotStats};
 pub use state::{StateData, StateId, StateSet};

@@ -54,11 +54,12 @@ pub enum BudgetPolicy {
     /// [`SharedOnDemand`](crate::SharedOnDemand) handles this without
     /// ever invalidating in-flight readers:
     ///
-    /// * every published [`AutomatonSnapshot`] carries its epoch, and
-    ///   snapshots are *retired, not freed* on publication — a reader
-    ///   that loaded a pre-flush snapshot keeps labeling against that
-    ///   snapshot's frozen tables, and state ids it produced stay
-    ///   dereferenceable for the shared automaton's whole lifetime;
+    /// * every published [`AutomatonSnapshot`] carries its epoch, and a
+    ///   replaced snapshot stays alive exactly as long as something can
+    ///   still reference it — a reader that loaded it before the flush
+    ///   keeps labeling against its frozen tables, and a pinned labeling
+    ///   keeps its epoch's tables alive indefinitely; replaced snapshots
+    ///   nothing references are dropped on the next publication;
     /// * a reader entering the writer lock compares its snapshot's epoch
     ///   with the master's and restarts the forest from scratch on a
     ///   mismatch (labelings never mix state ids across epochs);
@@ -214,10 +215,35 @@ impl OnDemandAutomaton {
             Arc::clone(&self.grammar),
             self.config,
             self.states.share_arena(),
+            self.projections.share_arena(),
             self.transitions.clone(),
             self.projection_cache.clone(),
             self.signatures.clone(),
         )
+    }
+
+    /// Reconstructs a mutable master automaton from a snapshot's frozen
+    /// tables — the warm-start path. The returned automaton labels
+    /// everything the snapshot has seen without a single memo miss and
+    /// grows from there; its epoch continues from the snapshot's.
+    ///
+    /// Combined with the [`persist`](crate::persist) module this lets a
+    /// restarted process resume at yesterday's hit rates:
+    /// export a snapshot before shutdown, import it at startup, and feed
+    /// it here (or to
+    /// [`SharedOnDemand::with_seed_snapshot`](crate::SharedOnDemand::with_seed_snapshot)).
+    pub fn from_snapshot(snapshot: &AutomatonSnapshot) -> Self {
+        OnDemandAutomaton {
+            grammar: Arc::clone(snapshot.grammar()),
+            config: snapshot.config(),
+            states: StateSet::from_arena(snapshot.states_arena().to_vec()),
+            projections: StateSet::from_arena(snapshot.projections_arena().to_vec()),
+            transitions: snapshot.transitions().clone(),
+            projection_cache: snapshot.projection_cache().clone(),
+            signatures: snapshot.signatures().clone(),
+            counters: WorkCounters::new(),
+            flushes: snapshot.epoch() as usize,
+        }
     }
 
     /// The configuration.
@@ -254,9 +280,20 @@ impl OnDemandAutomaton {
     /// Non-mutating transition lookup: `Some(state)` if the transition for
     /// `(op, kids, sig)` is already memoized, `None` on a miss.
     pub fn peek_transition(&self, op: Op, kid_states: &[StateId], sig: SigId) -> Option<StateId> {
+        debug_assert!(
+            op.arity() <= crate::snapshot::MAX_ARITY,
+            "operator {op} has arity {} beyond what TransKey can hold",
+            op.arity()
+        );
+        debug_assert!(
+            kid_states.len() >= op.arity(),
+            "peek_transition needs all {} child states of {op}, got {}",
+            op.arity(),
+            kid_states.len()
+        );
         let mut key = TransKey {
             op: op.id().0,
-            kids: [NO_CHILD; 2],
+            kids: [NO_CHILD; crate::snapshot::MAX_ARITY],
             sig,
         };
         for (i, &k) in kid_states.iter().take(op.arity()).enumerate() {
@@ -287,6 +324,18 @@ impl OnDemandAutomaton {
         kid_states: &[StateId],
     ) -> Result<StateId, LabelError> {
         let op = forest.node(node).op();
+        // TransKey invariant (see `snapshot::MAX_ARITY`): a wider
+        // operator would silently truncate the key and alias transitions.
+        debug_assert!(
+            op.arity() <= crate::snapshot::MAX_ARITY,
+            "operator {op} has arity {} beyond what TransKey can hold",
+            op.arity()
+        );
+        debug_assert_eq!(
+            kid_states.len(),
+            op.arity(),
+            "label_node takes exactly op.arity() child states"
+        );
         self.counters.nodes += 1;
 
         // 1. Evaluate dynamic costs and intern the signature (fast: most
@@ -296,7 +345,7 @@ impl OnDemandAutomaton {
         // 2. The fast path: one hash lookup.
         let mut key = TransKey {
             op: op.id().0,
-            kids: [NO_CHILD; 2],
+            kids: [NO_CHILD; crate::snapshot::MAX_ARITY],
             sig,
         };
         for (i, &k) in kid_states.iter().enumerate() {

@@ -1,0 +1,767 @@
+//! Persistent automaton tables: a versioned, compact binary
+//! (de)serialization of [`AutomatonSnapshot`] for warm-starting fresh
+//! processes.
+//!
+//! # Why
+//!
+//! The on-demand automaton's whole trade-off is paying table
+//! construction lazily instead of offline — which means every fresh
+//! process pays the cold-start cost again (the `figure7_coldstart`
+//! bench measures it). For a long-running service that restarts under
+//! traffic, the bridge between "on-demand" and "offline" is to persist
+//! the learned tables: export a snapshot before shutdown, import it at
+//! startup, and label at warm hit rates from the first request. The
+//! warm-started master ([`OnDemandAutomaton::from_snapshot`],
+//! [`SharedOnDemand::with_seed_snapshot`](crate::SharedOnDemand::with_seed_snapshot))
+//! keeps growing from wherever the tables left off.
+//!
+//! # Format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic    b"ODBT"
+//! version  u32      (FORMAT_VERSION; unknown versions are rejected)
+//! length   u64      payload byte count
+//! checksum u64      FNV-1a over the payload bytes
+//! payload:
+//!   grammar fingerprint   u64  (NormalGrammar::fingerprint)
+//!   config                project_children u8, budget_policy u8,
+//!                         state_budget u64
+//!   epoch                 u64
+//!   num_nts               u32
+//!   signatures            count; per sig: len + RuleCost entries
+//!   state arena           count; per state: len + (cost, rule) pairs
+//!   projection arena      same encoding
+//!   transition table      count; per entry: op, kids[MAX_ARITY], sig, state
+//!   projection cache      count; per entry: (state, op, pos) -> projected
+//! ```
+//!
+//! Table entries are written in sorted order, so exporting the same
+//! snapshot twice produces identical bytes.
+//!
+//! # Integrity
+//!
+//! A table file is only meaningful relative to the exact grammar and
+//! automaton configuration it was built from — state and rule ids are
+//! indices into those structures, so importing mismatched tables would
+//! produce *wrong labelings*, not just errors. Import therefore rejects,
+//! with a specific [`PersistError`]:
+//!
+//! * files that are not table files, or from another format version;
+//! * truncated files and payload corruption (checksum);
+//! * a grammar whose [`fingerprint`](odburg_grammar::NormalGrammar::fingerprint)
+//!   differs from the one the tables were exported under;
+//! * a configuration (projection mode, budget, budget policy) differing
+//!   from the expected one;
+//! * internally inconsistent tables (out-of-range ids) — defense in
+//!   depth behind the checksum.
+//!
+//! Two caveats. Dynamic-cost *functions* cannot be serialized; the
+//! fingerprint covers their names and rule positions, so rebinding a
+//! name to a different closure between export and import is not
+//! detected — keep bindings stable across restarts. And the epoch
+//! travels with the snapshot: importing tables resumes the epoch
+//! numbering of the exporting process, so pre-export pinned labelings
+//! are not resurrected (state ids never cross process boundaries except
+//! through the snapshot itself).
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use odburg_grammar::{Cost, NormalGrammar, RuleCost};
+
+use crate::fxhash::FxHashMap;
+use crate::ondemand::{BudgetPolicy, OnDemandConfig};
+use crate::signature::{SigId, SignatureInterner};
+use crate::snapshot::{AutomatonSnapshot, TransKey, MAX_ARITY, NO_CHILD};
+use crate::state::{StateData, StateId};
+
+/// The current table-file format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"ODBT";
+
+/// Errors produced while exporting or importing automaton tables.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Reading or writing the underlying stream failed.
+    Io(std::io::Error),
+    /// The input does not start with the table-file magic.
+    BadMagic,
+    /// The file uses a format version this build does not understand.
+    UnsupportedVersion {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The file ends before the declared payload does.
+    Truncated,
+    /// The payload checksum does not match — the file is corrupted.
+    ChecksumMismatch,
+    /// The tables were exported under a different grammar.
+    GrammarMismatch {
+        /// Fingerprint of the grammar the caller supplied.
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+    /// The tables were exported under a different automaton
+    /// configuration.
+    ConfigMismatch {
+        /// Configuration the caller expects.
+        expected: OnDemandConfig,
+        /// Configuration recorded in the file.
+        found: OnDemandConfig,
+    },
+    /// The payload is internally inconsistent (out-of-range ids or
+    /// malformed sections) despite a valid checksum.
+    Malformed(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "table file I/O error: {e}"),
+            PersistError::BadMagic => {
+                write!(f, "not an odburg table file (bad magic)")
+            }
+            PersistError::UnsupportedVersion { found } => write!(
+                f,
+                "unsupported table format version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            PersistError::Truncated => write!(f, "table file is truncated"),
+            PersistError::ChecksumMismatch => {
+                write!(f, "table file is corrupted (checksum mismatch)")
+            }
+            PersistError::GrammarMismatch { expected, found } => write!(
+                f,
+                "tables were exported for a different grammar \
+                 (fingerprint {found:#018x}, expected {expected:#018x}); re-export them"
+            ),
+            PersistError::ConfigMismatch { expected, found } => write!(
+                f,
+                "tables were exported under a different automaton configuration \
+                 ({found:?}, expected {expected:?})"
+            ),
+            PersistError::Malformed(what) => {
+                write!(f, "table file is malformed: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------- export
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn rule_cost(&mut self, c: RuleCost) {
+        self.u32(match c {
+            RuleCost::Finite(v) => v as u32,
+            RuleCost::Infinite => u32::MAX,
+        });
+    }
+    fn state(&mut self, s: &StateData) {
+        let (costs, rules) = s.raw_parts();
+        self.u32(costs.len() as u32);
+        for (&c, &r) in costs.iter().zip(rules.iter()) {
+            self.u32(c.raw());
+            self.u32(r);
+        }
+    }
+}
+
+/// Serializes a snapshot's tables into `writer`; see the
+/// [module docs](self) for the format.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] if writing fails.
+pub fn export_snapshot<W: Write>(
+    snapshot: &AutomatonSnapshot,
+    mut writer: W,
+) -> Result<(), PersistError> {
+    let mut e = Enc { buf: Vec::new() };
+    let config = snapshot.config();
+
+    e.u64(snapshot.grammar().fingerprint());
+    e.u8(config.project_children as u8);
+    e.u8(match config.budget_policy {
+        BudgetPolicy::Error => 0,
+        BudgetPolicy::Flush => 1,
+    });
+    e.u64(config.state_budget as u64);
+    e.u64(snapshot.epoch());
+    e.u32(snapshot.grammar().num_nts() as u32);
+
+    let sigs = snapshot.signatures();
+    e.u32(sigs.len() as u32);
+    for sig in sigs.iter() {
+        e.u32(sig.len() as u32);
+        for &c in sig {
+            e.rule_cost(c);
+        }
+    }
+
+    for arena in [snapshot.states_arena(), snapshot.projections_arena()] {
+        e.u32(arena.len() as u32);
+        for state in arena {
+            e.state(state);
+        }
+    }
+
+    let mut transitions: Vec<(&TransKey, &StateId)> = snapshot.transitions().iter().collect();
+    transitions.sort_unstable_by_key(|(k, _)| (k.op, k.kids, k.sig));
+    e.u32(transitions.len() as u32);
+    for (key, state) in transitions {
+        e.u16(key.op);
+        for kid in key.kids {
+            e.u32(kid);
+        }
+        e.u32(key.sig.0);
+        e.u32(state.0);
+    }
+
+    let mut cache: Vec<(&(StateId, u16, u8), &StateId)> =
+        snapshot.projection_cache().iter().collect();
+    cache.sort_unstable_by_key(|(k, _)| **k);
+    e.u32(cache.len() as u32);
+    for (&(state, op, pos), projected) in cache {
+        e.u32(state.0);
+        e.u16(op);
+        e.u8(pos);
+        e.u32(projected.0);
+    }
+
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    writer.write_all(&(e.buf.len() as u64).to_le_bytes())?;
+    writer.write_all(&fnv1a(&e.buf).to_le_bytes())?;
+    writer.write_all(&e.buf)?;
+    writer.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------- import
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(PersistError::Truncated)?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// Bounds a `count` field before anything is allocated for it: each
+    /// counted item occupies at least `min_item_bytes` of remaining
+    /// payload, so a count beyond that is malformed (and would otherwise
+    /// let a 12-byte file request gigabytes).
+    fn count(&mut self, what: &str, min_item_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes) > self.buf.len() - self.pos {
+            return Err(PersistError::Malformed(format!(
+                "{what} count {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
+    fn rule_cost(&mut self) -> Result<RuleCost, PersistError> {
+        match self.u32()? {
+            u32::MAX => Ok(RuleCost::Infinite),
+            v if v <= u16::MAX as u32 => Ok(RuleCost::Finite(v as u16)),
+            v => Err(PersistError::Malformed(format!(
+                "rule cost {v} out of range"
+            ))),
+        }
+    }
+    fn state(&mut self, num_rules: u32) -> Result<StateData, PersistError> {
+        let slots = self.count("state slot", 8)?;
+        let mut costs = Vec::with_capacity(slots);
+        let mut rules = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let raw = self.u32()?;
+            costs.push(if raw == u32::MAX {
+                Cost::INFINITE
+            } else {
+                Cost::finite(raw)
+            });
+            let rule = self.u32()?;
+            if rule != u32::MAX && rule >= num_rules {
+                return Err(PersistError::Malformed(format!(
+                    "state references rule {rule} of {num_rules}"
+                )));
+            }
+            rules.push(rule);
+        }
+        Ok(StateData::from_raw_parts(
+            costs.into_boxed_slice(),
+            rules.into_boxed_slice(),
+        ))
+    }
+}
+
+/// Deserializes tables exported by [`export_snapshot`], validating them
+/// against the grammar and configuration the importing automaton will
+/// run with.
+///
+/// # Errors
+///
+/// See the integrity discussion in the [module docs](self).
+pub fn import_snapshot<R: Read>(
+    mut reader: R,
+    grammar: Arc<NormalGrammar>,
+    expected: OnDemandConfig,
+) -> Result<AutomatonSnapshot, PersistError> {
+    let mut header = [0u8; 24];
+    read_exact_or_truncated(&mut reader, &mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let length = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let checksum = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    if length > u32::MAX as u64 {
+        return Err(PersistError::Malformed(format!(
+            "payload length {length} is implausible"
+        )));
+    }
+    // Read through `take` rather than preallocating `length` bytes, so a
+    // corrupted length field cannot request a giant allocation.
+    let mut payload = Vec::new();
+    reader.by_ref().take(length).read_to_end(&mut payload)?;
+    if (payload.len() as u64) < length {
+        return Err(PersistError::Truncated);
+    }
+    if fnv1a(&payload) != checksum {
+        return Err(PersistError::ChecksumMismatch);
+    }
+
+    let mut d = Dec {
+        buf: &payload,
+        pos: 0,
+    };
+
+    let found_fp = d.u64()?;
+    let expected_fp = grammar.fingerprint();
+    if found_fp != expected_fp {
+        return Err(PersistError::GrammarMismatch {
+            expected: expected_fp,
+            found: found_fp,
+        });
+    }
+    let project_children = match d.u8()? {
+        0 => false,
+        1 => true,
+        v => {
+            return Err(PersistError::Malformed(format!(
+                "projection flag {v} out of range"
+            )))
+        }
+    };
+    let budget_policy = match d.u8()? {
+        0 => BudgetPolicy::Error,
+        1 => BudgetPolicy::Flush,
+        v => {
+            return Err(PersistError::Malformed(format!(
+                "budget policy {v} out of range"
+            )))
+        }
+    };
+    let state_budget = d.u64()? as usize;
+    let found_config = OnDemandConfig {
+        project_children,
+        state_budget,
+        budget_policy,
+    };
+    if found_config != expected {
+        return Err(PersistError::ConfigMismatch {
+            expected,
+            found: found_config,
+        });
+    }
+    let epoch = d.u64()?;
+    let num_nts = d.u32()? as usize;
+    if num_nts != grammar.num_nts() {
+        return Err(PersistError::Malformed(format!(
+            "tables carry {num_nts} nonterminals, grammar has {}",
+            grammar.num_nts()
+        )));
+    }
+    let num_rules = grammar.rules().len() as u32;
+
+    let num_sigs = d.count("signature", 4)?;
+    if num_sigs == 0 {
+        return Err(PersistError::Malformed(
+            "signature section lost the empty signature".into(),
+        ));
+    }
+    let mut signatures = SignatureInterner::new();
+    for i in 0..num_sigs {
+        let len = d.count("signature entry", 4)?;
+        let mut costs = Vec::with_capacity(len);
+        for _ in 0..len {
+            costs.push(d.rule_cost()?);
+        }
+        if i == 0 {
+            if !costs.is_empty() {
+                return Err(PersistError::Malformed(
+                    "signature 0 must be the empty signature".into(),
+                ));
+            }
+            continue; // pre-interned by SignatureInterner::new
+        }
+        if costs.is_empty() || signatures.intern(&costs) != SigId(i as u32) {
+            return Err(PersistError::Malformed(format!(
+                "signature {i} is empty or a duplicate"
+            )));
+        }
+    }
+
+    let mut arenas: Vec<Vec<Arc<StateData>>> = Vec::with_capacity(2);
+    for (name, fixed_slots) in [("state", Some(num_nts)), ("projection", None)] {
+        let count = d.count(name, 4)?;
+        let mut arena = Vec::with_capacity(count);
+        for _ in 0..count {
+            let state = d.state(num_rules)?;
+            if fixed_slots.is_some_and(|n| state.len() != n) {
+                return Err(PersistError::Malformed(format!(
+                    "{name} has {} slots, expected {num_nts}",
+                    state.len()
+                )));
+            }
+            arena.push(Arc::new(state));
+        }
+        arenas.push(arena);
+    }
+    let projections = arenas.pop().expect("two arenas");
+    let states = arenas.pop().expect("two arenas");
+    // In projection mode transition keys reference the projection arena,
+    // otherwise the state arena.
+    let kid_arena_len = if project_children {
+        projections.len()
+    } else {
+        states.len()
+    } as u32;
+
+    let num_transitions = d.count("transition", 2 + 4 * MAX_ARITY + 8)?;
+    let mut transitions = FxHashMap::default();
+    for _ in 0..num_transitions {
+        let op = d.u16()?;
+        let mut kids = [NO_CHILD; MAX_ARITY];
+        for kid in kids.iter_mut() {
+            *kid = d.u32()?;
+            if *kid != NO_CHILD && *kid >= kid_arena_len {
+                return Err(PersistError::Malformed(format!(
+                    "transition child state {kid} of {kid_arena_len}"
+                )));
+            }
+        }
+        let sig = d.u32()?;
+        if sig as usize >= num_sigs {
+            return Err(PersistError::Malformed(format!(
+                "transition signature {sig} of {num_sigs}"
+            )));
+        }
+        let state = d.u32()?;
+        if state as usize >= states.len() {
+            return Err(PersistError::Malformed(format!(
+                "transition target state {state} of {}",
+                states.len()
+            )));
+        }
+        if transitions
+            .insert(
+                TransKey {
+                    op,
+                    kids,
+                    sig: SigId(sig),
+                },
+                StateId(state),
+            )
+            .is_some()
+        {
+            return Err(PersistError::Malformed("duplicate transition key".into()));
+        }
+    }
+
+    let num_cached = d.count("projection cache entry", 11)?;
+    let mut projection_cache = FxHashMap::default();
+    for _ in 0..num_cached {
+        let state = d.u32()?;
+        let op = d.u16()?;
+        let pos = d.u8()?;
+        let projected = d.u32()?;
+        if state as usize >= states.len() || projected as usize >= projections.len() {
+            return Err(PersistError::Malformed(
+                "projection cache id out of range".into(),
+            ));
+        }
+        if projection_cache
+            .insert((StateId(state), op, pos), StateId(projected))
+            .is_some()
+        {
+            return Err(PersistError::Malformed(
+                "duplicate projection cache key".into(),
+            ));
+        }
+    }
+
+    if d.pos != payload.len() {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after the last section",
+            payload.len() - d.pos
+        )));
+    }
+
+    Ok(AutomatonSnapshot::new(
+        epoch,
+        grammar,
+        found_config,
+        states,
+        projections,
+        transitions,
+        projection_cache,
+        signatures,
+    ))
+}
+
+fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), PersistError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PersistError::Truncated
+        } else {
+            PersistError::Io(e)
+        }
+    })
+}
+
+// ------------------------------------------------------------ file paths
+
+/// Exports a snapshot to a file; see [`export_snapshot`].
+///
+/// # Errors
+///
+/// [`PersistError::Io`] if the file cannot be created or written.
+pub fn save_tables(snapshot: &AutomatonSnapshot, path: &Path) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    export_snapshot(snapshot, std::io::BufWriter::new(file))
+}
+
+/// Imports tables from a file; see [`import_snapshot`].
+///
+/// # Errors
+///
+/// See [`import_snapshot`], plus [`PersistError::Io`] if the file cannot
+/// be opened.
+pub fn load_tables(
+    path: &Path,
+    grammar: Arc<NormalGrammar>,
+    expected: OnDemandConfig,
+) -> Result<AutomatonSnapshot, PersistError> {
+    let file = std::fs::File::open(path)?;
+    import_snapshot(std::io::BufReader::new(file), grammar, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Labeler;
+    use crate::ondemand::OnDemandAutomaton;
+    use odburg_grammar::parse_grammar;
+    use odburg_ir::{parse_sexpr, Forest};
+
+    fn warmed() -> (OnDemandAutomaton, Forest) {
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        let mut auto = OnDemandAutomaton::new(Arc::new(g));
+        let mut f = Forest::new();
+        let root = parse_sexpr(
+            &mut f,
+            "(StoreI8 (ConstI8 0) (AddI8 (LoadI8 (ConstI8 4)) (ConstI8 2)))",
+        )
+        .unwrap();
+        f.add_root(root);
+        auto.label_forest(&f).unwrap();
+        (auto, f)
+    }
+
+    fn round_trip(auto: &OnDemandAutomaton) -> AutomatonSnapshot {
+        let snap = auto.snapshot();
+        let mut bytes = Vec::new();
+        export_snapshot(&snap, &mut bytes).unwrap();
+        import_snapshot(&bytes[..], Arc::clone(auto.grammar()), auto.config()).unwrap()
+    }
+
+    #[test]
+    fn export_import_preserves_tables_and_labelings() {
+        let (auto, forest) = warmed();
+        let original = auto.snapshot();
+        let imported = round_trip(&auto);
+        assert_eq!(imported.stats(), original.stats());
+
+        // The warm-started master labels the workload with zero misses
+        // and assigns the same states.
+        let mut warm = OnDemandAutomaton::from_snapshot(&imported);
+        let relabeled = warm.label_forest(&forest).unwrap();
+        assert_eq!(warm.counters().memo_misses, 0, "warm start must not miss");
+        let mut cold = OnDemandAutomaton::new(Arc::clone(auto.grammar()));
+        assert_eq!(cold.label_forest(&forest).unwrap(), relabeled);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let (auto, _) = warmed();
+        let snap = auto.snapshot();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        export_snapshot(&snap, &mut a).unwrap();
+        export_snapshot(&snap, &mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_grammar_is_rejected() {
+        let (auto, _) = warmed();
+        let mut bytes = Vec::new();
+        export_snapshot(&auto.snapshot(), &mut bytes).unwrap();
+        let other = parse_grammar("%start reg\nreg: ConstI8 (2)\n")
+            .unwrap()
+            .normalize();
+        let err = import_snapshot(&bytes[..], Arc::new(other), auto.config()).unwrap_err();
+        assert!(matches!(err, PersistError::GrammarMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_config_is_rejected() {
+        let (auto, _) = warmed();
+        let mut bytes = Vec::new();
+        export_snapshot(&auto.snapshot(), &mut bytes).unwrap();
+        let projected = OnDemandConfig {
+            project_children: true,
+            ..auto.config()
+        };
+        let err = import_snapshot(&bytes[..], Arc::clone(auto.grammar()), projected).unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_rejected() {
+        let (auto, _) = warmed();
+        let mut bytes = Vec::new();
+        export_snapshot(&auto.snapshot(), &mut bytes).unwrap();
+        let grammar = Arc::clone(auto.grammar());
+        for cut in [0, 3, 10, 24, bytes.len() / 2, bytes.len() - 1] {
+            let err = import_snapshot(&bytes[..cut], Arc::clone(&grammar), auto.config())
+                .expect_err("truncated file must be rejected");
+            assert!(
+                matches!(err, PersistError::Truncated | PersistError::BadMagic),
+                "cut at {cut}: {err}"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                import_snapshot(&corrupt[..], Arc::clone(&grammar), auto.config()).is_err(),
+                "bit flip at byte {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn not_a_table_file_is_rejected() {
+        let (auto, _) = warmed();
+        let err = import_snapshot(
+            &b"%start reg\nreg: ConstI8 (1)\n"[..],
+            Arc::clone(auto.grammar()),
+            auto.config(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let (auto, _) = warmed();
+        let mut bytes = Vec::new();
+        export_snapshot(&auto.snapshot(), &mut bytes).unwrap();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err =
+            import_snapshot(&bytes[..], Arc::clone(auto.grammar()), auto.config()).unwrap_err();
+        assert!(
+            matches!(err, PersistError::UnsupportedVersion { .. }),
+            "{err}"
+        );
+    }
+}

@@ -23,10 +23,15 @@
 //! `label_forest` call bounces the `RwLock`'s reader count between cores
 //! even when the automaton is fully warmed, and one cold forest blocks
 //! all readers for its entire labeling. Under snapshots, warm readers
-//! touch no shared cache line at all (the pointer load is a read of a
-//! rarely-written line) and a cold forest blocks nobody — readers keep
-//! answering from the still-current snapshot while the writer grows the
-//! master.
+//! touch no shared cache line at all (the pointer load plus one hazard
+//! slot) and a cold forest blocks nobody — readers keep answering from
+//! the still-current snapshot while the writer grows the master.
+//!
+//! Replaced snapshots are reclaimed on publication unless something can
+//! still reference them: a reader mid-forest (hazard-protected) or a
+//! [`PinnedLabeling`]. The retire list is therefore bounded by live
+//! pins, not by the number of publications — see the `arc_swap` shim
+//! docs for the reclamation protocol.
 
 use std::sync::Arc;
 
@@ -40,7 +45,7 @@ use crate::counters::{AtomicWorkCounters, WorkCounters};
 use crate::label::{LabelError, Labeler, Labeling, StateChooser, StateLookup};
 use crate::ondemand::{BudgetPolicy, OnDemandAutomaton};
 use crate::signature::SigId;
-use crate::snapshot::AutomatonSnapshot;
+use crate::snapshot::{AutomatonSnapshot, MAX_ARITY};
 use crate::state::StateId;
 
 /// The snapshot-based shared on-demand automaton.
@@ -78,9 +83,12 @@ use crate::state::StateId;
 /// ```
 #[derive(Debug)]
 pub struct SharedOnDemand {
-    /// The published snapshot readers label against. Replaced snapshots
-    /// are retired (kept alive), which is what keeps pre-flush state ids
-    /// dereferenceable; see [`BudgetPolicy::Flush`].
+    /// The published snapshot readers label against. A replaced snapshot
+    /// is retired and stays alive exactly as long as something can still
+    /// reference it — a reader mid-forest, or a [`PinnedLabeling`]
+    /// holding it; every other replaced snapshot is dropped on the next
+    /// publication, so grow-churn workloads do not accumulate dead
+    /// tables. See [`BudgetPolicy::Flush`] for the epoch interaction.
     current: ArcSwap<AutomatonSnapshot>,
     /// The mutable master automaton — the single-writer grow path.
     writer: Mutex<OnDemandAutomaton>,
@@ -135,6 +143,20 @@ impl SharedOnDemand {
         }
     }
 
+    /// Warm-starts a shared automaton from a previously built (e.g.
+    /// [imported](crate::persist)) snapshot: the snapshot is published
+    /// as-is for lock-free readers and the master automaton is
+    /// reconstructed from its tables, so workloads the snapshot has
+    /// already seen never enter the grow path.
+    pub fn with_seed_snapshot(snapshot: Arc<AutomatonSnapshot>) -> Self {
+        let master = OnDemandAutomaton::from_snapshot(&snapshot);
+        SharedOnDemand {
+            current: ArcSwap::new(snapshot),
+            writer: Mutex::new(master),
+            counters: AtomicWorkCounters::new(),
+        }
+    }
+
     /// Labels a forest. On the warm path (every transition present in
     /// the current snapshot) this takes **no lock**: one atomic pointer
     /// load, immutable reads, one atomic counter merge.
@@ -143,8 +165,8 @@ impl SharedOnDemand {
     ///
     /// Same as [`OnDemandAutomaton::label_forest`].
     pub fn label_forest(&self, forest: &Forest) -> Result<Labeling, LabelError> {
-        let snap = self.current.peek();
-        let (states, _) = self.label_core(snap, forest)?;
+        let snap = self.current.load();
+        let (states, _) = self.label_core(&snap, forest)?;
         Ok(Labeling::from_states(states))
     }
 
@@ -178,7 +200,7 @@ impl SharedOnDemand {
 
         // Fast path: immutable lookups against the snapshot, no locks.
         for (id, node) in forest.iter() {
-            let mut kids = [StateId(0); 2];
+            let mut kids = [StateId(0); MAX_ARITY];
             for (i, &c) in node.children().iter().enumerate() {
                 kids[i] = states[c.index()];
             }
@@ -261,9 +283,16 @@ impl SharedOnDemand {
         self.current.load_full()
     }
 
-    /// Number of snapshots retired by publications so far (a measure of
-    /// grow-path activity and of the retire-list's memory cost).
+    /// Number of snapshots published by the grow path so far (a measure
+    /// of grow-path activity).
     pub fn snapshots_published(&self) -> usize {
+        self.current.store_count()
+    }
+
+    /// Number of replaced snapshots still held alive — bounded by the
+    /// live [`PinnedLabeling`]s (plus readers momentarily mid-forest),
+    /// not by the number of publications.
+    pub fn snapshots_retained(&self) -> usize {
         self.current.retired_len()
     }
 
@@ -347,7 +376,7 @@ fn peek<V: TransitionView>(
     forest: &Forest,
     node: NodeId,
     op: Op,
-    kids: &[StateId; 2],
+    kids: &[StateId; MAX_ARITY],
     local: &mut WorkCounters,
 ) -> Option<StateId> {
     let grammar = view.view_grammar();
@@ -381,7 +410,7 @@ impl StateLookup for SharedOnDemand {
     /// [`SharedOnDemand::label_forest_pinned`] when labelings outlive
     /// flushes.
     fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId> {
-        self.current.peek().rule_in_state(state, nt)
+        self.current.load().rule_in_state(state, nt)
     }
 }
 
@@ -443,7 +472,7 @@ impl CoarseSharedOnDemand {
         {
             let auto = self.inner.read();
             for (id, node) in forest.iter() {
-                let mut kids = [StateId(0); 2];
+                let mut kids = [StateId(0); MAX_ARITY];
                 for (i, &c) in node.children().iter().enumerate() {
                     kids[i] = states[c.index()];
                 }
@@ -655,6 +684,82 @@ mod tests {
         // The pinned labeling still resolves against its own epoch's
         // tables even though the shared automaton has moved on.
         assert!(pinned.state_data(f1.roots()[0]).rule(start).is_some());
+    }
+
+    /// A grammar whose dynamic cost depends on the constant's value, so
+    /// every distinct constant interns a new signature — each forest
+    /// labeled below enters the grow path and publishes a snapshot.
+    fn churn_automaton() -> OnDemandAutomaton {
+        let mut g = parse_grammar(
+            r#"
+            %start stmt
+            %dyncost val
+            reg: ConstI8 [val]
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(reg, reg) (1)
+            "#,
+        )
+        .unwrap();
+        g.bind_dyncost(
+            "val",
+            Arc::new(|forest: &Forest, node| {
+                let v = forest.node(node).payload().as_int().unwrap_or(0);
+                odburg_grammar::RuleCost::Finite((v.unsigned_abs() % 1000) as u16)
+            }),
+        )
+        .unwrap();
+        OnDemandAutomaton::new(Arc::new(g.normalize()))
+    }
+
+    #[test]
+    fn grow_churn_does_not_accumulate_retired_snapshots() {
+        // Regression: retire-on-store used to keep *every* replaced
+        // snapshot alive for the process lifetime. Under a grow-churn
+        // workload (every forest interns a new signature, so every
+        // forest publishes a snapshot) the retained count must stay
+        // bounded by what can still be referenced — at most the snapshot
+        // a reader was holding during the latest publication — not grow
+        // with the number of publications.
+        let shared = SharedOnDemand::new(churn_automaton());
+        for k in 1..=32 {
+            shared
+                .label_forest(&forest(&format!("(StoreI8 (ConstI8 {k}) (ConstI8 {k}))")))
+                .unwrap();
+        }
+        assert!(shared.snapshots_published() >= 32);
+        assert!(
+            shared.snapshots_retained() <= 1,
+            "retained {} snapshots across {} publications with no live pins",
+            shared.snapshots_retained(),
+            shared.snapshots_published()
+        );
+    }
+
+    #[test]
+    fn pinned_labeling_bounds_retirement() {
+        let shared = SharedOnDemand::new(churn_automaton());
+        let f1 = forest("(StoreI8 (ConstI8 1) (ConstI8 2))");
+        let pinned = shared.label_forest_pinned(&f1).unwrap();
+        // Churn past the pinned snapshot.
+        for k in 3..=18 {
+            shared
+                .label_forest(&forest(&format!("(StoreI8 (ConstI8 {k}) (ConstI8 {k}))")))
+                .unwrap();
+        }
+        assert!(shared.snapshots_published() >= 16);
+        // Retention is bounded by live pins (plus the reader-held
+        // snapshot of the latest publication), and the pinned labeling
+        // still resolves against its own tables.
+        assert!(shared.snapshots_retained() <= 2);
+        let start = pinned.snapshot().grammar().start();
+        assert!(pinned.state_data(f1.roots()[0]).rule(start).is_some());
+        // Dropping the pin releases the last reference; the next
+        // publication reclaims it.
+        drop(pinned);
+        shared
+            .label_forest(&forest("(StoreI8 (ConstI8 19) (ConstI8 19))"))
+            .unwrap();
+        assert!(shared.snapshots_retained() <= 1);
     }
 
     #[test]

@@ -81,6 +81,12 @@ impl SignatureInterner {
         self.sigs.len()
     }
 
+    /// Iterates over all interned cost vectors in id order (the empty
+    /// signature first).
+    pub fn iter(&self) -> impl Iterator<Item = &[RuleCost]> {
+        self.sigs.iter().map(|s| &**s)
+    }
+
     /// `true` if only the empty signature exists.
     pub fn is_empty(&self) -> bool {
         self.sigs.len() == 1

@@ -34,12 +34,27 @@ use crate::state::{StateData, StateId};
 
 pub(crate) const NO_CHILD: u32 = u32::MAX;
 
+/// The maximum operator arity a [`TransKey`] can represent.
+///
+/// **Invariant:** every [`Op`] in the IR has `arity() <= MAX_ARITY`.
+/// `TransKey.kids` is a fixed array of this size, and both the lookup and
+/// the insert paths take exactly `op.arity()` child states — an operator
+/// with more children would silently truncate the key and alias unrelated
+/// transitions. The labeling entry points `debug_assert!` this bound, and
+/// `snapshot::tests::all_ops_fit_the_transition_key` locks it in against
+/// future IR extensions (growing `kids` is the fix if one ever exceeds
+/// it).
+pub(crate) const MAX_ARITY: usize = 2;
+
 /// Transition-table key: `(operator, child states, dynamic-cost
 /// signature)` — the lookup the paper performs per node.
+///
+/// `kids` holds exactly `op.arity()` child states (see [`MAX_ARITY`]);
+/// unused slots are [`NO_CHILD`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct TransKey {
     pub op: u16,
-    pub kids: [u32; 2],
+    pub kids: [u32; MAX_ARITY],
     pub sig: SigId,
 }
 
@@ -69,17 +84,25 @@ pub struct AutomatonSnapshot {
     grammar: Arc<NormalGrammar>,
     config: OnDemandConfig,
     states: Vec<Arc<StateData>>,
+    /// The projected-state arena (projection mode only; empty otherwise).
+    /// Transition keys reference these ids through the projection cache,
+    /// and a warm-started master needs the arena to keep interning
+    /// consistently — so it is part of the snapshot and of the persisted
+    /// format.
+    projections: Vec<Arc<StateData>>,
     transitions: FxHashMap<TransKey, StateId>,
     projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
     signatures: SignatureInterner,
 }
 
 impl AutomatonSnapshot {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         epoch: u64,
         grammar: Arc<NormalGrammar>,
         config: OnDemandConfig,
         states: Vec<Arc<StateData>>,
+        projections: Vec<Arc<StateData>>,
         transitions: FxHashMap<TransKey, StateId>,
         projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
         signatures: SignatureInterner,
@@ -89,10 +112,31 @@ impl AutomatonSnapshot {
             grammar,
             config,
             states,
+            projections,
             transitions,
             projection_cache,
             signatures,
         }
+    }
+
+    pub(crate) fn states_arena(&self) -> &[Arc<StateData>] {
+        &self.states
+    }
+
+    pub(crate) fn projections_arena(&self) -> &[Arc<StateData>] {
+        &self.projections
+    }
+
+    pub(crate) fn transitions(&self) -> &FxHashMap<TransKey, StateId> {
+        &self.transitions
+    }
+
+    pub(crate) fn projection_cache(&self) -> &FxHashMap<(StateId, u16, u8), StateId> {
+        &self.projection_cache
+    }
+
+    pub(crate) fn signatures(&self) -> &SignatureInterner {
+        &self.signatures
     }
 
     /// The flush epoch this snapshot belongs to. State ids are only
@@ -142,9 +186,20 @@ impl AutomatonSnapshot {
     /// frozen projection cache; an unseen `(child, op, position)` triple
     /// is a miss like any other.
     pub fn lookup(&self, op: Op, kid_states: &[StateId], sig: SigId) -> Option<StateId> {
+        debug_assert!(
+            op.arity() <= MAX_ARITY,
+            "operator {op} has arity {} > MAX_ARITY={MAX_ARITY}: TransKey would truncate",
+            op.arity()
+        );
+        debug_assert!(
+            kid_states.len() >= op.arity(),
+            "lookup needs all {} child states of {op}, got {}",
+            op.arity(),
+            kid_states.len()
+        );
         let mut key = TransKey {
             op: op.id().0,
-            kids: [NO_CHILD; 2],
+            kids: [NO_CHILD; MAX_ARITY],
             sig,
         };
         for (i, &k) in kid_states.iter().take(op.arity()).enumerate() {
@@ -232,6 +287,25 @@ mod tests {
         let op: Op = "LoadI8".parse().unwrap();
         let unseen = snap.lookup(op, &[StateId(1)], SigId::EMPTY);
         assert!(unseen.is_none());
+    }
+
+    #[test]
+    fn all_ops_fit_the_transition_key() {
+        // Locks in the TransKey invariant: every operator the IR can
+        // express has arity <= MAX_ARITY, so the fixed `kids` array never
+        // truncates. If a future IR extension adds a wider operator,
+        // this test fails and `kids: [u32; MAX_ARITY]` must grow with it.
+        use odburg_ir::{ALL_KINDS, ALL_TYPE_TAGS};
+        for kind in ALL_KINDS {
+            for ty in ALL_TYPE_TAGS {
+                let op = Op::new(kind, ty);
+                assert!(
+                    op.arity() <= MAX_ARITY,
+                    "operator {op} has arity {} > MAX_ARITY={MAX_ARITY}",
+                    op.arity()
+                );
+            }
+        }
     }
 
     #[test]

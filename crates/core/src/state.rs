@@ -73,6 +73,20 @@ impl StateData {
         }
     }
 
+    /// The raw per-nonterminal arrays (costs, rule ids with `u32::MAX`
+    /// for "no rule"), for the persistence codec.
+    pub(crate) fn raw_parts(&self) -> (&[Cost], &[u32]) {
+        (&self.costs, &self.rules)
+    }
+
+    /// Rebuilds a state from raw arrays (inverse of
+    /// [`raw_parts`](StateData::raw_parts)). Both slices must have the
+    /// same length; rule entries use `u32::MAX` for "no rule".
+    pub(crate) fn from_raw_parts(costs: Box<[Cost]>, rules: Box<[u32]>) -> Self {
+        debug_assert_eq!(costs.len(), rules.len());
+        StateData { costs, rules }
+    }
+
     /// `true` if no nonterminal is derivable (the "dead" state).
     pub fn is_dead(&self) -> bool {
         self.costs.iter().all(|c| c.is_infinite())
@@ -158,6 +172,20 @@ impl StateSet {
     /// Creates an empty set.
     pub fn new() -> Self {
         StateSet::default()
+    }
+
+    /// Rebuilds a set from a shared arena (as published in an
+    /// [`AutomatonSnapshot`](crate::AutomatonSnapshot)), re-deriving the
+    /// hash-consing index. Ids are preserved: `get(StateId(i))` returns
+    /// `arena[i]`. This is how a warm-started master automaton recovers
+    /// its interner from persisted tables.
+    pub fn from_arena(arena: Vec<Arc<StateData>>) -> Self {
+        let ids = arena
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Arc::clone(s), StateId(i as u32)))
+            .collect();
+        StateSet { states: arena, ids }
     }
 
     /// Interns a state, returning its id and whether it was new.

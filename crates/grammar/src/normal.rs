@@ -204,6 +204,80 @@ impl NormalGrammar {
         &self.dyncosts
     }
 
+    /// A stable 64-bit fingerprint of the grammar's selection-relevant
+    /// structure: nonterminals, start symbol, every normal rule (left-hand
+    /// side, operator/operands or chain source, fixed cost or dynamic-cost
+    /// *name*), and the declared dynamic-cost functions.
+    ///
+    /// Two normalized grammars with the same fingerprint assign identical
+    /// meaning to rule and nonterminal ids, which is the property
+    /// persisted automaton tables depend on (see `odburg_core::persist`).
+    /// The hash is FNV-1a with explicit field framing — independent of
+    /// process, platform and `HashMap` iteration order, so it is safe to
+    /// embed in on-disk artifacts. Dynamic-cost *bindings* (the closures)
+    /// are not hashed: only their names and rule positions are, so a
+    /// rebinding that changes a function's behavior but not its name is
+    /// not detected.
+    pub fn fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn put(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            fn put_u32(&mut self, v: u32) {
+                self.put(&v.to_le_bytes());
+            }
+            fn put_str(&mut self, s: &str) {
+                self.put_u32(s.len() as u32);
+                self.put(s.as_bytes());
+            }
+        }
+        let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+        h.put_str(&self.name);
+        h.put_u32(self.num_source_nts as u32);
+        h.put_u32(self.nonterminals.len() as u32);
+        for nt in &self.nonterminals {
+            h.put_str(nt);
+        }
+        h.put_u32(self.start.0 as u32);
+        h.put_u32(self.dyncosts.len() as u32);
+        for dc in &self.dyncosts {
+            h.put_str(&dc.name);
+        }
+        h.put_u32(self.rules.len() as u32);
+        for rule in &self.rules {
+            h.put_u32(rule.lhs.0 as u32);
+            match &rule.rhs {
+                NormalRhs::Base { op, operands } => {
+                    h.put_u32(0);
+                    h.put_u32(op.id().0 as u32);
+                    h.put_u32(operands.len() as u32);
+                    for nt in operands {
+                        h.put_u32(nt.0 as u32);
+                    }
+                }
+                NormalRhs::Chain { from } => {
+                    h.put_u32(1);
+                    h.put_u32(from.0 as u32);
+                }
+            }
+            match rule.cost {
+                CostExpr::Fixed(c) => {
+                    h.put_u32(2);
+                    h.put_u32(c as u32);
+                }
+                CostExpr::Dynamic(id) => {
+                    h.put_u32(3);
+                    h.put_u32(id.0 as u32);
+                }
+            }
+            h.put_u32(rule.is_final as u32);
+        }
+        h.0
+    }
+
     /// Rebuilds the grammar without any dynamic-cost source rules (and
     /// without their helper rules).
     ///
@@ -434,6 +508,24 @@ mod tests {
         assert_eq!(n.operand_nts(store, 0), &[addr]);
         // Position 1 of Store: reg and the hlp2 helper.
         assert_eq!(n.operand_nts(store, 1).len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = parse_grammar(DEMO).unwrap().normalize();
+        let b = parse_grammar(DEMO).unwrap().normalize();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same source, same hash");
+        // Any structural change — here one cost — must change the hash.
+        let tweaked = parse_grammar(&DEMO.replace("reg: ConstI8 (1)", "reg: ConstI8 (2)"))
+            .unwrap()
+            .normalize();
+        assert_ne!(a.fingerprint(), tweaked.fingerprint());
+        // Pinned value: guards against accidental changes to the hash
+        // function itself, which would invalidate every persisted table
+        // file. If this fails because the grammar *structure* hashing
+        // legitimately changed, bump `persist::FORMAT_VERSION` and
+        // re-pin.
+        assert_eq!(a.fingerprint(), 0xA96A_5953_BE5B_01ED);
     }
 
     #[test]

@@ -36,8 +36,9 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use odburg_core::{
-    LabelError, Labeler, Labeling, OfflineAutomaton, OfflineConfig, OfflineLabeler,
-    OnDemandAutomaton, OnDemandConfig, RuleChooser, SharedOnDemand, StateChooser, WorkCounters,
+    AutomatonSnapshot, LabelError, Labeler, Labeling, OfflineAutomaton, OfflineConfig,
+    OfflineLabeler, OnDemandAutomaton, OnDemandConfig, RuleChooser, SharedOnDemand, StateChooser,
+    WorkCounters,
 };
 use odburg_dp::{DpLabeler, DpLabeling, MacroExpander, MacroLabeling};
 use odburg_grammar::{Grammar, NormalGrammar, NormalRuleId, NtId};
@@ -72,6 +73,23 @@ impl Strategy {
         Strategy::Dp,
         Strategy::Macro,
     ];
+
+    /// The on-demand configuration this strategy labels with, or `None`
+    /// if the strategy is not backed by an on-demand automaton.
+    ///
+    /// This is the configuration persisted tables must match to
+    /// [warm-start](AnyLabeler::build_warm) the strategy (see
+    /// `odburg_core::persist`).
+    pub fn ondemand_config(self) -> Option<OnDemandConfig> {
+        match self {
+            Strategy::OnDemand | Strategy::Shared => Some(OnDemandConfig::default()),
+            Strategy::OnDemandProjected => Some(OnDemandConfig {
+                project_children: true,
+                ..OnDemandConfig::default()
+            }),
+            Strategy::Offline | Strategy::Dp | Strategy::Macro => None,
+        }
+    }
 
     /// The flag/display name.
     pub fn name(self) -> &'static str {
@@ -111,6 +129,26 @@ impl fmt::Display for UnknownStrategy {
 }
 
 impl std::error::Error for UnknownStrategy {}
+
+/// Error for warm-starting a strategy that has no on-demand tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStartUnsupported {
+    /// The strategy that cannot warm-start.
+    pub strategy: Strategy,
+}
+
+impl fmt::Display for WarmStartUnsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "labeler `{}` cannot warm-start from persisted tables \
+             (only ondemand, ondemand-projected and shared can)",
+            self.strategy
+        )
+    }
+}
+
+impl std::error::Error for WarmStartUnsupported {}
 
 impl FromStr for Strategy {
     type Err = UnknownStrategy;
@@ -205,6 +243,33 @@ impl AnyLabeler {
             Strategy::Dp => AnyLabeler::Dp(DpLabeler::new(normal)),
             Strategy::Macro => AnyLabeler::Macro(MacroExpander::new(normal)),
         })
+    }
+
+    /// Warm-starts the selector for `strategy` from a previously built
+    /// (typically [imported](odburg_core::persist)) snapshot instead of
+    /// cold tables. The snapshot's grammar and configuration travel with
+    /// it; importing validates both, so a snapshot that loaded cleanly
+    /// for [`Strategy::ondemand_config`] is the right one to pass here.
+    ///
+    /// # Errors
+    ///
+    /// [`WarmStartUnsupported`] for strategies without on-demand tables
+    /// (offline, dp, macro).
+    pub fn build_warm(
+        strategy: Strategy,
+        snapshot: Arc<AutomatonSnapshot>,
+    ) -> Result<AnyLabeler, WarmStartUnsupported> {
+        match strategy {
+            Strategy::OnDemand | Strategy::OnDemandProjected => Ok(AnyLabeler::OnDemand(
+                OnDemandAutomaton::from_snapshot(&snapshot),
+            )),
+            Strategy::Shared => Ok(AnyLabeler::Shared(SharedOnDemand::with_seed_snapshot(
+                snapshot,
+            ))),
+            Strategy::Offline | Strategy::Dp | Strategy::Macro => {
+                Err(WarmStartUnsupported { strategy })
+            }
+        }
     }
 
     /// The normalized grammar the selector labels against. Reductions of

@@ -5,37 +5,52 @@
 //! so this crate provides the operations the `odburg` snapshot core needs
 //! with the same concurrency contract as the real `arc-swap`:
 //!
-//! * [`ArcSwap::peek`] — wait-free read access to the current value: one
-//!   `Acquire` pointer load, **no reference-count traffic and no lock**.
-//!   This is the per-forest hot-path operation.
+//! * [`ArcSwap::load`] — wait-free read access to the current value
+//!   through a [`Guard`]: one pointer load plus one store into a *hazard
+//!   slot*, **no reference-count traffic and no lock** on the common
+//!   path. This is the per-forest hot-path operation.
 //! * [`ArcSwap::load_full`] — clones out an owning `Arc` of the current
 //!   value (one atomic refcount increment), for callers that must pin a
-//!   snapshot beyond the borrow of the cell.
-//! * [`ArcSwap::store`] — atomically publishes a new value.
+//!   value beyond the borrow of the cell.
+//! * [`ArcSwap::store`] — atomically publishes a new value and reclaims
+//!   every previously retired value that no reader can still observe.
 //!
-//! # The retire-on-store design
+//! # The retire-and-prune design
 //!
 //! The hard part of an atomic `Arc` cell is the race between a reader
 //! loading the pointer and a writer dropping the last reference to the
 //! value just unlinked. The real `arc-swap` solves it with hazard-pointer
-//! style debt tracking. This shim instead *retires* replaced values: a
-//! [`store`](ArcSwap::store) moves the previous `Arc` onto an internal
-//! retire list, where it stays alive until the `ArcSwap` itself is
-//! dropped. Every pointer a reader can possibly observe is therefore
-//! backed by a strong count owned by the cell for the cell's whole
-//! lifetime, which makes `peek` (a plain borrow) and `load_full` (an
-//! increment of a provably live count) sound.
+//! style debt tracking; this shim uses classic hazard pointers directly:
 //!
-//! The cost is memory: one retired `Arc<T>` per `store` call. That is the
-//! right trade for snapshot publication — stores happen only when an
-//! automaton *grows* (a few hundred times over the life of a JIT, with
-//! geometrically decreasing frequency), while reads happen on every
-//! compilation. Callers with high-frequency stores should not use this
-//! shim.
+//! * A [`store`](ArcSwap::store) moves the previous `Arc` onto an
+//!   internal retire list, then **prunes** the list: every retired value
+//!   that is not published in any hazard slot and whose strong count is 1
+//!   (i.e. no caller-held `Arc` clone — no pinned snapshot — still
+//!   references it) is dropped on the spot.
+//! * A reader's [`Guard`] publishes the pointer it is about to
+//!   dereference into one of a fixed pool of hazard slots and then
+//!   re-checks that the pointer is still current (the standard
+//!   hazard-pointer protocol); a concurrent prune therefore either sees
+//!   the slot and keeps the value alive, or the reader observes the newer
+//!   pointer and retries. If every slot is taken, the reader falls back
+//!   to an owning `Arc` acquired under the same mutex that serializes
+//!   pruning — still correct, just not wait-free.
+//!
+//! The result is bounded memory: the retire list holds only values that a
+//! live `Arc` clone (e.g. a pinned snapshot) can still reach, plus at
+//! most the handful a concurrent reader is momentarily protecting. A
+//! grow-churn workload that publishes thousands of snapshots retains
+//! none of them once readers move on — the leak the earlier
+//! retire-forever design had is gone.
 
 use std::fmt;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of hazard slots per cell. More concurrent `load` guards than
+/// this degrade to the locked fallback path; they stay correct.
+const HAZARD_SLOTS: usize = 64;
 
 /// An `Arc<T>` that can be atomically replaced while other threads read
 /// it without locks.
@@ -47,9 +62,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// use std::sync::Arc;
 ///
 /// let cell = ArcSwap::new(Arc::new(1));
-/// assert_eq!(*cell.peek(), 1);
+/// assert_eq!(*cell.load(), 1);
 /// cell.store(Arc::new(2));
-/// assert_eq!(*cell.peek(), 2);
+/// assert_eq!(*cell.load(), 2);
 /// let pinned = cell.load_full();
 /// cell.store(Arc::new(3));
 /// assert_eq!(*pinned, 2); // pinned value survives the store
@@ -58,10 +73,15 @@ pub struct ArcSwap<T> {
     /// Raw pointer obtained from `Arc::into_raw`; the strong count it
     /// represents is owned by this cell (as "the current value").
     current: AtomicPtr<T>,
-    /// Previously published values, kept alive until the cell drops so
-    /// that in-flight readers can never observe a freed pointer. Also
-    /// serializes concurrent `store` calls.
+    /// Previously published values still alive. Also serializes
+    /// concurrent `store` calls and the locked `load_full` fallback.
     retired: Mutex<Vec<Arc<T>>>,
+    /// Hazard slots: pointers concurrent readers are dereferencing.
+    /// Null means free.
+    hazards: Box<[AtomicPtr<T>]>,
+    /// Total number of `store` calls (monotonic; retired values that were
+    /// pruned still count).
+    stores: AtomicUsize,
 }
 
 // SAFETY: the cell hands out `&T` and `Arc<T>` across threads, so the
@@ -75,59 +95,125 @@ impl<T> ArcSwap<T> {
         ArcSwap {
             current: AtomicPtr::new(Arc::into_raw(value) as *mut T),
             retired: Mutex::new(Vec::new()),
+            hazards: (0..HAZARD_SLOTS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            stores: AtomicUsize::new(0),
         }
     }
 
-    /// Borrows the current value: one `Acquire` load, no refcount
-    /// traffic, no lock. The borrow is valid for as long as the cell
-    /// lives (retired values are never freed before the cell drops), but
-    /// it observes the value current *at the time of the call* — a
-    /// concurrent [`store`](ArcSwap::store) does not retarget it.
-    pub fn peek(&self) -> &T {
-        // SAFETY: the pointer was produced by `Arc::into_raw` and the
-        // cell owns a strong count for it (as current or retired) until
-        // `self` drops; `&self` cannot outlive `self`.
-        unsafe { &*self.current.load(Ordering::Acquire) }
+    /// Borrows the current value through a hazard-protected [`Guard`]:
+    /// no refcount traffic and no lock on the common path. The guard
+    /// observes the value current *at the time of the call* — a
+    /// concurrent [`store`](ArcSwap::store) does not retarget it, and the
+    /// value cannot be reclaimed while the guard lives.
+    pub fn load(&self) -> Guard<'_, T> {
+        // Claim a free hazard slot by CAS-ing our candidate pointer into
+        // it, then re-check that the pointer is still current (the
+        // hazard-pointer protocol: a pruner reads the slots *after* its
+        // swap, so either it sees our slot, or we see its new pointer
+        // here and retry with that).
+        let mut ptr = self.current.load(Ordering::SeqCst);
+        for (i, slot) in self.hazards.iter().enumerate() {
+            if slot
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    ptr,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+            {
+                continue; // slot busy, try the next one
+            }
+            loop {
+                let now = self.current.load(Ordering::SeqCst);
+                if now == ptr {
+                    return Guard {
+                        cell: self,
+                        slot: Some(i),
+                        fallback: None,
+                        ptr,
+                    };
+                }
+                ptr = now;
+                // We own the slot; republish and re-check.
+                slot.store(ptr, Ordering::SeqCst);
+            }
+        }
+        // Every slot is busy: take the mutex that serializes pruning and
+        // clone an owning Arc. While the lock is held no value can be
+        // reclaimed, and the Arc keeps it alive afterwards.
+        let _lock = self.retired.lock().unwrap_or_else(PoisonError::into_inner);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: `ptr` is the current value and the cell owns a strong
+        // count for it; holding `retired` excludes a concurrent prune, so
+        // the count cannot reach zero before the increment below.
+        let fallback = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        Guard {
+            cell: self,
+            slot: None,
+            fallback: Some(fallback),
+            ptr,
+        }
     }
 
     /// Clones out an owning handle to the current value.
     pub fn load_full(&self) -> Arc<T> {
-        let ptr = self.current.load(Ordering::Acquire);
-        // SAFETY: as in `peek`, the cell owns a strong count for `ptr`
-        // until it drops, so the count cannot reach zero concurrently;
-        // incrementing before `from_raw` gives this clone its own count.
-        unsafe {
-            Arc::increment_strong_count(ptr);
-            Arc::from_raw(ptr)
-        }
+        self.load().to_arc()
     }
 
-    /// Atomically publishes `value`; the previous value is retired (kept
-    /// alive until the cell drops) so concurrent readers stay valid.
+    /// Atomically publishes `value`. The previous value is retired, and
+    /// the retire list is pruned: retired values that no hazard slot
+    /// protects and no caller-held `Arc` references are dropped.
     pub fn store(&self, value: Arc<T>) {
         let mut retired = self.retired.lock().unwrap_or_else(PoisonError::into_inner);
         let old = self
             .current
-            .swap(Arc::into_raw(value) as *mut T, Ordering::AcqRel);
+            .swap(Arc::into_raw(value) as *mut T, Ordering::SeqCst);
+        self.stores.fetch_add(1, Ordering::Relaxed);
         // SAFETY: `old` came from `Arc::into_raw` and its strong count is
         // owned by the cell; `from_raw` moves that ownership onto the
         // retire list.
         retired.push(unsafe { Arc::from_raw(old) });
+        // Prune. The swap above is SeqCst and precedes these slot reads,
+        // so any reader whose guard protects a retired value either
+        // published its slot before our reads (we keep the value) or will
+        // observe the new current pointer on its re-check and retry.
+        retired.retain(|arc| {
+            let ptr = Arc::as_ptr(arc);
+            Arc::strong_count(arc) > 1
+                || self
+                    .hazards
+                    .iter()
+                    .any(|slot| std::ptr::eq(slot.load(Ordering::SeqCst), ptr))
+        });
     }
 
-    /// Number of values retired by [`store`](ArcSwap::store) so far.
+    /// Number of retired values still held alive by the cell (bounded by
+    /// live caller-held `Arc`s plus transient reader guards).
     pub fn retired_len(&self) -> usize {
         self.retired
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
+
+    /// Total number of [`store`](ArcSwap::store) calls so far (counts
+    /// pruned values too).
+    pub fn store_count(&self) -> usize {
+        self.stores.load(Ordering::Relaxed)
+    }
 }
 
 impl<T> Drop for ArcSwap<T> {
     fn drop(&mut self) {
         // SAFETY: reclaim the strong count owned as "the current value";
-        // the retire list drops its Arcs normally.
+        // the retire list drops its Arcs normally. `&mut self` proves no
+        // guard is alive.
         unsafe { drop(Arc::from_raw(self.current.load(Ordering::Acquire))) }
     }
 }
@@ -135,9 +221,61 @@ impl<T> Drop for ArcSwap<T> {
 impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ArcSwap")
-            .field("current", self.peek())
+            .field("current", &*self.load())
             .field("retired", &self.retired_len())
             .finish()
+    }
+}
+
+/// A hazard-protected borrow of an [`ArcSwap`]'s value; see
+/// [`ArcSwap::load`]. The value cannot be reclaimed while the guard
+/// lives.
+pub struct Guard<'a, T> {
+    cell: &'a ArcSwap<T>,
+    /// Index of the hazard slot this guard owns, or `None` when the
+    /// guard holds an owning `Arc` instead (slot-exhaustion fallback).
+    slot: Option<usize>,
+    fallback: Option<Arc<T>>,
+    ptr: *const T,
+}
+
+impl<T> Guard<'_, T> {
+    /// Clones out an owning `Arc` of the guarded value.
+    pub fn to_arc(&self) -> Arc<T> {
+        if let Some(arc) = &self.fallback {
+            return Arc::clone(arc);
+        }
+        // SAFETY: the hazard slot keeps the value from being reclaimed,
+        // so its strong count is at least 1 for the duration of the
+        // increment.
+        unsafe {
+            Arc::increment_strong_count(self.ptr);
+            Arc::from_raw(self.ptr)
+        }
+    }
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the hazard slot (or the fallback Arc) keeps the
+        // pointee alive for the guard's lifetime.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(i) = self.slot {
+            self.cell.hazards[i].store(std::ptr::null_mut(), Ordering::SeqCst);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Guard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Guard").field(&**self).finish()
     }
 }
 
@@ -146,12 +284,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn peek_and_store() {
+    fn load_and_store() {
         let cell = ArcSwap::new(Arc::new(String::from("a")));
-        assert_eq!(cell.peek(), "a");
+        assert_eq!(*cell.load(), "a");
         cell.store(Arc::new(String::from("b")));
-        assert_eq!(cell.peek(), "b");
-        assert_eq!(cell.retired_len(), 1);
+        assert_eq!(*cell.load(), "b");
+        // The replaced value has no holders: pruned immediately.
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(cell.store_count(), 1);
     }
 
     #[test]
@@ -160,17 +300,57 @@ mod tests {
         let pinned = cell.load_full();
         cell.store(Arc::new(vec![4]));
         assert_eq!(*pinned, vec![1, 2, 3]);
+        assert_eq!(cell.retired_len(), 1, "pinned value must be retained");
         drop(cell);
         assert_eq!(*pinned, vec![1, 2, 3]);
     }
 
     #[test]
-    fn old_peek_borrow_stays_valid_across_store() {
+    fn guard_keeps_value_alive_across_store() {
         let cell = ArcSwap::new(Arc::new(7u64));
-        let old: &u64 = cell.peek();
+        let old = cell.load();
         cell.store(Arc::new(8u64));
         assert_eq!(*old, 7);
-        assert_eq!(*cell.peek(), 8);
+        assert_eq!(*cell.load(), 8);
+        assert_eq!(cell.retired_len(), 1, "guarded value must be retained");
+        drop(old);
+        cell.store(Arc::new(9u64));
+        assert_eq!(cell.retired_len(), 0, "nothing holds the old values");
+    }
+
+    #[test]
+    fn dropping_pin_allows_reclamation_on_next_store() {
+        let cell = ArcSwap::new(Arc::new(0usize));
+        let pinned = cell.load_full();
+        cell.store(Arc::new(1));
+        assert_eq!(cell.retired_len(), 1);
+        drop(pinned);
+        cell.store(Arc::new(2));
+        assert_eq!(cell.retired_len(), 0);
+        assert_eq!(cell.store_count(), 2);
+    }
+
+    #[test]
+    fn churn_does_not_accumulate_retired_values() {
+        let cell = ArcSwap::new(Arc::new(0usize));
+        for i in 1..=1000 {
+            cell.store(Arc::new(i));
+        }
+        assert_eq!(cell.store_count(), 1000);
+        assert_eq!(cell.retired_len(), 0);
+    }
+
+    #[test]
+    fn slot_exhaustion_falls_back_to_owned_arc() {
+        let cell = ArcSwap::new(Arc::new(5u8));
+        let guards: Vec<_> = (0..HAZARD_SLOTS + 3).map(|_| cell.load()).collect();
+        assert!(guards.iter().all(|g| **g == 5));
+        assert!(guards.iter().any(|g| g.fallback.is_some()));
+        cell.store(Arc::new(6));
+        assert!(guards.iter().all(|g| **g == 5));
+        drop(guards);
+        cell.store(Arc::new(7));
+        assert_eq!(cell.retired_len(), 0);
     }
 
     #[test]
@@ -181,8 +361,8 @@ mod tests {
                 let cell = Arc::clone(&cell);
                 s.spawn(move || {
                     for _ in 0..10_000 {
-                        let v = *cell.peek();
-                        assert!(v <= 100);
+                        let g = cell.load();
+                        assert!(*g <= 100);
                         let pinned = cell.load_full();
                         assert!(*pinned <= 100);
                     }
@@ -195,7 +375,10 @@ mod tests {
                 }
             });
         });
-        assert_eq!(*cell.peek(), 100);
-        assert_eq!(cell.retired_len(), 100);
+        assert_eq!(*cell.load(), 100);
+        assert_eq!(cell.store_count(), 100);
+        // All readers are done: at most nothing is retained.
+        cell.store(Arc::new(101));
+        assert_eq!(cell.retired_len(), 0);
     }
 }

@@ -1,0 +1,114 @@
+//! Property tests of the table-persistence format: round-trips must
+//! reproduce labelings bit-identically (including projection mode and a
+//! non-empty dynamic-cost signature interner), and damaged files must be
+//! rejected — never mislabeled, never a panic.
+
+use std::sync::Arc;
+
+use odburg::prelude::*;
+use odburg::select::persist;
+use proptest::prelude::*;
+
+/// Warms an automaton for x86ish (which has dynamic-cost rules, so the
+/// signature interner is exercised) on a seed-dependent random workload,
+/// in direct or projection mode.
+fn warmed(seed: u64) -> (OnDemandAutomaton, Forest) {
+    let grammar = odburg::targets::x86ish();
+    let normal = Arc::new(grammar.normalize());
+    let config = OnDemandConfig {
+        project_children: seed % 2 == 1,
+        ..OnDemandConfig::default()
+    };
+    let mut auto = OnDemandAutomaton::with_config(Arc::clone(&normal), config);
+    let workload = odburg::workloads::random_workload(&normal, seed, 40);
+    auto.label_forest(&workload.forest)
+        .expect("workload labels");
+    (auto, workload.forest)
+}
+
+fn exported(auto: &OnDemandAutomaton) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    persist::export_snapshot(&auto.snapshot(), &mut bytes).expect("export succeeds");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn round_trip_reproduces_labelings_bit_identically(seed in 0u64..512) {
+        let (mut auto, forest) = warmed(seed);
+        let bytes = exported(&auto);
+
+        let imported = persist::import_snapshot(
+            &bytes[..],
+            Arc::clone(auto.grammar()),
+            auto.config(),
+        )
+        .expect("import succeeds");
+        prop_assert_eq!(imported.stats(), auto.snapshot().stats());
+        // Random payloads hit the dynamic-cost rules, so the interner
+        // carries real signatures through the round-trip.
+        prop_assert!(imported.stats().signatures > 1);
+
+        let mut warm = OnDemandAutomaton::from_snapshot(&imported);
+        let warm_labeling = warm.label_forest(&forest).expect("warm labels");
+        prop_assert_eq!(
+            warm.counters().memo_misses, 0,
+            "everything the exporter saw must hit after import"
+        );
+        let original = auto.label_forest(&forest).expect("original labels");
+        prop_assert_eq!(warm_labeling, original);
+    }
+
+    #[test]
+    fn truncated_files_are_rejected(seed in 0u64..256) {
+        let (auto, _) = warmed(seed % 4);
+        let bytes = exported(&auto);
+        let cut = (seed as usize * 131) % bytes.len();
+        let err = persist::import_snapshot(
+            &bytes[..cut],
+            Arc::clone(auto.grammar()),
+            auto.config(),
+        )
+        .expect_err("truncated file must be rejected");
+        prop_assert!(matches!(
+            err,
+            persist::PersistError::Truncated | persist::PersistError::BadMagic
+        ));
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected(seed in 0u64..256) {
+        let (auto, _) = warmed(seed % 4);
+        let mut bytes = exported(&auto);
+        let pos = (seed as usize * 257) % bytes.len();
+        bytes[pos] ^= 1 << (seed % 8);
+        if persist::import_snapshot(&bytes[..], Arc::clone(auto.grammar()), auto.config()).is_ok() {
+            // The only flip that can survive every integrity check is one
+            // that flipped nothing.
+            prop_assert_eq!(bytes, exported(&auto));
+        }
+    }
+}
+
+#[test]
+fn cross_config_and_cross_grammar_imports_are_rejected() {
+    let (direct, _) = warmed(0);
+    let bytes = exported(&direct);
+
+    let projected = OnDemandConfig {
+        project_children: true,
+        ..direct.config()
+    };
+    assert!(matches!(
+        persist::import_snapshot(&bytes[..], Arc::clone(direct.grammar()), projected),
+        Err(persist::PersistError::ConfigMismatch { .. })
+    ));
+
+    let other = Arc::new(odburg::targets::riscish().normalize());
+    assert!(matches!(
+        persist::import_snapshot(&bytes[..], other, direct.config()),
+        Err(persist::PersistError::GrammarMismatch { .. })
+    ));
+}
