@@ -11,6 +11,8 @@
 //! odburg bench   <grammar>             quick cross-strategy comparison
 //! odburg tables export <grammar> <out> warm an automaton, persist its tables
 //! odburg tables import <grammar> <in>  validate persisted tables, print sizes
+//! odburg batch   <manifest>            run a multi-target job manifest through
+//!                                      the selection service (alias: serve)
 //! ```
 //!
 //! `<grammar>` is a built-in target name (demo, x86ish, riscish, sparcish,
@@ -25,6 +27,15 @@
 //! to warm-start an on-demand strategy from tables persisted by
 //! `tables export` — a mismatched or corrupted file is rejected with an
 //! error, never silently mislabeled.
+//!
+//! `batch` (alias `serve`) reads a manifest of `<target> <sexpr-file>`
+//! lines, submits every job to a [`SelectorService`] over all built-in
+//! targets (plus any `.burg` paths the manifest names), and drains the
+//! batch across a worker pool. It takes `--workers=<n>` and
+//! `--tables-dir=<dir>` (one `<target>.odbt` file per target, as
+//! written by `tables export`); the per-grammar `--tables=<path>` flag
+//! and non-`shared` `--labeler` values are rejected — the service
+//! always labels through the shared snapshot core.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -46,26 +57,48 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables> \
-     <grammar> [input] [--labeler=<name>] [--tables=<path>]";
+    "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables|batch> \
+     <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
+     [--workers=<n>] [--tables-dir=<dir>]";
 
 fn run(args: &[String]) -> Result<(), String> {
     // Split off the flags; everything else is positional.
     let mut strategy = Strategy::OnDemand;
+    let mut labeler_given = false;
     let mut tables: Option<String> = None;
+    let mut tables_dir: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
+    let parse_workers = |value: &str| -> Result<usize, String> {
+        match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--workers needs a positive integer, got `{value}`")),
+        }
+    };
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--labeler=") {
             strategy = name.parse().map_err(|e| format!("{e}"))?;
+            labeler_given = true;
         } else if arg == "--labeler" {
             let name = iter.next().ok_or("--labeler needs a value")?;
             strategy = name.parse().map_err(|e| format!("{e}"))?;
+            labeler_given = true;
         } else if let Some(path) = arg.strip_prefix("--tables=") {
             tables = Some(path.to_owned());
         } else if arg == "--tables" {
             let path = iter.next().ok_or("--tables needs a path")?;
             tables = Some(path.clone());
+        } else if let Some(path) = arg.strip_prefix("--tables-dir=") {
+            tables_dir = Some(path.to_owned());
+        } else if arg == "--tables-dir" {
+            let path = iter.next().ok_or("--tables-dir needs a directory")?;
+            tables_dir = Some(path.clone());
+        } else if let Some(value) = arg.strip_prefix("--workers=") {
+            workers = Some(parse_workers(value)?);
+        } else if arg == "--workers" {
+            let value = iter.next().ok_or("--workers needs a count")?;
+            workers = Some(parse_workers(value)?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`\n{USAGE}"));
         } else {
@@ -75,6 +108,34 @@ fn run(args: &[String]) -> Result<(), String> {
     let tables = tables.as_deref();
 
     let command = positional.first().ok_or(USAGE)?;
+    if matches!(command.as_str(), "batch" | "serve") {
+        if tables.is_some() {
+            return Err(
+                "batch warm-starts from --tables-dir=<dir> (one <target>.odbt per target), \
+                 not from a single --tables file"
+                    .into(),
+            );
+        }
+        if labeler_given && strategy != Strategy::Shared {
+            return Err(format!(
+                "the batch service always labels through the shared snapshot core; \
+                 drop `--labeler={strategy}` or pass --labeler=shared"
+            ));
+        }
+        let manifest = positional
+            .get(1)
+            .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
+        return batch(manifest, workers, tables_dir.as_deref());
+    }
+    if let Some(dir) = &tables_dir {
+        return Err(format!(
+            "--tables-dir={dir} only applies to the batch/serve subcommand \
+             (use --tables=<path> here)"
+        ));
+    }
+    if workers.is_some() {
+        return Err("--workers only applies to the batch/serve subcommand".into());
+    }
     if command.as_str() == "tables" {
         if tables.is_some() {
             return Err(
@@ -132,8 +193,14 @@ fn build_labeler(
         return AnyLabeler::build(strategy, grammar)
             .map_err(|e| format!("cannot build `{strategy}` labeler: {e}"));
     };
-    let snapshot = load_tables_for(grammar, strategy, path)?;
-    AnyLabeler::build_warm(strategy, Arc::new(snapshot)).map_err(|e| format!("--tables: {e}"))
+    // One-stop warm start: config resolution, table validation and
+    // construction share a single error path, so a mismatched file is
+    // always a loud error here, never a silent cold start.
+    AnyLabeler::build_warm_from_tables(strategy, Arc::new(grammar.normalize()), Path::new(path))
+        .map_err(|e| match e {
+            strategy::WarmStartError::Unsupported(e) => format!("--tables: {e}"),
+            strategy::WarmStartError::Persist(e) => format!("cannot load tables `{path}`: {e}"),
+        })
 }
 
 /// Imports persisted tables for `strategy`, validating grammar
@@ -201,6 +268,116 @@ fn tables_command(positional: &[&String], strategy: Strategy) -> Result<(), Stri
             Ok(())
         }
         other => Err(format!("unknown tables action `{other}`\n{TABLES_USAGE}")),
+    }
+}
+
+/// `odburg batch <manifest>`: run a multi-target job manifest through
+/// the selection service. Each manifest line is `<target> <sexpr-file>`
+/// (blank lines and `#` comments are skipped); the file's s-expressions
+/// (one per line, `#` comments allowed) form one forest = one job.
+fn batch(manifest: &str, workers: Option<usize>, tables_dir: Option<&str>) -> Result<(), String> {
+    use odburg::service::{SelectorService, ServiceConfig, Ticket};
+
+    let text = std::fs::read_to_string(manifest)
+        .map_err(|e| format!("cannot read manifest `{manifest}`: {e}"))?;
+    let svc = SelectorService::with_builtin_targets(ServiceConfig {
+        workers: workers.unwrap_or(0),
+        tables_dir: tables_dir.map(Into::into),
+    });
+
+    let mut jobs: Vec<(Ticket, String, String)> = Vec::new(); // ticket, target, file
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (target, file) = line
+            .split_once(char::is_whitespace)
+            .map(|(t, f)| (t, f.trim()))
+            .filter(|(t, f)| !t.is_empty() && !f.is_empty())
+            .ok_or_else(|| {
+                format!("{manifest}:{lineno}: expected `<target> <sexpr-file>`, got `{line}`")
+            })?;
+
+        // Targets beyond the built-ins register on first sight — this is
+        // the runtime-registration path, driven from a manifest.
+        if svc.grammar(target).is_err() {
+            let grammar = load_grammar(target).map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+            svc.register_normal(target, Arc::new(grammar.normalize()))
+                .map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+        }
+
+        let trees = std::fs::read_to_string(file)
+            .map_err(|e| format!("{manifest}:{lineno}: cannot read `{file}`: {e}"))?;
+        let mut forest = Forest::new();
+        for tree in trees.lines() {
+            let tree = tree.trim();
+            if tree.is_empty() || tree.starts_with('#') {
+                continue;
+            }
+            let root = parse_sexpr(&mut forest, tree)
+                .map_err(|e| format!("{manifest}:{lineno}: {file}: bad tree: {e}"))?;
+            forest.add_root(root);
+        }
+        if forest.is_empty() {
+            return Err(format!("{manifest}:{lineno}: {file}: no trees"));
+        }
+        let ticket = svc
+            .submit(target, forest)
+            .map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+        jobs.push((ticket, target.to_owned(), file.to_owned()));
+    }
+    if jobs.is_empty() {
+        return Err(format!("manifest `{manifest}` contains no jobs"));
+    }
+
+    let report = svc.drain();
+    let mut first_failure: Option<String> = None;
+    for (result, (ticket, target, file)) in report.results.iter().zip(&jobs) {
+        debug_assert_eq!(result.ticket, *ticket);
+        match result.reduce() {
+            Ok(red) => println!(
+                "{} {target} {file}: {} nodes, {} instructions, cost {}",
+                result.ticket,
+                result.forest.len(),
+                red.len(),
+                red.total_cost
+            ),
+            Err(e) => {
+                println!("{} {target} {file}: FAILED: {e}", result.ticket);
+                first_failure.get_or_insert_with(|| {
+                    format!("job {} ({target}, {file}): {e}", result.ticket)
+                });
+            }
+        }
+    }
+    for t in &report.per_target {
+        println!(
+            "target {}: {} jobs, {} nodes, {} misses, {} states built, epochs {}, {}",
+            t.target,
+            t.jobs,
+            t.nodes,
+            t.counters.memo_misses,
+            t.counters.states_built,
+            match t.epochs {
+                Some((lo, hi)) => format!("{lo}..{hi}"),
+                None => "-".to_owned(),
+            },
+            if t.warm_started { "warm" } else { "cold" },
+        );
+    }
+    println!(
+        "batch: {} jobs across {} workers in {:?} (p50 {:?}, p99 {:?})",
+        report.results.len(),
+        report.workers,
+        report.wall,
+        report.latency.p50,
+        report.latency.p99,
+    );
+    match first_failure {
+        Some(failure) => Err(failure),
+        None => Ok(()),
     }
 }
 

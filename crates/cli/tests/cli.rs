@@ -310,6 +310,230 @@ fn malformed_grammar_and_sexpr_inputs_error_cleanly() {
 }
 
 #[test]
+fn batch_runs_a_multi_target_manifest() {
+    let dir = std::env::temp_dir().join("odburg-cli-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store.sx");
+    std::fs::write(
+        &store,
+        "# two trees, one job\n(StoreI8 (AddrLocalP @x) (ConstI8 1))\n\
+         (StoreI8 (AddrLocalP @y) (ConstI8 2))\n",
+    )
+    .unwrap();
+    let add = dir.join("add.sx");
+    std::fs::write(&add, "(AddI4 (ConstI4 1) (ConstI4 2))\n").unwrap();
+    // A runtime-registered target from a .burg file, mixed in with the
+    // built-ins.
+    let tiny = dir.join("tiny.burg");
+    std::fs::write(&tiny, "%start reg\nreg: ConstI8 (1) \"li {imm}\"\n").unwrap();
+    let li = dir.join("li.sx");
+    std::fs::write(&li, "(ConstI8 9)\n").unwrap();
+
+    let manifest = dir.join("jobs.txt");
+    std::fs::write(
+        &manifest,
+        format!(
+            "# mixed traffic\ndemo {store}\nx86ish {add}\n{tiny} {li}\ndemo {store}\n",
+            store = store.display(),
+            add = add.display(),
+            tiny = tiny.display(),
+            li = li.display(),
+        ),
+    )
+    .unwrap();
+
+    let (ok, stdout, stderr) = odburg(&["batch", manifest.to_str().unwrap(), "--workers=2"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("#0 demo"), "{stdout}");
+    assert!(stdout.contains("#2"), "{stdout}");
+    assert!(stdout.contains("target demo: 2 jobs"), "{stdout}");
+    assert!(stdout.contains("target x86ish: 1 jobs"), "{stdout}");
+    assert!(stdout.contains("cold"), "{stdout}");
+    assert!(
+        stdout.contains("batch: 4 jobs across 2 workers"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("p99"), "{stdout}");
+
+    // `serve` is an alias.
+    let (ok, stdout, stderr) = odburg(&["serve", manifest.to_str().unwrap(), "--workers=1"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("batch: 4 jobs across 1 workers"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn batch_warm_starts_from_a_tables_dir() {
+    let dir = std::env::temp_dir().join("odburg-cli-batch-warm");
+    let tables_dir = dir.join("tables");
+    std::fs::create_dir_all(&tables_dir).unwrap();
+    let (ok, _, stderr) = odburg(&[
+        "tables",
+        "export",
+        "x86ish",
+        tables_dir.join("x86ish.odbt").to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+
+    let job = dir.join("add.sx");
+    std::fs::write(&job, "(AddI4 (ConstI4 1) (ConstI4 2))\n").unwrap();
+    let manifest = dir.join("jobs.txt");
+    std::fs::write(&manifest, format!("x86ish {}\n", job.display())).unwrap();
+
+    let (ok, stdout, stderr) = odburg(&[
+        "batch",
+        manifest.to_str().unwrap(),
+        &format!("--tables-dir={}", tables_dir.display()),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("target x86ish: 1 jobs"), "{stdout}");
+    assert!(
+        stdout.trim().lines().nth(1).unwrap().ends_with("warm"),
+        "{stdout}"
+    );
+
+    // Mismatched tables in the directory name the *target* in the error:
+    // demo's tables masquerading as jvmish's.
+    let (ok, _, stderr) = odburg(&[
+        "tables",
+        "export",
+        "demo",
+        tables_dir.join("jvmish.odbt").to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let bad = dir.join("const.sx");
+    std::fs::write(&bad, "(ConstI8 1)\n").unwrap();
+    let manifest2 = dir.join("jobs2.txt");
+    std::fs::write(&manifest2, format!("jvmish {}\n", bad.display())).unwrap();
+    let (ok, _, stderr) = odburg(&[
+        "batch",
+        manifest2.to_str().unwrap(),
+        &format!("--tables-dir={}", tables_dir.display()),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("jvmish"), "{stderr}");
+    assert!(stderr.contains("different grammar"), "{stderr}");
+}
+
+#[test]
+fn batch_rejects_malformed_manifests_cleanly() {
+    let dir = std::env::temp_dir().join("odburg-cli-batch-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree = dir.join("ok.sx");
+    std::fs::write(&tree, "(StoreI8 (AddrLocalP @x) (ConstI8 1))\n").unwrap();
+
+    // Missing manifest.
+    let (ok, _, stderr) = odburg(&["batch", "/no/such/manifest.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read manifest"), "{stderr}");
+
+    // A line without a file column.
+    let manifest = dir.join("short.txt");
+    std::fs::write(&manifest, "demo\n").unwrap();
+    let (ok, _, stderr) = odburg(&["batch", manifest.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("short.txt:1"), "{stderr}");
+    assert!(
+        stderr.contains("expected `<target> <sexpr-file>`"),
+        "{stderr}"
+    );
+
+    // An unknown target that is not a readable grammar file either.
+    let manifest = dir.join("unknown.txt");
+    std::fs::write(&manifest, format!("z80 {}\n", tree.display())).unwrap();
+    let (ok, _, stderr) = odburg(&["batch", manifest.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown.txt:1"), "{stderr}");
+    assert!(stderr.contains("z80"), "{stderr}");
+
+    // A job file that does not exist.
+    let manifest = dir.join("nofile.txt");
+    std::fs::write(&manifest, "demo /no/such/job.sx\n").unwrap();
+    let (ok, _, stderr) = odburg(&["batch", manifest.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read `/no/such/job.sx`"), "{stderr}");
+
+    // A job file with a malformed tree.
+    let badtree = dir.join("bad.sx");
+    std::fs::write(&badtree, "((((\n").unwrap();
+    let manifest = dir.join("badtree.txt");
+    std::fs::write(&manifest, format!("demo {}\n", badtree.display())).unwrap();
+    let (ok, _, stderr) = odburg(&["batch", manifest.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("bad tree"), "{stderr}");
+
+    // A manifest with only comments.
+    let manifest = dir.join("empty.txt");
+    std::fs::write(&manifest, "# nothing here\n\n").unwrap();
+    let (ok, _, stderr) = odburg(&["batch", manifest.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("no jobs"), "{stderr}");
+
+    // A job the grammar cannot cover fails that job and exits nonzero,
+    // but still reports the batch.
+    let float = dir.join("float.sx");
+    std::fs::write(&float, "(MulF8 (ConstF8 #1.0) (ConstF8 #1.0))\n").unwrap();
+    let manifest = dir.join("uncovered.txt");
+    std::fs::write(
+        &manifest,
+        format!("demo {}\ndemo {}\n", tree.display(), float.display()),
+    )
+    .unwrap();
+    let (ok, stdout, stderr) = odburg(&["batch", manifest.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains("target demo: 2 jobs"), "{stdout}");
+    assert!(stderr.contains("job #1"), "{stderr}");
+}
+
+#[test]
+fn service_flags_and_labeler_flags_do_not_mix() {
+    let dir = std::env::temp_dir().join("odburg-cli-batch-flags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree = dir.join("ok.sx");
+    std::fs::write(&tree, "(StoreI8 (AddrLocalP @x) (ConstI8 1))\n").unwrap();
+    let manifest = dir.join("jobs.txt");
+    std::fs::write(&manifest, format!("demo {}\n", tree.display())).unwrap();
+    let manifest = manifest.to_str().unwrap();
+
+    // batch x --tables: the per-grammar flag is rejected with a pointer
+    // to --tables-dir.
+    let (ok, _, stderr) = odburg(&["batch", manifest, "--tables=/tmp/x.odbt"]);
+    assert!(!ok);
+    assert!(stderr.contains("--tables-dir"), "{stderr}");
+
+    // batch x --labeler: only `shared` is accepted (it is what the
+    // service runs); everything else is an error, not a silent ignore.
+    for labeler in ["ondemand", "ondemand-projected", "offline", "dp", "macro"] {
+        let (ok, _, stderr) = odburg(&["batch", manifest, &format!("--labeler={labeler}")]);
+        assert!(!ok, "{labeler} must be rejected");
+        assert!(
+            stderr.contains("shared snapshot core"),
+            "{labeler}: {stderr}"
+        );
+    }
+    let (ok, _, stderr) = odburg(&["batch", manifest, "--labeler=shared"]);
+    assert!(ok, "{stderr}");
+
+    // Service flags on non-service commands.
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(ConstI8 1)", "--tables-dir=/tmp"]);
+    assert!(!ok);
+    assert!(stderr.contains("batch/serve"), "{stderr}");
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(ConstI8 1)", "--workers=2"]);
+    assert!(!ok);
+    assert!(stderr.contains("batch/serve"), "{stderr}");
+
+    // Bad worker counts.
+    for bad in ["0", "many", ""] {
+        let (ok, _, stderr) = odburg(&["batch", manifest, &format!("--workers={bad}")]);
+        assert!(!ok, "--workers={bad} must be rejected");
+        assert!(stderr.contains("--workers"), "{stderr}");
+    }
+}
+
+#[test]
 fn errors_exit_nonzero_with_messages() {
     let (ok, _, stderr) = odburg(&["stats", "z80"]);
     assert!(!ok);

@@ -77,6 +77,24 @@ impl WorkCounters {
         self.dyncost_evals += other.dyncost_evals;
     }
 
+    /// The work performed since `earlier` was captured: the field-wise
+    /// difference of two cumulative counter snapshots of the *same*
+    /// labeler. Saturating, so a counter reset between the two snapshots
+    /// degrades to zero instead of wrapping.
+    pub fn since(&self, earlier: &WorkCounters) -> WorkCounters {
+        WorkCounters {
+            nodes: self.nodes.saturating_sub(earlier.nodes),
+            rule_checks: self.rule_checks.saturating_sub(earlier.rule_checks),
+            chain_checks: self.chain_checks.saturating_sub(earlier.chain_checks),
+            hash_lookups: self.hash_lookups.saturating_sub(earlier.hash_lookups),
+            table_lookups: self.table_lookups.saturating_sub(earlier.table_lookups),
+            states_built: self.states_built.saturating_sub(earlier.states_built),
+            memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(earlier.memo_misses),
+            dyncost_evals: self.dyncost_evals.saturating_sub(earlier.dyncost_evals),
+        }
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         *self = WorkCounters::default();

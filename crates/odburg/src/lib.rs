@@ -15,6 +15,7 @@
 //! | [`frontend`] | MiniC: a small language lowered to IR forests |
 //! | [`workloads`] | benchmark programs and random-tree workloads |
 //! | [`strategy`] | runtime strategy choice behind the unified `Labeler` trait |
+//! | [`service`] | multi-target selection service: grammar registry + batched, sharded labeling |
 //!
 //! # Quick start
 //!
@@ -53,6 +54,7 @@ pub use odburg_ir as ir;
 pub use odburg_targets as targets;
 pub use odburg_workloads as workloads;
 
+pub mod service;
 pub mod strategy;
 
 use std::error::Error;
@@ -167,6 +169,7 @@ pub fn select_with(
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::service::{BatchReport, SelectorService, ServiceConfig, ServiceError, Ticket};
     pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};
     pub use odburg_core::{

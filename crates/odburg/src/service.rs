@@ -1,0 +1,821 @@
+//! The multi-target selection service: a **grammar registry** plus a
+//! **batched, sharded labeling** front end.
+//!
+//! Everything below `odburg::service` drives *one* grammar per labeler.
+//! A JIT service does not get that luxury: requests arrive for many
+//! targets at once, tables should be amortized across all of them, and
+//! labeling work should spread over a worker pool. This module is that
+//! layer:
+//!
+//! * **Registry** — [`SelectorService`] maps target names to lazily
+//!   built [`SharedOnDemand`] masters. The six built-in grammars come
+//!   pre-registered via [`SelectorService::with_builtin_targets`]; more
+//!   targets can [register](SelectorService::register) at any time,
+//!   including between submissions of an in-flight batch. Each target
+//!   may use its own [`OnDemandConfig`]
+//!   ([`register_with_mode`](SelectorService::register_with_mode)), so
+//!   projection-mode masters coexist with direct-table ones.
+//! * **Warm start** — with [`ServiceConfig::tables_dir`] set, a master
+//!   is seeded from `<dir>/<target>.odbt` (the
+//!   [`persist`](odburg_core::persist) format written by
+//!   `odburg tables export`). A missing file means a cold start; a
+//!   *mismatched* file (wrong grammar fingerprint, wrong configuration,
+//!   corruption) is a hard [`ServiceError::Tables`] carrying the target
+//!   name — a registry must never silently mislabel or silently fall
+//!   back to cold tables.
+//! * **Batch API** — [`submit`](SelectorService::submit) queues a
+//!   `(target, forest)` job and returns a [`Ticket`];
+//!   [`drain`](SelectorService::drain) shards every queued job across a
+//!   fixed worker pool and returns a [`BatchReport`]: per-job
+//!   [pinned labelings](PinnedLabeling) and latencies, per-target
+//!   [`WorkCounters`] deltas and epoch spans, and batch-level p50/p99
+//!   latency.
+//!
+//! # Epoch pinning
+//!
+//! Every job is labeled through
+//! [`SharedOnDemand::label_forest_pinned`], so each [`JobResult`] owns
+//! the exact snapshot its state ids refer to. Results therefore stay
+//! valid however long the caller holds them — later batches, grow-path
+//! publications, even [`BudgetPolicy::Flush`](odburg_core::BudgetPolicy)
+//! epochs cannot invalidate them. The price is documented snapshot
+//! retention: a held `JobResult` pins one snapshot, and the shim's
+//! hazard-pointer reclamation keeps `snapshots_retained()` bounded by
+//! the number of live pins, not by publication count.
+//!
+//! # Examples
+//!
+//! ```
+//! use odburg::service::{SelectorService, ServiceConfig};
+//! use odburg_ir::{parse_sexpr, Forest};
+//!
+//! let svc = SelectorService::with_builtin_targets(ServiceConfig {
+//!     workers: 2,
+//!     ..ServiceConfig::default()
+//! });
+//! let mut forest = Forest::new();
+//! let root = parse_sexpr(&mut forest, "(StoreI8 (AddrLocalP @x) (ConstI8 1))")?;
+//! forest.add_root(root);
+//! svc.submit("demo", forest)?;
+//! let report = svc.drain();
+//! assert_eq!(report.results.len(), 1);
+//! let code = report.results[0].reduce()?;
+//! assert_eq!(code.instructions.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use odburg_codegen::{reduce_forest, Reduction};
+use odburg_core::{
+    persist, LabelError, OnDemandAutomaton, OnDemandConfig, PersistError, PinnedLabeling,
+    SharedOnDemand, WorkCounters,
+};
+use odburg_grammar::{Grammar, NormalGrammar};
+use odburg_ir::Forest;
+
+use crate::SelectError;
+
+/// Configuration of a [`SelectorService`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Size of the fixed worker pool [`SelectorService::drain`] shards
+    /// batches across. `0` picks the machine's available parallelism,
+    /// capped at 8.
+    pub workers: usize,
+    /// Directory of persisted tables to warm-start masters from: a
+    /// target named `t` looks for `<dir>/t.odbt` when its master is
+    /// first built. Missing files start cold; mismatched or corrupted
+    /// files are [`ServiceError::Tables`] — never a silent cold start.
+    pub tables_dir: Option<PathBuf>,
+}
+
+/// Errors of the registry and batch front end.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The target is not registered.
+    UnknownTarget {
+        /// The name that failed to resolve.
+        target: String,
+    },
+    /// A target of this name is already registered.
+    DuplicateTarget {
+        /// The conflicting name.
+        target: String,
+    },
+    /// Persisted tables for the target failed to load or validate. The
+    /// target name travels with the underlying [`PersistError`] so a
+    /// registry over many targets pinpoints which file is wrong.
+    Tables {
+        /// The target whose tables were rejected.
+        target: String,
+        /// Why the tables were rejected.
+        error: PersistError,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTarget { target } => {
+                write!(f, "unknown target `{target}` (not registered)")
+            }
+            ServiceError::DuplicateTarget { target } => {
+                write!(f, "target `{target}` is already registered")
+            }
+            ServiceError::Tables { target, error } => {
+                write!(f, "target `{target}`: cannot load tables: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Tables { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// Identifies one submitted job within its service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One registered target: its grammar, its automaton configuration, and
+/// the lazily built shared master.
+#[derive(Debug)]
+struct TargetEntry {
+    name: String,
+    grammar: Arc<NormalGrammar>,
+    mode: OnDemandConfig,
+    /// Built on first use; the flag records whether persisted tables
+    /// seeded it (for the batch report).
+    master: Mutex<Option<(Arc<SharedOnDemand>, bool)>>,
+}
+
+impl TargetEntry {
+    /// Returns the master, building it on first use — warm-started from
+    /// `<tables_dir>/<name>.odbt` when that file exists.
+    fn master(
+        &self,
+        tables_dir: Option<&Path>,
+    ) -> Result<(Arc<SharedOnDemand>, bool), ServiceError> {
+        let mut slot = self.master.lock().expect("registry lock");
+        if let Some((master, warm)) = &*slot {
+            return Ok((Arc::clone(master), *warm));
+        }
+        let mut warm = false;
+        let master = match tables_dir.map(|d| d.join(format!("{}.odbt", self.name))) {
+            Some(path) if path.exists() => {
+                let snapshot = persist::load_tables(&path, Arc::clone(&self.grammar), self.mode)
+                    .map_err(|error| ServiceError::Tables {
+                        target: self.name.clone(),
+                        error,
+                    })?;
+                warm = true;
+                SharedOnDemand::with_seed_snapshot(Arc::new(snapshot))
+            }
+            _ => SharedOnDemand::new(OnDemandAutomaton::with_config(
+                Arc::clone(&self.grammar),
+                self.mode,
+            )),
+        };
+        let master = Arc::new(master);
+        *slot = Some((Arc::clone(&master), warm));
+        Ok((master, warm))
+    }
+}
+
+/// A queued `(target, forest)` job; the master is resolved at submit
+/// time so a batch keeps labeling correctly even if the registry gains
+/// targets mid-batch.
+#[derive(Debug)]
+struct Job {
+    ticket: Ticket,
+    entry: Arc<TargetEntry>,
+    master: Arc<SharedOnDemand>,
+    warm: bool,
+    forest: Forest,
+}
+
+/// The outcome of one batched job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The ticket [`SelectorService::submit`] returned for this job.
+    pub ticket: Ticket,
+    /// The target the job was labeled against.
+    pub target: String,
+    /// The submitted forest, returned to the caller.
+    pub forest: Forest,
+    /// The labeling, pinned to the exact snapshot its state ids refer
+    /// to, or why labeling failed.
+    pub outcome: Result<PinnedLabeling, LabelError>,
+    /// Wall-clock time this job spent labeling on its worker.
+    pub latency: Duration,
+}
+
+impl JobResult {
+    /// The epoch of the snapshot this job's labeling is pinned to.
+    pub fn epoch(&self) -> Option<u64> {
+        self.outcome.as_ref().ok().map(|p| p.snapshot().epoch())
+    }
+
+    /// Reduces the job to instructions against its pinned snapshot's
+    /// grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`SelectError::Label`] if the job's labeling failed,
+    /// [`SelectError::Reduce`] if the forest is not derivable from the
+    /// start symbol.
+    pub fn reduce(&self) -> Result<Reduction, SelectError> {
+        match &self.outcome {
+            Ok(pinned) => Ok(reduce_forest(
+                &self.forest,
+                pinned.snapshot().grammar(),
+                &pinned.chooser(),
+            )?),
+            Err(e) => Err(SelectError::Label(e.clone())),
+        }
+    }
+}
+
+/// Per-target accounting of one drained batch.
+#[derive(Debug, Clone)]
+pub struct TargetBatchStats {
+    /// The target name.
+    pub target: String,
+    /// Jobs of this target in the batch.
+    pub jobs: usize,
+    /// IR nodes across those jobs.
+    pub nodes: u64,
+    /// Jobs whose labeling failed.
+    pub failed: usize,
+    /// Work this batch performed on the target's master (counter delta
+    /// across the drain; approximate if another thread drains the same
+    /// target concurrently).
+    pub counters: WorkCounters,
+    /// Minimum and maximum snapshot epoch the batch's labelings were
+    /// pinned to, when at least one job succeeded.
+    pub epochs: Option<(u64, u64)>,
+    /// Whether this target's master was warm-started from persisted
+    /// tables.
+    pub warm_started: bool,
+}
+
+/// Latency percentiles over one batch's jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Median per-job labeling latency.
+    pub p50: Duration,
+    /// 99th-percentile per-job labeling latency.
+    pub p99: Duration,
+    /// Slowest job.
+    pub max: Duration,
+}
+
+impl LatencyStats {
+    fn from_results(results: &[JobResult]) -> LatencyStats {
+        if results.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted: Vec<Duration> = results.iter().map(|r| r.latency).collect();
+        sorted.sort_unstable();
+        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        LatencyStats {
+            p50: at(0.50),
+            p99: at(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything [`SelectorService::drain`] learned about one batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-job results, in ticket order.
+    pub results: Vec<JobResult>,
+    /// Per-target accounting, in first-submission order.
+    pub per_target: Vec<TargetBatchStats>,
+    /// Latency percentiles across the batch.
+    pub latency: LatencyStats,
+    /// Wall-clock time of the whole drain.
+    pub wall: Duration,
+    /// Worker threads the batch was sharded across.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Number of jobs whose labeling failed.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_err()).count()
+    }
+}
+
+/// The multi-target selection service; see the [module docs](self).
+#[derive(Debug)]
+pub struct SelectorService {
+    config: ServiceConfig,
+    registry: RwLock<HashMap<String, Arc<TargetEntry>>>,
+    queue: Mutex<Vec<Job>>,
+    next_ticket: AtomicU64,
+}
+
+impl SelectorService {
+    /// An empty service: no targets registered, nothing queued.
+    pub fn new(config: ServiceConfig) -> Self {
+        SelectorService {
+            config,
+            registry: RwLock::new(HashMap::new()),
+            queue: Mutex::new(Vec::new()),
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// A service with all six built-in targets
+    /// ([`odburg_targets::TARGET_NAMES`]) pre-registered.
+    pub fn with_builtin_targets(config: ServiceConfig) -> Self {
+        let svc = SelectorService::new(config);
+        for grammar in odburg_targets::all() {
+            svc.register(&grammar)
+                .expect("built-in target names are unique");
+        }
+        svc
+    }
+
+    /// Registers a grammar under its own name with the default automaton
+    /// configuration. Registration is allowed at any time, including
+    /// while jobs are queued (already-submitted jobs are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTarget`] if the name is taken.
+    pub fn register(&self, grammar: &Grammar) -> Result<(), ServiceError> {
+        self.register_normal(grammar.name(), Arc::new(grammar.normalize()))
+    }
+
+    /// Registers an already-normalized grammar under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTarget`] if the name is taken.
+    pub fn register_normal(
+        &self,
+        name: &str,
+        grammar: Arc<NormalGrammar>,
+    ) -> Result<(), ServiceError> {
+        self.register_with_mode(name, grammar, OnDemandConfig::default())
+    }
+
+    /// Registers a grammar with an explicit automaton configuration —
+    /// e.g. a projection-mode master (`project_children: true`), or a
+    /// bounded-memory one. Persisted tables for the target must have
+    /// been exported under the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTarget`] if the name is taken.
+    pub fn register_with_mode(
+        &self,
+        name: &str,
+        grammar: Arc<NormalGrammar>,
+        mode: OnDemandConfig,
+    ) -> Result<(), ServiceError> {
+        let mut registry = self.registry.write().expect("registry lock");
+        if registry.contains_key(name) {
+            return Err(ServiceError::DuplicateTarget {
+                target: name.to_owned(),
+            });
+        }
+        registry.insert(
+            name.to_owned(),
+            Arc::new(TargetEntry {
+                name: name.to_owned(),
+                grammar,
+                mode,
+                master: Mutex::new(None),
+            }),
+        );
+        Ok(())
+    }
+
+    /// The registered target names, sorted.
+    pub fn targets(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .registry
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    fn entry(&self, target: &str) -> Result<Arc<TargetEntry>, ServiceError> {
+        self.registry
+            .read()
+            .expect("registry lock")
+            .get(target)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownTarget {
+                target: target.to_owned(),
+            })
+    }
+
+    /// The normalized grammar a target labels against.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] if the name is not registered.
+    pub fn grammar(&self, target: &str) -> Result<Arc<NormalGrammar>, ServiceError> {
+        Ok(Arc::clone(&self.entry(target)?.grammar))
+    }
+
+    /// The target's shared master, building (and warm-starting) it on
+    /// first use. Useful for inspection (`stats`, `snapshots_retained`)
+    /// and for labeling outside the batch path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] or [`ServiceError::Tables`].
+    pub fn shared(&self, target: &str) -> Result<Arc<SharedOnDemand>, ServiceError> {
+        let entry = self.entry(target)?;
+        entry
+            .master(self.config.tables_dir.as_deref())
+            .map(|(m, _)| m)
+    }
+
+    /// Queues `forest` for labeling against `target` and returns the
+    /// job's ticket. Building (or warm-starting) the target's master
+    /// happens here, on first submission — not inside the drain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] or [`ServiceError::Tables`].
+    pub fn submit(&self, target: &str, forest: Forest) -> Result<Ticket, ServiceError> {
+        let entry = self.entry(target)?;
+        let (master, warm) = entry.master(self.config.tables_dir.as_deref())?;
+        let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
+        self.queue.lock().expect("queue lock").push(Job {
+            ticket,
+            entry,
+            master,
+            warm,
+            forest,
+        });
+        Ok(ticket)
+    }
+
+    /// Number of jobs currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("queue lock").len()
+    }
+
+    /// Takes every queued job, shards the batch across the worker pool,
+    /// and labels each job against its target's master with the snapshot
+    /// epoch pinned per job. Concurrent `drain` calls are allowed; each
+    /// job is handed to exactly one of them.
+    pub fn drain(&self) -> BatchReport {
+        let jobs: Vec<Job> = std::mem::take(&mut *self.queue.lock().expect("queue lock"));
+        if jobs.is_empty() {
+            // Nothing queued: no worker threads, an empty report. Keeps
+            // serve-style polling loops cheap.
+            return BatchReport {
+                results: Vec::new(),
+                per_target: Vec::new(),
+                latency: LatencyStats::default(),
+                wall: Duration::ZERO,
+                workers: 0,
+            };
+        }
+        let started = Instant::now();
+
+        // Per-target bookkeeping, in first-submission order: the master
+        // handle plus its cumulative counters before the batch runs.
+        let mut involved: Vec<(String, Arc<SharedOnDemand>, bool, WorkCounters)> = Vec::new();
+        for job in &jobs {
+            if !involved.iter().any(|(name, ..)| *name == job.entry.name) {
+                involved.push((
+                    job.entry.name.clone(),
+                    Arc::clone(&job.master),
+                    job.warm,
+                    job.master.counters(),
+                ));
+            }
+        }
+
+        let workers = match self.config.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            n => n,
+        }
+        .clamp(1, jobs.len().max(1));
+
+        // Shard: workers claim jobs off a shared cursor, so a slow job
+        // never head-of-line-blocks the rest of the batch.
+        let slots: Vec<Mutex<Option<Job>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<JobResult>> = Mutex::new(Vec::with_capacity(slots.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<JobResult> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let job = slots[i]
+                            .lock()
+                            .expect("slot lock")
+                            .take()
+                            .expect("each slot is claimed exactly once");
+                        let t = Instant::now();
+                        let outcome = job.master.label_forest_pinned(&job.forest);
+                        local.push(JobResult {
+                            ticket: job.ticket,
+                            target: job.entry.name.clone(),
+                            forest: job.forest,
+                            outcome,
+                            latency: t.elapsed(),
+                        });
+                    }
+                    done.lock().expect("results lock").append(&mut local);
+                });
+            }
+        });
+
+        let wall = started.elapsed();
+        let mut results = done.into_inner().expect("results lock");
+        results.sort_unstable_by_key(|r| r.ticket);
+
+        let per_target = involved
+            .into_iter()
+            .map(|(target, master, warm_started, before)| {
+                let mine = results.iter().filter(|r| r.target == target);
+                let mut jobs = 0;
+                let mut nodes = 0u64;
+                let mut failed = 0;
+                let mut epochs: Option<(u64, u64)> = None;
+                for r in mine {
+                    jobs += 1;
+                    nodes += r.forest.len() as u64;
+                    match r.epoch() {
+                        Some(e) => {
+                            epochs = Some(match epochs {
+                                Some((lo, hi)) => (lo.min(e), hi.max(e)),
+                                None => (e, e),
+                            });
+                        }
+                        None => failed += 1,
+                    }
+                }
+                TargetBatchStats {
+                    target,
+                    jobs,
+                    nodes,
+                    failed,
+                    counters: master.counters().since(&before),
+                    epochs,
+                    warm_started,
+                }
+            })
+            .collect();
+
+        let latency = LatencyStats::from_results(&results);
+        BatchReport {
+            results,
+            per_target,
+            latency,
+            wall,
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_core::Labeler;
+    use odburg_ir::parse_sexpr;
+
+    fn forest(src: &str) -> Forest {
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, src).unwrap();
+        f.add_root(root);
+        f
+    }
+
+    fn two_workers() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_labels_across_targets() {
+        let svc = SelectorService::with_builtin_targets(two_workers());
+        let t0 = svc
+            .submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        let t1 = svc
+            .submit("x86ish", forest("(AddI4 (ConstI4 1) (ConstI4 2))"))
+            .unwrap();
+        let t2 = svc
+            .submit("demo", forest("(StoreI8 (AddrLocalP @y) (ConstI8 2))"))
+            .unwrap();
+        assert_eq!(svc.pending(), 3);
+        let report = svc.drain();
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(
+            report.results.iter().map(|r| r.ticket).collect::<Vec<_>>(),
+            vec![t0, t1, t2]
+        );
+        let demo = report
+            .per_target
+            .iter()
+            .find(|t| t.target == "demo")
+            .unwrap();
+        assert_eq!(demo.jobs, 2);
+        assert!(demo.counters.nodes >= 6, "{:?}", demo.counters);
+        assert!(demo.epochs.is_some());
+        for r in &report.results {
+            let red = r.reduce().unwrap();
+            assert!(!red.instructions.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_and_duplicate_targets_error() {
+        let svc = SelectorService::with_builtin_targets(ServiceConfig::default());
+        assert!(matches!(
+            svc.submit("z80", Forest::new()),
+            Err(ServiceError::UnknownTarget { .. })
+        ));
+        assert!(matches!(
+            svc.register(&odburg_targets::demo()),
+            Err(ServiceError::DuplicateTarget { .. })
+        ));
+        assert_eq!(svc.targets().len(), 6);
+    }
+
+    #[test]
+    fn mid_batch_registration_extends_the_registry() {
+        let svc = SelectorService::with_builtin_targets(two_workers());
+        svc.submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        // A target registered while jobs are queued serves the same
+        // batch.
+        let custom =
+            odburg_grammar::parse_grammar("%start reg\nreg: ConstI8 (1) \"li {imm}\"\n").unwrap();
+        svc.register_normal("custom", Arc::new(custom.normalize()))
+            .unwrap();
+        svc.submit("custom", forest("(ConstI8 7)")).unwrap();
+        let report = svc.drain();
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.results[1].target, "custom");
+        let red = report.results[1].reduce().unwrap();
+        assert_eq!(red.instructions, vec!["li 7".to_owned()]);
+    }
+
+    #[test]
+    fn failed_jobs_are_reported_not_fatal() {
+        let svc = SelectorService::with_builtin_targets(two_workers());
+        svc.submit("demo", forest("(MulF8 (ConstF8 #1.0) (ConstF8 #1.0))"))
+            .unwrap();
+        svc.submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        let report = svc.drain();
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.results[0].outcome,
+            Err(LabelError::NoCover { .. })
+        ));
+        assert!(report.results[1].outcome.is_ok());
+        let demo = &report.per_target[0];
+        assert_eq!((demo.jobs, demo.failed), (2, 1));
+    }
+
+    #[test]
+    fn warm_started_registry_labels_without_misses() {
+        let dir = std::env::temp_dir().join("odburg-service-warm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let seen = forest("(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))");
+
+        // Yesterday's process: warm a master and persist its tables.
+        let normal = Arc::new(odburg_targets::demo().normalize());
+        let mut trainer = OnDemandAutomaton::new(Arc::clone(&normal));
+        trainer.label_forest(&seen).unwrap();
+        persist::save_tables(&trainer.snapshot(), &dir.join("demo.odbt")).unwrap();
+
+        // Today's registry warm-starts and answers the seen workload
+        // without ever entering the grow path.
+        let svc = SelectorService::with_builtin_targets(ServiceConfig {
+            workers: 1,
+            tables_dir: Some(dir),
+        });
+        svc.submit("demo", seen).unwrap();
+        let report = svc.drain();
+        assert_eq!(report.failed(), 0);
+        let stats = &report.per_target[0];
+        assert!(stats.warm_started);
+        assert_eq!(stats.counters.memo_misses, 0, "{:?}", stats.counters);
+        assert_eq!(stats.counters.states_built, 0);
+    }
+
+    #[test]
+    fn mismatched_tables_surface_the_target_name() {
+        // Regression: tables exported for grammar A, dropped into the
+        // registry's directory under grammar B's name, must surface the
+        // fingerprint-mismatch PersistError with the *target* name
+        // attached — never silently fall back to a cold start and never
+        // mislabel.
+        let dir = std::env::temp_dir().join("odburg-service-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let normal = Arc::new(odburg_targets::demo().normalize());
+        let mut trainer = OnDemandAutomaton::new(normal);
+        trainer
+            .label_forest(&forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        // demo's tables masquerading as jvmish's.
+        persist::save_tables(&trainer.snapshot(), &dir.join("jvmish.odbt")).unwrap();
+
+        let svc = SelectorService::with_builtin_targets(ServiceConfig {
+            workers: 1,
+            tables_dir: Some(dir),
+        });
+        let err = svc
+            .submit("jvmish", forest("(ConstI8 1)"))
+            .expect_err("mismatched tables must be rejected");
+        match &err {
+            ServiceError::Tables { target, error } => {
+                assert_eq!(target, "jvmish");
+                assert!(
+                    matches!(error, PersistError::GrammarMismatch { .. }),
+                    "{error:?}"
+                );
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(err.to_string().contains("jvmish"), "{err}");
+        assert!(err.to_string().contains("different grammar"), "{err}");
+        // The queue stayed clean and unaffected targets still work.
+        assert_eq!(svc.pending(), 0);
+        svc.submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        assert_eq!(svc.drain().failed(), 0);
+    }
+
+    #[test]
+    fn projection_mode_master_per_target() {
+        let svc = SelectorService::new(two_workers());
+        let normal = Arc::new(odburg_targets::demo().normalize());
+        svc.register_with_mode(
+            "demo-projected",
+            normal,
+            OnDemandConfig {
+                project_children: true,
+                ..OnDemandConfig::default()
+            },
+        )
+        .unwrap();
+        svc.submit(
+            "demo-projected",
+            forest("(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))"),
+        )
+        .unwrap();
+        let report = svc.drain();
+        assert_eq!(report.failed(), 0);
+        // The projected master still selects the RMW fold.
+        let red = report.results[0].reduce().unwrap();
+        assert_eq!(red.total_cost, odburg_grammar::Cost::finite(2));
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_a_cheap_no_op() {
+        let svc = SelectorService::with_builtin_targets(ServiceConfig::default());
+        let report = svc.drain();
+        assert!(report.results.is_empty());
+        assert!(report.per_target.is_empty());
+        assert_eq!(report.latency.p99, Duration::ZERO);
+    }
+}

@@ -32,13 +32,14 @@
 //! ```
 
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 use std::sync::Arc;
 
 use odburg_core::{
-    AutomatonSnapshot, LabelError, Labeler, Labeling, OfflineAutomaton, OfflineConfig,
-    OfflineLabeler, OnDemandAutomaton, OnDemandConfig, RuleChooser, SharedOnDemand, StateChooser,
-    WorkCounters,
+    persist, AutomatonSnapshot, LabelError, Labeler, Labeling, OfflineAutomaton, OfflineConfig,
+    OfflineLabeler, OnDemandAutomaton, OnDemandConfig, PersistError, RuleChooser, SharedOnDemand,
+    StateChooser, WorkCounters,
 };
 use odburg_dp::{DpLabeler, DpLabeling, MacroExpander, MacroLabeling};
 use odburg_grammar::{Grammar, NormalGrammar, NormalRuleId, NtId};
@@ -149,6 +150,37 @@ impl fmt::Display for WarmStartUnsupported {
 }
 
 impl std::error::Error for WarmStartUnsupported {}
+
+/// Error of [`AnyLabeler::build_warm_from_tables`]: either the strategy
+/// has no on-demand tables at all, or the table file failed to load or
+/// validate against the grammar and the strategy's configuration.
+#[derive(Debug)]
+pub enum WarmStartError {
+    /// The strategy cannot warm-start (offline, dp, macro).
+    Unsupported(WarmStartUnsupported),
+    /// Loading or validating the table file failed. Fingerprint and
+    /// configuration mismatches land here — they are hard errors, never
+    /// a silent cold start.
+    Persist(PersistError),
+}
+
+impl fmt::Display for WarmStartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarmStartError::Unsupported(e) => e.fmt(f),
+            WarmStartError::Persist(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WarmStartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarmStartError::Unsupported(e) => Some(e),
+            WarmStartError::Persist(e) => Some(e),
+        }
+    }
+}
 
 impl FromStr for Strategy {
     type Err = UnknownStrategy;
@@ -270,6 +302,35 @@ impl AnyLabeler {
                 Err(WarmStartUnsupported { strategy })
             }
         }
+    }
+
+    /// Warm-starts the selector for `strategy` directly from a table
+    /// file: resolves the strategy's on-demand configuration, imports
+    /// and validates the tables against `normal` (grammar fingerprint,
+    /// configuration, integrity), and builds the warm labeler. This is
+    /// the one-stop path the CLI and the service registry route through,
+    /// so every caller rejects mismatched tables the same way instead of
+    /// silently falling back to a cold start.
+    ///
+    /// # Errors
+    ///
+    /// [`WarmStartError::Unsupported`] for strategies without on-demand
+    /// tables; [`WarmStartError::Persist`] if the file is missing,
+    /// corrupted, or was exported under a different grammar or
+    /// configuration.
+    pub fn build_warm_from_tables(
+        strategy: Strategy,
+        normal: Arc<NormalGrammar>,
+        path: &Path,
+    ) -> Result<AnyLabeler, WarmStartError> {
+        let config = strategy
+            .ondemand_config()
+            .ok_or(WarmStartError::Unsupported(WarmStartUnsupported {
+                strategy,
+            }))?;
+        let snapshot =
+            persist::load_tables(path, normal, config).map_err(WarmStartError::Persist)?;
+        AnyLabeler::build_warm(strategy, Arc::new(snapshot)).map_err(WarmStartError::Unsupported)
     }
 
     /// The normalized grammar the selector labels against. Reductions of
@@ -459,6 +520,67 @@ mod tests {
                 "{strategy}"
             );
         }
+    }
+
+    #[test]
+    fn warm_from_tables_rejects_mismatches_loudly() {
+        // Regression for the warm-start error path: tables exported for
+        // grammar A must never build a labeler for grammar B — the
+        // fingerprint-mismatch PersistError has to surface, not a silent
+        // cold fallback or a mislabeling warm start.
+        let dir = std::env::temp_dir().join("odburg-strategy-warm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.odbt");
+
+        let demo = Arc::new(crate::targets::demo().normalize());
+        let mut trainer = OnDemandAutomaton::new(Arc::clone(&demo));
+        let mut forest = Forest::new();
+        let root =
+            odburg_ir::parse_sexpr(&mut forest, "(StoreI8 (AddrLocalP @x) (ConstI8 1))").unwrap();
+        forest.add_root(root);
+        trainer.label_forest(&forest).unwrap();
+        odburg_core::persist::save_tables(&trainer.snapshot(), &path).unwrap();
+
+        // The matching grammar warm-starts fine for both table-backed
+        // strategies.
+        for strategy in [Strategy::OnDemand, Strategy::Shared] {
+            let mut warm =
+                AnyLabeler::build_warm_from_tables(strategy, Arc::clone(&demo), &path).unwrap();
+            warm.label_forest(&forest).unwrap();
+            assert_eq!(warm.counters().memo_misses, 0, "{strategy}");
+        }
+
+        // A different grammar is a hard fingerprint error.
+        let other = Arc::new(crate::targets::jvmish().normalize());
+        let err = AnyLabeler::build_warm_from_tables(Strategy::OnDemand, other, &path)
+            .expect_err("mismatched grammar must be rejected");
+        assert!(
+            matches!(
+                err,
+                WarmStartError::Persist(PersistError::GrammarMismatch { .. })
+            ),
+            "{err:?}"
+        );
+
+        // A mismatched configuration (projection tables vs direct) too.
+        let err = AnyLabeler::build_warm_from_tables(
+            Strategy::OnDemandProjected,
+            Arc::clone(&demo),
+            &path,
+        )
+        .expect_err("mismatched config must be rejected");
+        assert!(
+            matches!(
+                err,
+                WarmStartError::Persist(PersistError::ConfigMismatch { .. })
+            ),
+            "{err:?}"
+        );
+
+        // And strategies without tables never load the file at all.
+        let err = AnyLabeler::build_warm_from_tables(Strategy::Dp, demo, &path)
+            .expect_err("dp cannot warm-start");
+        assert!(matches!(err, WarmStartError::Unsupported(_)), "{err:?}");
     }
 
     #[test]

@@ -11,9 +11,14 @@
 //!   labelable, with payloads randomized to exercise the dynamic-cost
 //!   rules (immediate widths, scale factors). Random trees stress the
 //!   automata with much more shape diversity than compiler output.
+//! * **Mixed traffic** — interleaved multi-target job streams
+//!   ([`mixed_traffic`]) for the selection service: each job addresses a
+//!   random target with a forest sampled from that target's grammar.
 
 mod sampler;
 mod suite;
+mod traffic;
 
 pub use sampler::{SamplerConfig, TreeSampler};
 pub use suite::{combined_workload, program_workloads, random_workload, replicate, Workload};
+pub use traffic::{mixed_traffic, TrafficJob};

@@ -1,0 +1,121 @@
+//! Mixed multi-target traffic for the selection service.
+//!
+//! The single-grammar workloads in [`suite`](crate::suite) model one
+//! compiler session; a JIT *service* sees something messier — requests
+//! for many targets interleaved, with wildly varying forest shapes and
+//! sizes. [`mixed_traffic`] generates that stream deterministically:
+//! each job picks a target uniformly at random, then samples a small
+//! forest from that target's own grammar (so every job is guaranteed
+//! labelable), with per-job tree counts and depths drawn from the same
+//! seeded RNG. The same seed always produces the same job sequence,
+//! which is what lets the `service_throughput` bench train warm tables
+//! on exactly the traffic it then measures.
+
+use odburg_grammar::NormalGrammar;
+use odburg_ir::Forest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sampler::{SamplerConfig, TreeSampler};
+
+/// One job of a mixed-traffic stream: a target name plus the forest to
+/// label against it.
+#[derive(Debug, Clone)]
+pub struct TrafficJob {
+    /// The target the job is addressed to.
+    pub target: String,
+    /// The forest to label.
+    pub forest: Forest,
+}
+
+/// Generates `jobs` deterministic mixed-target jobs from `targets`
+/// (name, normalized grammar) pairs. Tree counts (1–6 per job) and
+/// sampling depths vary per job; payloads are randomized by the sampler
+/// to exercise dynamic-cost rules.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty.
+pub fn mixed_traffic(
+    targets: &[(&str, &NormalGrammar)],
+    seed: u64,
+    jobs: usize,
+) -> Vec<TrafficJob> {
+    assert!(
+        !targets.is_empty(),
+        "mixed traffic needs at least one target"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6D69_7865_6474_7266); // "mixedtrf"
+    (0..jobs)
+        .map(|_| {
+            let (name, grammar) = targets[rng.gen_range(0..targets.len())];
+            let trees = rng.gen_range(1..7usize);
+            let config = SamplerConfig {
+                max_depth: rng.gen_range(4..12usize),
+                symbol_pool: 16,
+            };
+            let job_seed = rng.gen_range(0..u64::MAX);
+            let mut sampler = TreeSampler::with_config(grammar, job_seed, config);
+            TrafficJob {
+                target: name.to_owned(),
+                forest: sampler.sample_forest(trees),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odburg_core::Labeler;
+
+    fn grammars() -> Vec<(String, NormalGrammar)> {
+        odburg_targets::all()
+            .into_iter()
+            .map(|g| (g.name().to_owned(), g.normalize()))
+            .collect()
+    }
+
+    #[test]
+    fn traffic_is_deterministic_and_covers_all_targets() {
+        let gs = grammars();
+        let refs: Vec<(&str, &NormalGrammar)> = gs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        let a = mixed_traffic(&refs, 0xC0FFEE, 96);
+        let b = mixed_traffic(&refs, 0xC0FFEE, 96);
+        assert_eq!(a.len(), 96);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.target, y.target);
+            assert_eq!(x.forest.len(), y.forest.len());
+        }
+        for (name, _) in &refs {
+            assert!(
+                a.iter().any(|j| j.target == *name),
+                "96 jobs over 6 targets must hit `{name}`"
+            );
+        }
+        let c = mixed_traffic(&refs, 0xDECAF, 96);
+        assert!(
+            a.iter()
+                .zip(&c)
+                .any(|(x, y)| x.forest.len() != y.forest.len()),
+            "different seeds must produce different traffic"
+        );
+    }
+
+    #[test]
+    fn every_traffic_job_is_labelable() {
+        let gs = grammars();
+        let refs: Vec<(&str, &NormalGrammar)> = gs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        for job in mixed_traffic(&refs, 7, 48) {
+            let normal = gs
+                .iter()
+                .find(|(n, _)| *n == job.target)
+                .map(|(_, g)| g.clone())
+                .unwrap();
+            let mut dp = odburg_dp::DpLabeler::new(std::sync::Arc::new(normal));
+            dp.label_forest(&job.forest)
+                .unwrap_or_else(|e| panic!("{}: {e}", job.target));
+            assert!(!job.forest.is_empty());
+        }
+    }
+}

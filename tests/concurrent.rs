@@ -209,3 +209,166 @@ fn concurrent_flushes_stay_correct() {
         "the tiny budget must actually force flushes"
     );
 }
+
+#[test]
+fn registry_churn_keeps_retired_snapshots_bounded() {
+    // The hazard-pointer `arc_swap` shim under service-shaped registry
+    // churn: worker threads keep submitting and draining batches through
+    // a SelectorService whose master re-publishes a snapshot on nearly
+    // every job (a value-dependent dynamic cost interns a fresh
+    // signature per distinct constant), while a dedicated writer thread
+    // churns the same master directly. Throughout:
+    //
+    // * no labeling may observe a torn snapshot — every drained job must
+    //   reduce to exactly the DpLabeler-optimal cost, and
+    // * `snapshots_retained()` must stay bounded by what can still be
+    //   referenced (live pins + readers mid-forest), never grow with the
+    //   publication count.
+    use odburg::service::{SelectorService, ServiceConfig};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let mut grammar = odburg::grammar::parse_grammar(
+        r#"
+        %start stmt
+        %dyncost val
+        reg: ConstI8 [val]
+        reg: AddI8(reg, reg) (1)
+        stmt: StoreI8(reg, reg) (1)
+        "#,
+    )
+    .unwrap();
+    // The residue space is wide enough that the constant ranges below
+    // (drainers < 32_000, writer < 45_000, final probe above both) map
+    // to *disjoint* cost residues — so the final probe is guaranteed to
+    // intern a fresh signature, publish, and prune.
+    grammar
+        .bind_dyncost(
+            "val",
+            Arc::new(|forest: &Forest, node| {
+                let v = forest.node(node).payload().as_int().unwrap_or(0);
+                RuleCost::Finite((v.unsigned_abs() % 50_000) as u16)
+            }),
+        )
+        .unwrap();
+    let normal = Arc::new(grammar.normalize());
+
+    let svc = Arc::new(SelectorService::new(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }));
+    svc.register_normal("churn", Arc::clone(&normal)).unwrap();
+    let shared = svc.shared("churn").unwrap();
+
+    let forest_for = |k: i64| {
+        let mut f = Forest::new();
+        let root = odburg::ir::parse_sexpr(
+            &mut f,
+            &format!(
+                "(StoreI8 (ConstI8 {k}) (AddI8 (ConstI8 {}) (ConstI8 1)))",
+                k + 1
+            ),
+        )
+        .unwrap();
+        f.add_root(root);
+        f
+    };
+    // The optimal cost is value-dependent; oracle it per constant.
+    let dp_cost = |f: &Forest| {
+        let mut dp = DpLabeler::new(Arc::clone(&normal));
+        let l = dp.label_forest(f).unwrap();
+        odburg::codegen::reduce_forest(f, &normal, &l)
+            .unwrap()
+            .total_cost
+    };
+
+    const DRAIN_THREADS: i64 = 4;
+    const ROUNDS: i64 = 12;
+    const JOBS_PER_ROUND: i64 = 4;
+    let max_retained = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // The writer: churns the master directly, re-publishing
+        // snapshots underneath the draining batches, and samples the
+        // retire-list length while doing so.
+        {
+            let shared = Arc::clone(&shared);
+            let stop = &stop;
+            let max_retained = &max_retained;
+            scope.spawn(move || {
+                let mut k = 32_000;
+                while !stop.load(Ordering::Relaxed) && k < 45_000 {
+                    shared.label_forest(&forest_for(k)).unwrap();
+                    k += 1;
+                    max_retained.fetch_max(shared.snapshots_retained(), Ordering::Relaxed);
+                }
+            });
+        }
+        let handles: Vec<_> = (0..DRAIN_THREADS)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                let dp_cost = &dp_cost;
+                let forest_for = &forest_for;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        for j in 0..JOBS_PER_ROUND {
+                            // Distinct constants per (thread, round, job):
+                            // almost every job takes the grow path.
+                            let k = t * 10_000 + round * 100 + j;
+                            svc.submit("churn", forest_for(k)).unwrap();
+                        }
+                        // Concurrent drains race for each other's jobs;
+                        // whatever this drain receives must be untorn.
+                        let report = svc.drain();
+                        for result in &report.results {
+                            let red = result.reduce().unwrap_or_else(|e| {
+                                panic!("thread {t} round {round}: torn labeling: {e}")
+                            });
+                            assert_eq!(
+                                red.total_cost,
+                                dp_cost(&result.forest),
+                                "thread {t} round {round}: labeling disagrees with dp"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let published = shared.snapshots_published();
+    assert!(
+        published >= (DRAIN_THREADS * ROUNDS) as usize,
+        "churn workload must actually publish (got {published})"
+    );
+    // Bounded while under load: at most one pinned snapshot per
+    // in-flight job (each drain pins JOBS_PER_ROUND * DRAIN_THREADS at
+    // worst) plus a guard per thread — far below the publication count.
+    let bound = (DRAIN_THREADS * JOBS_PER_ROUND * DRAIN_THREADS + DRAIN_THREADS + 2) as usize;
+    let observed = max_retained
+        .load(Ordering::Relaxed)
+        .max(shared.snapshots_retained());
+    assert!(
+        observed <= bound,
+        "retire list grew with publications: {observed} retained (bound {bound}, {published} published)"
+    );
+    // Quiescent: with every pin dropped, the next publication reclaims
+    // all but what a reader could still hold. The probe constant's cost
+    // residue is outside every range used above, so this labeling is
+    // guaranteed to intern a new signature and publish (i.e. prune).
+    let published_before_probe = shared.snapshots_published();
+    shared.label_forest(&forest_for(45_001)).unwrap();
+    assert!(
+        shared.snapshots_published() > published_before_probe,
+        "probe must publish"
+    );
+    assert!(
+        shared.snapshots_retained() <= 1,
+        "quiescent retire list must collapse, got {}",
+        shared.snapshots_retained()
+    );
+}

@@ -1,0 +1,133 @@
+//! Differential fuzzing of the selection service: proptest-generated
+//! random grammars and forests go through [`SelectorService`]'s batch
+//! path (worker pool, snapshot pinning, registry), and every result is
+//! cross-checked **bit-identically** — full instruction sequence and
+//! total cost — against a fresh [`DpLabeler`] oracle built for just
+//! that job. The service is allowed no deviation at all: the concurrent
+//! fast path, the grow path, projection-mode masters and mid-batch
+//! registration must all be invisible in the output.
+
+mod common;
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use odburg::prelude::*;
+use odburg::service::SelectorService;
+use odburg::workloads::TreeSampler;
+
+use common::random_grammar;
+
+/// The oracle: a fresh iburg-style dynamic-programming labeler, built
+/// from scratch for one forest, reduced to instructions.
+fn dp_reduction(forest: &Forest, normal: &Arc<NormalGrammar>) -> Reduction {
+    let mut dp = DpLabeler::new(Arc::clone(normal));
+    let labeling = dp.label_forest(forest).expect("dp labels sampled trees");
+    odburg::codegen::reduce_forest(forest, normal, &labeling).expect("dp reduces")
+}
+
+fn two_workers() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+proptest! {
+    // 256 cases x 4 jobs: the differential surface the acceptance
+    // criteria ask for, on every run.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn service_batches_agree_bit_identically_with_dp(seed in 0u64..1_000_000) {
+        let svc = SelectorService::new(two_workers());
+        let alpha = Arc::new(random_grammar(seed).normalize());
+        let beta = Arc::new(random_grammar(seed ^ 0x5EED).normalize());
+        svc.register_normal("alpha", Arc::clone(&alpha)).unwrap();
+        // One projection-mode master per batch: lazy representer states
+        // must be just as invisible as the direct tables.
+        svc.register_with_mode(
+            "beta",
+            Arc::clone(&beta),
+            OnDemandConfig { project_children: true, ..OnDemandConfig::default() },
+        )
+        .unwrap();
+
+        let mut expected: Vec<(Ticket, Arc<NormalGrammar>, Forest)> = Vec::new();
+        let mut enqueue = |svc: &SelectorService, name: &str, normal: &Arc<NormalGrammar>, salt: u64| {
+            let mut sampler = TreeSampler::new(normal, seed ^ salt);
+            let forest = sampler.sample_forest(8);
+            let ticket = svc.submit(name, forest.clone()).unwrap();
+            expected.push((ticket, Arc::clone(normal), forest));
+        };
+        enqueue(&svc, "alpha", &alpha, 0xA1);
+        enqueue(&svc, "beta", &beta, 0xB2);
+        // Mid-batch registration: a third grammar joins while jobs are
+        // already queued, and serves the same batch.
+        let gamma = Arc::new(random_grammar(seed ^ 0xC0C0).normalize());
+        svc.register_normal("gamma", Arc::clone(&gamma)).unwrap();
+        enqueue(&svc, "gamma", &gamma, 0xC3);
+        // And the first target again, now against warmed tables.
+        enqueue(&svc, "alpha", &alpha, 0xA4);
+
+        let report = svc.drain();
+        prop_assert_eq!(report.results.len(), expected.len());
+        prop_assert_eq!(report.failed(), 0);
+        prop_assert_eq!(svc.pending(), 0);
+
+        for (result, (ticket, normal, forest)) in report.results.iter().zip(&expected) {
+            prop_assert_eq!(result.ticket, *ticket);
+            prop_assert_eq!(result.forest.len(), forest.len());
+            let got = result.reduce().expect("service job reduces");
+            let want = dp_reduction(forest, normal);
+            prop_assert_eq!(
+                &got.instructions,
+                &want.instructions,
+                "seed {}: service and dp chose different code for {}",
+                seed,
+                result.ticket
+            );
+            prop_assert_eq!(got.total_cost, want.total_cost, "seed {}", seed);
+        }
+
+        // The per-target accounting covers exactly the submitted jobs.
+        let jobs_accounted: usize = report.per_target.iter().map(|t| t.jobs).sum();
+        prop_assert_eq!(jobs_accounted, expected.len());
+        for t in &report.per_target {
+            prop_assert_eq!(t.failed, 0);
+            prop_assert!(t.epochs.is_some());
+        }
+    }
+
+    #[test]
+    fn service_reports_uncoverable_jobs_without_poisoning_the_batch(seed in 0u64..1_000_000) {
+        // A forest using an operator the grammar has no rule for must
+        // come back as a per-job NoCover, while every other job in the
+        // same batch still matches the oracle.
+        let svc = SelectorService::new(two_workers());
+        let normal = Arc::new(random_grammar(seed).normalize());
+        svc.register_normal("only", Arc::clone(&normal)).unwrap();
+
+        let mut sampler = TreeSampler::new(&normal, seed ^ 0x0DD);
+        let good = sampler.sample_forest(6);
+        svc.submit("only", good.clone()).unwrap();
+
+        let mut bad = Forest::new();
+        let root = parse_sexpr(&mut bad, "(MulF8 (ConstF8 #1.5) (ConstF8 #2.5))").unwrap();
+        bad.add_root(root);
+        svc.submit("only", bad).unwrap();
+
+        let report = svc.drain();
+        prop_assert_eq!(report.failed(), 1);
+        prop_assert!(report.results[0].outcome.is_ok());
+        prop_assert!(matches!(
+            report.results[1].outcome,
+            Err(LabelError::NoCover { .. })
+        ));
+        let got = report.results[0].reduce().expect("good job reduces");
+        let want = dp_reduction(&good, &normal);
+        prop_assert_eq!(&got.instructions, &want.instructions);
+        prop_assert_eq!(got.total_cost, want.total_cost);
+    }
+}
