@@ -96,6 +96,7 @@ fn main() {
             let svc = SelectorService::with_builtin_targets(ServiceConfig {
                 workers,
                 tables_dir: warm.then(|| tables_dir.clone()),
+                ..ServiceConfig::default()
             });
             // Time submission *and* drain: masters are built at first
             // submit, so the warm registry pays its table-file loads

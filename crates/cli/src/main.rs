@@ -11,6 +11,8 @@
 //! odburg bench   <grammar>             quick cross-strategy comparison
 //! odburg tables export <grammar> <out> warm an automaton, persist its tables
 //! odburg tables import <grammar> <in>  validate persisted tables, print sizes
+//! odburg tables stats  <file.odbt>     per-component size breakdown of a
+//!                                      persisted table file (no grammar needed)
 //! odburg batch   <manifest>            run a multi-target job manifest through
 //!                                      the selection service (alias: serve)
 //! ```
@@ -36,6 +38,15 @@
 //! written by `tables export`); the per-grammar `--tables=<path>` flag
 //! and non-`shared` `--labeler` values are rejected — the service
 //! always labels through the shared snapshot core.
+//!
+//! Memory governance: `--memory-budget=<bytes>` (suffixes `k`, `m`, `g`
+//! accepted) caps an on-demand automaton's accounted table bytes and
+//! `--budget-policy=<error|flush|compact>` picks the pressure response
+//! (default `compact`: evict cold states, keep the hot working set). On
+//! `label`, `emit` and `compile` the flags configure the labeler's
+//! [`BudgetPolicy`](odburg_core::BudgetPolicy); on `batch`/`serve` they
+//! set the service's per-target budgets, enforced at the end of every
+//! drain.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -59,7 +70,52 @@ fn main() -> ExitCode {
 const USAGE: &str =
     "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables|batch> \
      <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
-     [--workers=<n>] [--tables-dir=<dir>]";
+     [--workers=<n>] [--tables-dir=<dir>] [--memory-budget=<bytes>] \
+     [--budget-policy=<error|flush|compact>]";
+
+/// The `--budget-policy` flag values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PolicyFlag {
+    Error,
+    Flush,
+    Compact,
+}
+
+fn parse_policy(value: &str) -> Result<PolicyFlag, String> {
+    match value {
+        "error" => Ok(PolicyFlag::Error),
+        "flush" => Ok(PolicyFlag::Flush),
+        "compact" => Ok(PolicyFlag::Compact),
+        other => Err(format!(
+            "unknown budget policy `{other}` (expected one of: error, flush, compact)"
+        )),
+    }
+}
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (KiB-style
+/// powers of two).
+fn parse_bytes(value: &str) -> Result<usize, String> {
+    let bad =
+        || format!("--memory-budget needs a positive byte count (e.g. 512k, 4m), got `{value}`");
+    let lower = value.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (
+            d,
+            match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            },
+        ),
+        None => (lower.as_str(), 0),
+    };
+    match digits.parse::<usize>() {
+        // checked_mul (not checked_shl: that discards shifted-out high
+        // bits) so absurd sizes error instead of wrapping to tiny ones.
+        Ok(n) if n >= 1 => n.checked_mul(1usize << shift).ok_or_else(bad),
+        _ => Err(bad()),
+    }
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     // Split off the flags; everything else is positional.
@@ -68,6 +124,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut tables: Option<String> = None;
     let mut tables_dir: Option<String> = None;
     let mut workers: Option<usize> = None;
+    let mut memory_budget: Option<usize> = None;
+    let mut budget_policy: Option<PolicyFlag> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     let parse_workers = |value: &str| -> Result<usize, String> {
@@ -99,6 +157,16 @@ fn run(args: &[String]) -> Result<(), String> {
         } else if arg == "--workers" {
             let value = iter.next().ok_or("--workers needs a count")?;
             workers = Some(parse_workers(value)?);
+        } else if let Some(value) = arg.strip_prefix("--memory-budget=") {
+            memory_budget = Some(parse_bytes(value)?);
+        } else if arg == "--memory-budget" {
+            let value = iter.next().ok_or("--memory-budget needs a byte count")?;
+            memory_budget = Some(parse_bytes(value)?);
+        } else if let Some(value) = arg.strip_prefix("--budget-policy=") {
+            budget_policy = Some(parse_policy(value)?);
+        } else if arg == "--budget-policy" {
+            let value = iter.next().ok_or("--budget-policy needs a value")?;
+            budget_policy = Some(parse_policy(value)?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`\n{USAGE}"));
         } else {
@@ -122,10 +190,25 @@ fn run(args: &[String]) -> Result<(), String> {
                  drop `--labeler={strategy}` or pass --labeler=shared"
             ));
         }
+        let budget = match (memory_budget, budget_policy) {
+            (None, None) => None,
+            (None, Some(_)) => {
+                return Err("--budget-policy needs --memory-budget=<bytes>".into());
+            }
+            (Some(bytes), None | Some(PolicyFlag::Compact)) => {
+                Some(MemoryBudget::compact(bytes, 0.5))
+            }
+            (Some(bytes), Some(PolicyFlag::Flush)) => Some(MemoryBudget::flush(bytes)),
+            (Some(_), Some(PolicyFlag::Error)) => {
+                return Err("batch budgets support --budget-policy=compact or flush \
+                     (`error` would fail jobs instead of bounding memory)"
+                    .into());
+            }
+        };
         let manifest = positional
             .get(1)
             .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
-        return batch(manifest, workers, tables_dir.as_deref());
+        return batch(manifest, workers, tables_dir.as_deref(), budget);
     }
     if let Some(dir) = &tables_dir {
         return Err(format!(
@@ -136,6 +219,13 @@ fn run(args: &[String]) -> Result<(), String> {
     if workers.is_some() {
         return Err("--workers only applies to the batch/serve subcommand".into());
     }
+    if !matches!(command.as_str(), "label" | "emit" | "compile")
+        && (memory_budget.is_some() || budget_policy.is_some())
+    {
+        return Err(
+            "--memory-budget/--budget-policy apply to label, emit, compile and batch".into(),
+        );
+    }
     if command.as_str() == "tables" {
         if tables.is_some() {
             return Err(
@@ -143,6 +233,15 @@ fn run(args: &[String]) -> Result<(), String> {
             );
         }
         return tables_command(&positional, strategy);
+    }
+    let governed = governed_config(strategy, memory_budget, budget_policy)?;
+    if governed.is_some() && tables.is_some() {
+        return Err(
+            "--memory-budget/--budget-policy cannot combine with --tables: persisted \
+             tables carry their own configuration (re-export them under the governed \
+             one first)"
+                .into(),
+        );
     }
     let grammar_name = positional.get(1).ok_or(USAGE)?;
     let grammar = load_grammar(grammar_name)?;
@@ -156,23 +255,68 @@ fn run(args: &[String]) -> Result<(), String> {
             &grammar,
             strategy,
             tables,
+            governed,
             positional.get(2).ok_or("label needs an s-expression")?,
         ),
         "emit" => emit(
             &grammar,
             strategy,
             tables,
+            governed,
             positional.get(2).ok_or("emit needs an s-expression")?,
         ),
         "compile" => compile(
             &grammar,
             strategy,
             tables,
+            governed,
             positional.get(2).ok_or("compile needs a MiniC file")?,
         ),
         "bench" => bench(&grammar, strategy, tables),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
+}
+
+/// Resolves the governance flags into an explicit automaton
+/// configuration, or `None` when the defaults apply.
+fn governed_config(
+    strategy: Strategy,
+    memory_budget: Option<usize>,
+    budget_policy: Option<PolicyFlag>,
+) -> Result<Option<OnDemandConfig>, String> {
+    let policy = match (memory_budget, budget_policy) {
+        (None, None) => return Ok(None),
+        (None, Some(PolicyFlag::Error)) => BudgetPolicy::Error,
+        (None, Some(PolicyFlag::Flush)) => BudgetPolicy::Flush,
+        (None, Some(PolicyFlag::Compact)) => {
+            return Err("--budget-policy=compact needs --memory-budget=<bytes>".into());
+        }
+        (Some(byte_budget), None | Some(PolicyFlag::Compact)) => BudgetPolicy::Compact {
+            byte_budget,
+            retain_fraction: 0.5,
+        },
+        (Some(_), Some(PolicyFlag::Flush)) => {
+            return Err("byte-triggered flushing is a service action: use \
+                 `odburg batch --memory-budget=<bytes> --budget-policy=flush`; the \
+                 labeler-level flush policy triggers on the state budget (drop \
+                 --memory-budget)"
+                .into());
+        }
+        (Some(_), Some(PolicyFlag::Error)) => {
+            return Err(
+                "--budget-policy=error takes no --memory-budget (the state budget \
+                 governs the error policy)"
+                    .into(),
+            );
+        }
+    };
+    let base = strategy
+        .ondemand_config()
+        .ok_or_else(|| format!("{}", strategy::ConfigUnsupported { strategy }))?;
+    Ok(Some(OnDemandConfig {
+        budget_policy: policy,
+        ..base
+    }))
 }
 
 fn load_grammar(name: &str) -> Result<Grammar, String> {
@@ -188,7 +332,14 @@ fn build_labeler(
     grammar: &Grammar,
     strategy: Strategy,
     tables: Option<&str>,
+    governed: Option<OnDemandConfig>,
 ) -> Result<AnyLabeler, String> {
+    if let Some(mode) = governed {
+        // Governance flags resolved to an explicit configuration (they
+        // exclude --tables; `run` already rejected the combination).
+        return AnyLabeler::build_with_mode(strategy, Arc::new(grammar.normalize()), mode)
+            .map_err(|e| format!("{e}"));
+    }
     let Some(path) = tables else {
         return AnyLabeler::build(strategy, grammar)
             .map_err(|e| format!("cannot build `{strategy}` labeler: {e}"));
@@ -218,11 +369,15 @@ fn load_tables_for(
 }
 
 /// `odburg tables export <grammar> <out>` / `odburg tables import
-/// <grammar> <in>`.
+/// <grammar> <in>` / `odburg tables stats <file>`.
 fn tables_command(positional: &[&String], strategy: Strategy) -> Result<(), String> {
     const TABLES_USAGE: &str = "usage: odburg tables <export|import> <grammar> <path> \
-                                [--labeler=<name>]";
+                                [--labeler=<name>] | odburg tables stats <file.odbt>";
     let action = positional.get(1).ok_or(TABLES_USAGE)?;
+    if action.as_str() == "stats" {
+        let path = positional.get(2).ok_or(TABLES_USAGE)?;
+        return tables_stats(path);
+    }
     let grammar = load_grammar(positional.get(2).ok_or(TABLES_USAGE)?)?;
     let path = positional.get(3).ok_or(TABLES_USAGE)?;
     let config = strategy
@@ -271,11 +426,71 @@ fn tables_command(positional: &[&String], strategy: Strategy) -> Result<(), Stri
     }
 }
 
+/// `odburg tables stats <file>`: a per-component breakdown of a
+/// persisted table file via the persist layer — no grammar needed, but
+/// the header, checksum and structure are fully verified.
+fn tables_stats(path: &str) -> Result<(), String> {
+    let info = odburg::select::persist::inspect_tables(Path::new(path))
+        .map_err(|e| format!("cannot inspect tables `{path}`: {e}"))?;
+    let policy = match info.config.budget_policy {
+        BudgetPolicy::Error => "error".to_owned(),
+        BudgetPolicy::Flush => "flush".to_owned(),
+        BudgetPolicy::Compact {
+            byte_budget,
+            retain_fraction,
+        } => format!("compact ({byte_budget} bytes, retain {retain_fraction})"),
+    };
+    println!("tables:              {path}");
+    println!("grammar fingerprint: {:#018x}", info.fingerprint);
+    println!(
+        "config:              {}, state budget {}, policy {policy}",
+        if info.config.project_children {
+            "projected"
+        } else {
+            "direct"
+        },
+        info.config.state_budget,
+    );
+    println!("epoch:               {}", info.epoch);
+    println!("nonterminals:        {}", info.num_nts);
+    println!(
+        "states:              {:>8}  ({} bytes)",
+        info.states, info.bytes.states
+    );
+    println!(
+        "projections:         {:>8}  ({} bytes)",
+        info.projections, info.bytes.projections
+    );
+    println!(
+        "transitions:         {:>8}  ({} bytes)",
+        info.transitions, info.bytes.transitions
+    );
+    println!(
+        "projection cache:    {:>8}  ({} bytes)",
+        info.cached_projections, info.bytes.projection_cache
+    );
+    println!(
+        "signatures:          {:>8}  ({} bytes)",
+        info.signatures, info.bytes.signatures
+    );
+    println!(
+        "accounted bytes:     {:>8}  (file payload {} bytes)",
+        info.bytes.total(),
+        info.payload_bytes
+    );
+    Ok(())
+}
+
 /// `odburg batch <manifest>`: run a multi-target job manifest through
 /// the selection service. Each manifest line is `<target> <sexpr-file>`
 /// (blank lines and `#` comments are skipped); the file's s-expressions
 /// (one per line, `#` comments allowed) form one forest = one job.
-fn batch(manifest: &str, workers: Option<usize>, tables_dir: Option<&str>) -> Result<(), String> {
+fn batch(
+    manifest: &str,
+    workers: Option<usize>,
+    tables_dir: Option<&str>,
+    memory_budget: Option<MemoryBudget>,
+) -> Result<(), String> {
     use odburg::service::{SelectorService, ServiceConfig, Ticket};
 
     let text = std::fs::read_to_string(manifest)
@@ -283,6 +498,7 @@ fn batch(manifest: &str, workers: Option<usize>, tables_dir: Option<&str>) -> Re
     let svc = SelectorService::with_builtin_targets(ServiceConfig {
         workers: workers.unwrap_or(0),
         tables_dir: tables_dir.map(Into::into),
+        memory_budget,
     });
 
     let mut jobs: Vec<(Ticket, String, String)> = Vec::new(); // ticket, target, file
@@ -354,7 +570,8 @@ fn batch(manifest: &str, workers: Option<usize>, tables_dir: Option<&str>) -> Re
     }
     for t in &report.per_target {
         println!(
-            "target {}: {} jobs, {} nodes, {} misses, {} states built, epochs {}, {}",
+            "target {}: {} jobs, {} nodes, {} misses, {} states built, epochs {}, {}, \
+             {} table bytes{}",
             t.target,
             t.jobs,
             t.nodes,
@@ -365,6 +582,22 @@ fn batch(manifest: &str, workers: Option<usize>, tables_dir: Option<&str>) -> Re
                 None => "-".to_owned(),
             },
             if t.warm_started { "warm" } else { "cold" },
+            t.table_bytes,
+            match t.pressure {
+                Some(event) => format!(
+                    ", {} {} -> {} bytes ({} compactions, {} flushes, {} states evicted)",
+                    match event.action {
+                        PressureAction::Flush => "flushed",
+                        PressureAction::Compact { .. } => "compacted",
+                    },
+                    event.bytes_before,
+                    event.bytes_after,
+                    t.counters.compactions,
+                    t.counters.flushes,
+                    t.counters.states_evicted,
+                ),
+                None => String::new(),
+            },
         );
     }
     println!(
@@ -473,10 +706,11 @@ fn label(
     grammar: &Grammar,
     strategy: Strategy,
     tables: Option<&str>,
+    governed: Option<OnDemandConfig>,
     src: &str,
 ) -> Result<(), String> {
     let (forest, _) = parse_tree(grammar.name(), src)?;
-    let mut labeler = build_labeler(grammar, strategy, tables)?;
+    let mut labeler = build_labeler(grammar, strategy, tables, governed)?;
     let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
@@ -527,10 +761,11 @@ fn emit(
     grammar: &Grammar,
     strategy: Strategy,
     tables: Option<&str>,
+    governed: Option<OnDemandConfig>,
     src: &str,
 ) -> Result<(), String> {
     let (forest, _) = parse_tree(grammar.name(), src)?;
-    let mut labeler = build_labeler(grammar, strategy, tables)?;
+    let mut labeler = build_labeler(grammar, strategy, tables, governed)?;
     let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;
@@ -546,11 +781,12 @@ fn compile(
     grammar: &Grammar,
     strategy: Strategy,
     tables: Option<&str>,
+    governed: Option<OnDemandConfig>,
     path: &str,
 ) -> Result<(), String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let forest = odburg::frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
-    let mut labeler = build_labeler(grammar, strategy, tables)?;
+    let mut labeler = build_labeler(grammar, strategy, tables, governed)?;
     let labeling = labeler
         .label_forest(&forest)
         .map_err(|e| format!("labeling failed: {e}"))?;

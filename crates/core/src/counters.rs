@@ -31,6 +31,17 @@ pub struct WorkCounters {
     pub memo_misses: u64,
     /// Dynamic-cost functions evaluated.
     pub dyncost_evals: u64,
+    /// Full table flushes (every state discarded; see
+    /// [`BudgetPolicy::Flush`](crate::BudgetPolicy) and budget
+    /// enforcement with [`PressureAction::Flush`](crate::PressureAction)).
+    pub flushes: u64,
+    /// Heat-guided compaction passes (cold states evicted, hot ones
+    /// remapped into a new epoch; see
+    /// [`BudgetPolicy::Compact`](crate::BudgetPolicy)).
+    pub compactions: u64,
+    /// States evicted by compaction passes (flushes do not count here —
+    /// they discard everything and are visible as `flushes`).
+    pub states_evicted: u64,
 }
 
 impl WorkCounters {
@@ -75,6 +86,9 @@ impl WorkCounters {
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
         self.dyncost_evals += other.dyncost_evals;
+        self.flushes += other.flushes;
+        self.compactions += other.compactions;
+        self.states_evicted += other.states_evicted;
     }
 
     /// The work performed since `earlier` was captured: the field-wise
@@ -92,6 +106,9 @@ impl WorkCounters {
             memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
             memo_misses: self.memo_misses.saturating_sub(earlier.memo_misses),
             dyncost_evals: self.dyncost_evals.saturating_sub(earlier.dyncost_evals),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            states_evicted: self.states_evicted.saturating_sub(earlier.states_evicted),
         }
     }
 
@@ -119,6 +136,9 @@ pub struct AtomicWorkCounters {
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
     dyncost_evals: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    states_evicted: AtomicU64,
 }
 
 impl AtomicWorkCounters {
@@ -145,6 +165,9 @@ impl AtomicWorkCounters {
         add(&self.memo_hits, local.memo_hits);
         add(&self.memo_misses, local.memo_misses);
         add(&self.dyncost_evals, local.dyncost_evals);
+        add(&self.flushes, local.flushes);
+        add(&self.compactions, local.compactions);
+        add(&self.states_evicted, local.states_evicted);
     }
 
     /// A point-in-time copy of the counters.
@@ -159,6 +182,9 @@ impl AtomicWorkCounters {
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
             dyncost_evals: self.dyncost_evals.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            states_evicted: self.states_evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -174,6 +200,9 @@ impl AtomicWorkCounters {
             &self.memo_hits,
             &self.memo_misses,
             &self.dyncost_evals,
+            &self.flushes,
+            &self.compactions,
+            &self.states_evicted,
         ] {
             cell.store(0, Ordering::Relaxed);
         }
@@ -184,7 +213,8 @@ impl fmt::Display for WorkCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "nodes={} work={} (rules={} chains={} hash={} table={} built={} hits={} misses={} dyn={})",
+            "nodes={} work={} (rules={} chains={} hash={} table={} built={} hits={} misses={} dyn={} \
+             flushes={} compactions={} evicted={})",
             self.nodes,
             self.work_units(),
             self.rule_checks,
@@ -195,6 +225,9 @@ impl fmt::Display for WorkCounters {
             self.memo_hits,
             self.memo_misses,
             self.dyncost_evals,
+            self.flushes,
+            self.compactions,
+            self.states_evicted,
         )
     }
 }
@@ -231,6 +264,34 @@ mod tests {
             ..WorkCounters::default()
         };
         assert_eq!(c.work_per_node(), 5.0);
+    }
+
+    #[test]
+    fn governance_counters_flow_through_merge_since_and_atomics() {
+        let mut a = WorkCounters {
+            flushes: 1,
+            compactions: 2,
+            states_evicted: 10,
+            ..WorkCounters::default()
+        };
+        let b = WorkCounters {
+            flushes: 3,
+            compactions: 1,
+            states_evicted: 5,
+            ..WorkCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!((a.flushes, a.compactions, a.states_evicted), (4, 3, 15));
+        let delta = a.since(&b);
+        assert_eq!(
+            (delta.flushes, delta.compactions, delta.states_evicted),
+            (1, 2, 10)
+        );
+        let atomics = AtomicWorkCounters::new();
+        atomics.merge(&a);
+        assert_eq!(atomics.snapshot().states_evicted, 15);
+        atomics.reset();
+        assert_eq!(atomics.snapshot().compactions, 0);
     }
 
     #[test]

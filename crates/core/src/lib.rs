@@ -67,6 +67,7 @@ pub mod compute;
 mod counters;
 pub mod fxhash;
 mod generate;
+pub mod govern;
 mod label;
 mod offline;
 mod ondemand;
@@ -78,6 +79,7 @@ mod state;
 
 pub use counters::{AtomicWorkCounters, WorkCounters};
 pub use generate::generate_rust;
+pub use govern::{CompactionStats, ComponentBytes, MemoryBudget, PressureAction, PressureEvent};
 pub use label::{LabelError, Labeler, Labeling, RuleChooser, StateChooser, StateLookup};
 pub use offline::{DynCostMode, OfflineAutomaton, OfflineConfig, OfflineLabeler, OfflineStats};
 pub use ondemand::{BudgetPolicy, OnDemandAutomaton, OnDemandConfig, OnDemandStats};

@@ -26,13 +26,14 @@ use odburg_ir::{Forest, NodeId, Op};
 use crate::compute::compute_state;
 use crate::counters::WorkCounters;
 use crate::fxhash::FxHashMap;
+use crate::govern::{self, CompactionStats, ComponentBytes};
 use crate::label::{LabelError, Labeler, Labeling, StateLookup};
 use crate::signature::{SigId, SignatureInterner};
 use crate::snapshot::{AutomatonSnapshot, TransKey, NO_CHILD};
 use crate::state::{StateData, StateId, StateSet};
 
-/// What to do when the automaton outgrows its state budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// What to do when the automaton outgrows its budget.
+#[derive(Debug, Clone, Copy, Default)]
 pub enum BudgetPolicy {
     /// Fail with [`LabelError::StateBudgetExceeded`].
     #[default]
@@ -68,7 +69,55 @@ pub enum BudgetPolicy {
     ///   (crate::SharedOnDemand::label_forest_pinned), which returns the
     ///   labeling together with the exact snapshot it refers to.
     Flush,
+    /// Keep the tables under a **byte budget** by evicting cold states
+    /// instead of wiping everything: when the accounted bytes
+    /// ([`OnDemandAutomaton::accounted_bytes`]) exceed `byte_budget`, a
+    /// single-writer [compaction](crate::govern) pass rebuilds the
+    /// tables retaining only the hottest states that fit
+    /// `retain_fraction * byte_budget` bytes, remapping state,
+    /// projection and signature ids into a **new epoch**.
+    ///
+    /// Epoch semantics are exactly [`BudgetPolicy::Flush`]'s — a
+    /// compaction bumps the epoch, in-flight readers of the shared
+    /// automaton finish against their frozen snapshot, and pinned
+    /// labelings keep their epoch's tables alive — but warm states
+    /// survive, so steady-state miss rates stay close to the unbounded
+    /// automaton's. A state-budget overflow under this policy also
+    /// compacts (and retries the forest once), mirroring `Flush`.
+    Compact {
+        /// Accounted table bytes above which the automaton compacts.
+        byte_budget: usize,
+        /// Fraction of `byte_budget` the compacted tables may occupy
+        /// (clamped to `0.05..=1.0`); the rest is headroom for regrowth
+        /// before the next pass.
+        retain_fraction: f32,
+    },
 }
+
+// Manual impls because `retain_fraction` is an `f32`: two policies are
+// equal when their fractions are bit-identical, which is reflexive (the
+// CLI and persist layer only produce finite fractions).
+impl PartialEq for BudgetPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (BudgetPolicy::Error, BudgetPolicy::Error)
+            | (BudgetPolicy::Flush, BudgetPolicy::Flush) => true,
+            (
+                BudgetPolicy::Compact {
+                    byte_budget: a,
+                    retain_fraction: x,
+                },
+                BudgetPolicy::Compact {
+                    byte_budget: b,
+                    retain_fraction: y,
+                },
+            ) => a == b && x.to_bits() == y.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for BudgetPolicy {}
 
 /// Configuration of an [`OnDemandAutomaton`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,11 +157,15 @@ pub struct OnDemandStats {
     pub transitions: usize,
     /// Distinct dynamic-cost signatures (1 = none beyond the empty one).
     pub signatures: usize,
-    /// Approximate heap bytes used by states and tables.
+    /// Total accounted heap bytes (see
+    /// [`OnDemandAutomaton::accounted_bytes`] for the per-component
+    /// breakdown).
     pub bytes: usize,
     /// Times the automaton was flushed by [`BudgetPolicy::Flush`] or
     /// [`OnDemandAutomaton::clear`].
     pub flushes: usize,
+    /// Heat-guided [compaction](crate::govern) passes run so far.
+    pub compactions: usize,
 }
 
 /// The on-demand tree-parsing automaton.
@@ -151,7 +204,16 @@ pub struct OnDemandAutomaton {
     projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
     signatures: SignatureInterner,
     counters: WorkCounters,
+    /// Current epoch: bumped by every flush *and* every compaction;
+    /// state ids are only meaningful within one epoch.
+    epoch: u64,
     flushes: usize,
+    compactions: usize,
+    /// Per-state touch counters for the current epoch (indexed by
+    /// `StateId`), bumped once per labeled node; compaction evicts the
+    /// coldest states by this measure. Reset by a flush, carried over
+    /// (halved) by a compaction.
+    heat: Vec<u64>,
 }
 
 impl OnDemandAutomaton {
@@ -172,20 +234,27 @@ impl OnDemandAutomaton {
             projection_cache: FxHashMap::default(),
             signatures: SignatureInterner::new(),
             counters: WorkCounters::new(),
+            epoch: 0,
             flushes: 0,
+            compactions: 0,
+            heat: Vec::new(),
         }
     }
 
     /// Discards every state, transition, projection and signature,
-    /// returning the automaton to its freshly-created (cold) condition.
-    /// Work counters are preserved.
+    /// returning the automaton to its freshly-created (cold) condition
+    /// and starting a new epoch. Work counters are preserved (and record
+    /// the flush).
     pub fn clear(&mut self) {
         self.states = StateSet::new();
         self.projections = StateSet::new();
         self.transitions = FxHashMap::default();
         self.projection_cache = FxHashMap::default();
         self.signatures = SignatureInterner::new();
+        self.heat.clear();
+        self.epoch += 1;
         self.flushes += 1;
+        self.counters.flushes += 1;
     }
 
     /// The grammar this automaton selects for.
@@ -193,12 +262,13 @@ impl OnDemandAutomaton {
         &self.grammar
     }
 
-    /// The current epoch: the number of flushes so far. State ids are
-    /// only meaningful within one epoch; a [`clear`]
-    /// (OnDemandAutomaton::clear) (or a [`BudgetPolicy::Flush`]) starts
-    /// the next one.
+    /// The current epoch. State ids are only meaningful within one
+    /// epoch; a [`clear`](OnDemandAutomaton::clear) (or a
+    /// [`BudgetPolicy::Flush`]) and a [`compact`]
+    /// (OnDemandAutomaton::compact) (or [`BudgetPolicy::Compact`]) each
+    /// start the next one.
     pub fn epoch(&self) -> u64 {
-        self.flushes as u64
+        self.epoch
     }
 
     /// Freezes the automaton's current tables into an immutable
@@ -242,7 +312,10 @@ impl OnDemandAutomaton {
             projection_cache: snapshot.projection_cache().clone(),
             signatures: snapshot.signatures().clone(),
             counters: WorkCounters::new(),
-            flushes: snapshot.epoch() as usize,
+            epoch: snapshot.epoch(),
+            flushes: 0,
+            compactions: 0,
+            heat: vec![0; snapshot.states_arena().len()],
         }
     }
 
@@ -257,12 +330,64 @@ impl OnDemandAutomaton {
             states: self.states.len(),
             transitions: self.transitions.len(),
             signatures: self.signatures.len(),
-            bytes: self.states.byte_size()
-                + self.projections.byte_size()
-                + self.transitions.len() * (std::mem::size_of::<TransKey>() + 4)
-                + self.projection_cache.len() * 16,
+            bytes: self.accounted_bytes().total(),
             flushes: self.flushes,
+            compactions: self.compactions,
         }
+    }
+
+    /// Per-component byte accounting of the current tables — the number
+    /// [`BudgetPolicy::Compact`] and service [`MemoryBudget`]
+    /// (crate::MemoryBudget)s compare against. Computed the same way for
+    /// live masters, published snapshots ([`SnapshotStats::bytes`]
+    /// (crate::SnapshotStats)) and persisted table files
+    /// ([`persist::inspect_tables`](crate::persist::inspect_tables)).
+    pub fn accounted_bytes(&self) -> ComponentBytes {
+        govern::account_tables(&self.table_view())
+    }
+
+    fn table_view(&self) -> govern::TableView<'_> {
+        govern::TableView {
+            states: self.states.arena(),
+            projections: self.projections.arena(),
+            transitions: &self.transitions,
+            projection_cache: &self.projection_cache,
+            signatures: &self.signatures,
+            project_children: self.config.project_children,
+        }
+    }
+
+    /// Rebuilds the tables retaining only the hottest states that fit
+    /// `target_bytes`, starting a **new epoch** — the memory governor's
+    /// surgical alternative to [`clear`](OnDemandAutomaton::clear). See
+    /// [`govern`](crate::govern) for the algorithm and
+    /// [`BudgetPolicy::Compact`] for when this runs automatically.
+    ///
+    /// `extra_heat` folds in touch counts gathered outside the master
+    /// (the shared automaton passes the published snapshot's fast-path
+    /// counters); pass `&[]` when there are none. Evicted entries are
+    /// forgotten memoization only — a later miss recomputes them — so
+    /// labelings before and after a compaction select identical
+    /// instructions at identical costs.
+    pub fn compact(&mut self, target_bytes: usize, extra_heat: &[u32]) -> CompactionStats {
+        let combined: Vec<u64> = (0..self.states.len())
+            .map(|i| {
+                self.heat.get(i).copied().unwrap_or(0)
+                    + extra_heat.get(i).copied().unwrap_or(0) as u64
+            })
+            .collect();
+        let compacted = govern::compact_tables(&self.table_view(), &combined, target_bytes);
+        self.states = StateSet::from_arena(compacted.states);
+        self.projections = StateSet::from_arena(compacted.projections);
+        self.transitions = compacted.transitions;
+        self.projection_cache = compacted.projection_cache;
+        self.signatures = compacted.signatures;
+        self.heat = compacted.heat;
+        self.epoch += 1;
+        self.compactions += 1;
+        self.counters.compactions += 1;
+        self.counters.states_evicted += compacted.stats.evicted_states as u64;
+        compacted.stats
     }
 
     /// The data of a state.
@@ -358,6 +483,7 @@ impl OnDemandAutomaton {
         self.counters.hash_lookups += 1;
         if let Some(&state) = self.transitions.get(&key) {
             self.counters.memo_hits += 1;
+            self.touch(state);
             return Ok(state);
         }
 
@@ -365,7 +491,30 @@ impl OnDemandAutomaton {
         self.counters.memo_misses += 1;
         let state = self.build_state(op, &key, kid_states, &dyn_rules)?;
         self.transitions.insert(key, state);
+        self.touch(state);
         Ok(state)
+    }
+
+    /// Total entries across all tables — an O(1) "did anything grow?"
+    /// signal (entries are append-only within an epoch, so equality
+    /// means the accounted bytes are unchanged too).
+    fn table_entries(&self) -> usize {
+        self.states.len()
+            + self.projections.len()
+            + self.transitions.len()
+            + self.projection_cache.len()
+            + self.signatures.len()
+    }
+
+    /// Bumps the epoch-scoped touch counter of `state` (one array write
+    /// per labeled node — the price of heat tracking on the
+    /// single-threaded path).
+    fn touch(&mut self, state: StateId) {
+        let i = state.0 as usize;
+        if self.heat.len() <= i {
+            self.heat.resize(i + 1, 0);
+        }
+        self.heat[i] += 1;
     }
 
     /// Evaluates the dynamic rules relevant at `node`, returning the
@@ -474,6 +623,10 @@ impl Labeler for OnDemandAutomaton {
     type Output = Labeling;
 
     fn label_forest(&mut self, forest: &Forest) -> Result<Labeling, LabelError> {
+        // Bytes only move when a table gained an entry; this count is
+        // the O(1) gate that keeps warm (all-hit) forests from paying
+        // the O(tables) accounting sweep below.
+        let entries_before = self.table_entries();
         match self.label_forest_once(forest) {
             Err(LabelError::StateBudgetExceeded { .. })
                 if self.config.budget_policy == BudgetPolicy::Flush =>
@@ -483,6 +636,49 @@ impl Labeler for OnDemandAutomaton {
                 // the single forest alone exceeds the budget.
                 self.clear();
                 self.label_forest_once(forest)
+            }
+            Err(LabelError::StateBudgetExceeded { .. })
+                if matches!(self.config.budget_policy, BudgetPolicy::Compact { .. }) =>
+            {
+                // Governed mode: evict the cold tail instead of wiping
+                // everything, then give this forest one fresh start (its
+                // prefix is hot by construction — it was just touched).
+                let BudgetPolicy::Compact {
+                    byte_budget,
+                    retain_fraction,
+                } = self.config.budget_policy
+                else {
+                    unreachable!("guarded by the match arm");
+                };
+                self.compact(
+                    govern::compact_target_bytes(byte_budget, retain_fraction),
+                    &[],
+                );
+                self.label_forest_once(forest)
+            }
+            Ok(labeling) => {
+                if let BudgetPolicy::Compact {
+                    byte_budget,
+                    retain_fraction,
+                } = self.config.budget_policy
+                {
+                    if self.table_entries() != entries_before
+                        && self.accounted_bytes().total() > byte_budget
+                    {
+                        // The forest grew the tables past the budget:
+                        // compact (this forest's states are at peak
+                        // heat, so its working set survives) and
+                        // relabel, so the ids handed back belong to the
+                        // post-compaction epoch the automaton is left
+                        // in.
+                        self.compact(
+                            govern::compact_target_bytes(byte_budget, retain_fraction),
+                            &[],
+                        );
+                        return self.label_forest_once(forest);
+                    }
+                }
+                Ok(labeling)
             }
             result => result,
         }
@@ -608,6 +804,88 @@ mod tests {
         // the states' semantics.
         assert_eq!(direct.stats().states, projected.stats().states);
         assert!(projected.stats().transitions <= direct.stats().transitions);
+    }
+
+    #[test]
+    fn compact_evicts_cold_and_keeps_hot() {
+        let mut auto = demo_automaton();
+        let (hot, _) = forest_of("(StoreI8 (ConstI8 0) (AddI8 (ConstI8 1) (ConstI8 2)))");
+        let (cold, _) = forest_of("(StoreI8 (ConstI8 0) (LoadI8 (ConstI8 4)))");
+        // Make the add-shaped working set hot, touch the load shape once.
+        for _ in 0..8 {
+            auto.label_forest(&hot).unwrap();
+        }
+        auto.label_forest(&cold).unwrap();
+        let before = auto.accounted_bytes().total();
+        let epoch_before = auto.epoch();
+
+        // A target just below the current footprint evicts exactly the
+        // coldest tail that no longer fits — the load shape, touched
+        // once, goes first.
+        let stats = auto.compact(before - 1, &[]);
+        assert!(stats.evicted_states > 0, "{stats:?}");
+        assert!(stats.bytes_after < before, "{stats:?}");
+        assert_eq!(auto.epoch(), epoch_before + 1, "compaction starts an epoch");
+        assert_eq!(auto.stats().compactions, 1);
+        assert_eq!(auto.counters().compactions, 1);
+        assert_eq!(auto.counters().states_evicted, stats.evicted_states as u64);
+
+        // The hot working set survived: relabeling it misses nothing.
+        auto.reset_counters();
+        auto.label_forest(&hot).unwrap();
+        assert_eq!(auto.counters().memo_misses, 0, "hot set must survive");
+        // The cold shape was evicted and re-learns (correctly) on a miss.
+        auto.label_forest(&cold).unwrap();
+        assert!(auto.counters().memo_misses > 0, "cold set must be evicted");
+    }
+
+    #[test]
+    fn compact_policy_keeps_bytes_under_budget() {
+        // A grammar whose dynamic cost depends on the constant's value:
+        // every distinct constant interns a new signature and mints new
+        // transitions, so the tables grow without bound — unless
+        // governed.
+        let mut g = parse_grammar(
+            r#"
+            %start stmt
+            %dyncost val
+            reg: ConstI8 [val]
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(reg, reg) (1)
+            "#,
+        )
+        .unwrap();
+        g.bind_dyncost(
+            "val",
+            Arc::new(|forest: &Forest, node| {
+                let v = forest.node(node).payload().as_int().unwrap_or(0);
+                odburg_grammar::RuleCost::Finite((v.unsigned_abs() % 999) as u16)
+            }),
+        )
+        .unwrap();
+        let byte_budget = 16 * 1024;
+        let mut auto = OnDemandAutomaton::with_config(
+            Arc::new(g.normalize()),
+            OnDemandConfig {
+                budget_policy: BudgetPolicy::Compact {
+                    byte_budget,
+                    retain_fraction: 0.5,
+                },
+                ..OnDemandConfig::default()
+            },
+        );
+        for k in 0..400 {
+            let (f, _) = forest_of(&format!("(StoreI8 (ConstI8 {k}) (ConstI8 {}))", k + 1000));
+            auto.label_forest(&f).unwrap();
+            assert!(
+                auto.accounted_bytes().total() <= byte_budget,
+                "bytes exceeded the budget after forest {k}"
+            );
+        }
+        assert!(
+            auto.stats().compactions > 0,
+            "churn must trigger compaction"
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! checksum u64      FNV-1a over the payload bytes
 //! payload:
 //!   grammar fingerprint   u64  (NormalGrammar::fingerprint)
-//!   config                project_children u8, budget_policy u8,
+//!   config                project_children u8, budget_policy u8
+//!                         (0=error, 1=flush, 2=compact; compact is
+//!                         followed by byte_budget u64 +
+//!                         retain_fraction f32 bits u32),
 //!                         state_budget u64
 //!   epoch                 u64
 //!   num_nts               u32
@@ -73,13 +76,17 @@ use std::sync::Arc;
 use odburg_grammar::{Cost, NormalGrammar, RuleCost};
 
 use crate::fxhash::FxHashMap;
+use crate::govern::{self, ComponentBytes};
 use crate::ondemand::{BudgetPolicy, OnDemandConfig};
 use crate::signature::{SigId, SignatureInterner};
 use crate::snapshot::{AutomatonSnapshot, TransKey, MAX_ARITY, NO_CHILD};
 use crate::state::{StateData, StateId};
 
-/// The current table-file format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// The current table-file format version. Version 2 added the
+/// byte-budget fields of [`BudgetPolicy::Compact`] to the configuration
+/// section; version-1 files are rejected with
+/// [`PersistError::UnsupportedVersion`] (re-export them).
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"ODBT";
 
@@ -224,10 +231,18 @@ pub fn export_snapshot<W: Write>(
 
     e.u64(snapshot.grammar().fingerprint());
     e.u8(config.project_children as u8);
-    e.u8(match config.budget_policy {
-        BudgetPolicy::Error => 0,
-        BudgetPolicy::Flush => 1,
-    });
+    match config.budget_policy {
+        BudgetPolicy::Error => e.u8(0),
+        BudgetPolicy::Flush => e.u8(1),
+        BudgetPolicy::Compact {
+            byte_budget,
+            retain_fraction,
+        } => {
+            e.u8(2);
+            e.u64(byte_budget as u64);
+            e.u32(retain_fraction.to_bits());
+        }
+    }
     e.u64(config.state_budget as u64);
     e.u64(snapshot.epoch());
     e.u32(snapshot.grammar().num_nts() as u32);
@@ -332,7 +347,10 @@ impl<'a> Dec<'a> {
             ))),
         }
     }
-    fn state(&mut self, num_rules: u32) -> Result<StateData, PersistError> {
+    /// Decodes one state. Rule ids are range-checked later, against the
+    /// grammar, by [`import_snapshot`]; [`inspect_snapshot`] has no
+    /// grammar to check them against.
+    fn state(&mut self) -> Result<StateData, PersistError> {
         let slots = self.count("state slot", 8)?;
         let mut costs = Vec::with_capacity(slots);
         let mut rules = Vec::with_capacity(slots);
@@ -343,13 +361,7 @@ impl<'a> Dec<'a> {
             } else {
                 Cost::finite(raw)
             });
-            let rule = self.u32()?;
-            if rule != u32::MAX && rule >= num_rules {
-                return Err(PersistError::Malformed(format!(
-                    "state references rule {rule} of {num_rules}"
-                )));
-            }
-            rules.push(rule);
+            rules.push(self.u32()?);
         }
         Ok(StateData::from_raw_parts(
             costs.into_boxed_slice(),
@@ -358,18 +370,25 @@ impl<'a> Dec<'a> {
     }
 }
 
-/// Deserializes tables exported by [`export_snapshot`], validating them
-/// against the grammar and configuration the importing automaton will
-/// run with.
-///
-/// # Errors
-///
-/// See the integrity discussion in the [module docs](self).
-pub fn import_snapshot<R: Read>(
-    mut reader: R,
-    grammar: Arc<NormalGrammar>,
-    expected: OnDemandConfig,
-) -> Result<AutomatonSnapshot, PersistError> {
+/// The decoded, structurally validated contents of a table file —
+/// everything checkable without the grammar. Grammar-dependent checks
+/// (fingerprint, rule-id ranges, nonterminal count) happen in
+/// [`import_snapshot`]; [`inspect_tables`] stops here.
+struct RawTables {
+    fingerprint: u64,
+    config: OnDemandConfig,
+    epoch: u64,
+    num_nts: usize,
+    signatures: SignatureInterner,
+    states: Vec<Arc<StateData>>,
+    projections: Vec<Arc<StateData>>,
+    transitions: FxHashMap<TransKey, StateId>,
+    projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
+}
+
+/// Reads and verifies the file header, returning the checksummed
+/// payload.
+fn read_payload<R: Read>(mut reader: R) -> Result<Vec<u8>, PersistError> {
     let mut header = [0u8; 24];
     read_exact_or_truncated(&mut reader, &mut header)?;
     if header[0..4] != MAGIC {
@@ -396,20 +415,18 @@ pub fn import_snapshot<R: Read>(
     if fnv1a(&payload) != checksum {
         return Err(PersistError::ChecksumMismatch);
     }
+    Ok(payload)
+}
 
+/// Decodes a verified payload, enforcing every internal-consistency
+/// invariant that does not need the grammar.
+fn parse_payload(payload: &[u8]) -> Result<RawTables, PersistError> {
     let mut d = Dec {
-        buf: &payload,
+        buf: payload,
         pos: 0,
     };
 
-    let found_fp = d.u64()?;
-    let expected_fp = grammar.fingerprint();
-    if found_fp != expected_fp {
-        return Err(PersistError::GrammarMismatch {
-            expected: expected_fp,
-            found: found_fp,
-        });
-    }
+    let fingerprint = d.u64()?;
     let project_children = match d.u8()? {
         0 => false,
         1 => true,
@@ -422,6 +439,19 @@ pub fn import_snapshot<R: Read>(
     let budget_policy = match d.u8()? {
         0 => BudgetPolicy::Error,
         1 => BudgetPolicy::Flush,
+        2 => {
+            let byte_budget = d.u64()? as usize;
+            let retain_fraction = f32::from_bits(d.u32()?);
+            if !retain_fraction.is_finite() {
+                return Err(PersistError::Malformed(format!(
+                    "retain fraction {retain_fraction} is not finite"
+                )));
+            }
+            BudgetPolicy::Compact {
+                byte_budget,
+                retain_fraction,
+            }
+        }
         v => {
             return Err(PersistError::Malformed(format!(
                 "budget policy {v} out of range"
@@ -429,26 +459,13 @@ pub fn import_snapshot<R: Read>(
         }
     };
     let state_budget = d.u64()? as usize;
-    let found_config = OnDemandConfig {
+    let config = OnDemandConfig {
         project_children,
         state_budget,
         budget_policy,
     };
-    if found_config != expected {
-        return Err(PersistError::ConfigMismatch {
-            expected,
-            found: found_config,
-        });
-    }
     let epoch = d.u64()?;
     let num_nts = d.u32()? as usize;
-    if num_nts != grammar.num_nts() {
-        return Err(PersistError::Malformed(format!(
-            "tables carry {num_nts} nonterminals, grammar has {}",
-            grammar.num_nts()
-        )));
-    }
-    let num_rules = grammar.rules().len() as u32;
 
     let num_sigs = d.count("signature", 4)?;
     if num_sigs == 0 {
@@ -483,7 +500,7 @@ pub fn import_snapshot<R: Read>(
         let count = d.count(name, 4)?;
         let mut arena = Vec::with_capacity(count);
         for _ in 0..count {
-            let state = d.state(num_rules)?;
+            let state = d.state()?;
             if fixed_slots.is_some_and(|n| state.len() != n) {
                 return Err(PersistError::Malformed(format!(
                     "{name} has {} slots, expected {num_nts}",
@@ -574,16 +591,154 @@ pub fn import_snapshot<R: Read>(
         )));
     }
 
-    Ok(AutomatonSnapshot::new(
+    Ok(RawTables {
+        fingerprint,
+        config,
         epoch,
-        grammar,
-        found_config,
+        num_nts,
+        signatures,
         states,
         projections,
         transitions,
         projection_cache,
-        signatures,
+    })
+}
+
+/// Deserializes tables exported by [`export_snapshot`], validating them
+/// against the grammar and configuration the importing automaton will
+/// run with.
+///
+/// # Errors
+///
+/// See the integrity discussion in the [module docs](self).
+pub fn import_snapshot<R: Read>(
+    reader: R,
+    grammar: Arc<NormalGrammar>,
+    expected: OnDemandConfig,
+) -> Result<AutomatonSnapshot, PersistError> {
+    let payload = read_payload(reader)?;
+    let raw = parse_payload(&payload)?;
+
+    let expected_fp = grammar.fingerprint();
+    if raw.fingerprint != expected_fp {
+        return Err(PersistError::GrammarMismatch {
+            expected: expected_fp,
+            found: raw.fingerprint,
+        });
+    }
+    if raw.config != expected {
+        return Err(PersistError::ConfigMismatch {
+            expected,
+            found: raw.config,
+        });
+    }
+    if raw.num_nts != grammar.num_nts() {
+        return Err(PersistError::Malformed(format!(
+            "tables carry {} nonterminals, grammar has {}",
+            raw.num_nts,
+            grammar.num_nts()
+        )));
+    }
+    let num_rules = grammar.rules().len() as u32;
+    for (name, arena) in [("state", &raw.states), ("projection", &raw.projections)] {
+        for state in arena {
+            let (_, rules) = state.raw_parts();
+            if let Some(&rule) = rules.iter().find(|&&r| r != u32::MAX && r >= num_rules) {
+                return Err(PersistError::Malformed(format!(
+                    "{name} references rule {rule} of {num_rules}"
+                )));
+            }
+        }
+    }
+
+    Ok(AutomatonSnapshot::new(
+        raw.epoch,
+        grammar,
+        raw.config,
+        raw.states,
+        raw.projections,
+        raw.transitions,
+        raw.projection_cache,
+        raw.signatures,
     ))
+}
+
+/// A grammar-free summary of a persisted table file, as printed by
+/// `odburg tables stats`: identity (fingerprint, configuration, epoch),
+/// per-section entry counts, and the same per-component byte accounting
+/// ([`ComponentBytes`]) a live snapshot reports — so a budget can be
+/// sized from files on disk.
+#[derive(Debug, Clone)]
+pub struct TableFileInfo {
+    /// Fingerprint of the grammar the tables were exported under.
+    pub fingerprint: u64,
+    /// The automaton configuration the tables were exported under.
+    pub config: OnDemandConfig,
+    /// The epoch the snapshot belonged to.
+    pub epoch: u64,
+    /// Nonterminal count of the exporting grammar's normal form.
+    pub num_nts: usize,
+    /// States in the arena.
+    pub states: usize,
+    /// Projected states.
+    pub projections: usize,
+    /// Memoized transitions.
+    pub transitions: usize,
+    /// Projection-cache entries.
+    pub cached_projections: usize,
+    /// Interned dynamic-cost signatures.
+    pub signatures: usize,
+    /// Accounted bytes per component (identical to what
+    /// [`AutomatonSnapshot::stats`] reports for the imported snapshot).
+    pub bytes: ComponentBytes,
+    /// Raw payload size of the file (excluding the 24-byte header).
+    pub payload_bytes: usize,
+}
+
+/// Summarizes a table file without a grammar: the header, checksum and
+/// every structural invariant are still verified, but fingerprint and
+/// rule-range validation (which need the grammar) are skipped — this
+/// inspects, it does not import.
+///
+/// # Errors
+///
+/// [`PersistError`] for unreadable, truncated, corrupted or malformed
+/// files, exactly as [`import_snapshot`] would report them.
+pub fn inspect_snapshot<R: Read>(reader: R) -> Result<TableFileInfo, PersistError> {
+    let payload = read_payload(reader)?;
+    let raw = parse_payload(&payload)?;
+    let bytes = govern::account_tables(&govern::TableView {
+        states: &raw.states,
+        projections: &raw.projections,
+        transitions: &raw.transitions,
+        projection_cache: &raw.projection_cache,
+        signatures: &raw.signatures,
+        project_children: raw.config.project_children,
+    });
+    Ok(TableFileInfo {
+        fingerprint: raw.fingerprint,
+        config: raw.config,
+        epoch: raw.epoch,
+        num_nts: raw.num_nts,
+        states: raw.states.len(),
+        projections: raw.projections.len(),
+        transitions: raw.transitions.len(),
+        cached_projections: raw.projection_cache.len(),
+        signatures: raw.signatures.len(),
+        bytes,
+        payload_bytes: payload.len(),
+    })
+}
+
+/// Summarizes a table file on disk; see [`inspect_snapshot`].
+///
+/// # Errors
+///
+/// See [`inspect_snapshot`], plus [`PersistError::Io`] if the file
+/// cannot be opened.
+pub fn inspect_tables(path: &Path) -> Result<TableFileInfo, PersistError> {
+    let file = std::fs::File::open(path)?;
+    inspect_snapshot(std::io::BufReader::new(file))
 }
 
 fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<(), PersistError> {
@@ -688,6 +843,92 @@ mod tests {
         export_snapshot(&snap, &mut a).unwrap();
         export_snapshot(&snap, &mut b).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compact_policy_round_trips() {
+        let g = parse_grammar(
+            r#"
+            %start stmt
+            addr: reg (0)
+            reg: ConstI8 (1)
+            reg: LoadI8(addr) (1)
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(addr, reg) (1)
+            "#,
+        )
+        .unwrap()
+        .normalize();
+        let config = OnDemandConfig {
+            budget_policy: BudgetPolicy::Compact {
+                byte_budget: 123_456,
+                retain_fraction: 0.375,
+            },
+            ..OnDemandConfig::default()
+        };
+        let mut auto = crate::OnDemandAutomaton::with_config(Arc::new(g), config);
+        let mut f = Forest::new();
+        let root = parse_sexpr(&mut f, "(StoreI8 (ConstI8 0) (ConstI8 1))").unwrap();
+        f.add_root(root);
+        auto.label_forest(&f).unwrap();
+
+        let mut bytes = Vec::new();
+        export_snapshot(&auto.snapshot(), &mut bytes).unwrap();
+        let imported = import_snapshot(&bytes[..], Arc::clone(auto.grammar()), config).unwrap();
+        assert_eq!(imported.config(), config);
+        // And a different compact budget is a config mismatch, not a
+        // silent acceptance.
+        let other = OnDemandConfig {
+            budget_policy: BudgetPolicy::Compact {
+                byte_budget: 999,
+                retain_fraction: 0.375,
+            },
+            ..OnDemandConfig::default()
+        };
+        let err = import_snapshot(&bytes[..], Arc::clone(auto.grammar()), other).unwrap_err();
+        assert!(matches!(err, PersistError::ConfigMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn inspect_matches_the_imported_snapshot() {
+        let (auto, _) = warmed();
+        let snap = auto.snapshot();
+        let mut bytes = Vec::new();
+        export_snapshot(&snap, &mut bytes).unwrap();
+        let info = inspect_snapshot(&bytes[..]).unwrap();
+        let stats = snap.stats();
+        assert_eq!(info.fingerprint, auto.grammar().fingerprint());
+        assert_eq!(info.config, auto.config());
+        assert_eq!(info.epoch, stats.epoch);
+        assert_eq!(info.states, stats.states);
+        assert_eq!(info.projections, stats.projections);
+        assert_eq!(info.transitions, stats.transitions);
+        assert_eq!(info.cached_projections, stats.cached_projections);
+        assert_eq!(info.signatures, stats.signatures);
+        assert_eq!(info.bytes, stats.bytes, "file and live accounting agree");
+        assert_eq!(info.payload_bytes, bytes.len() - 24);
+    }
+
+    #[test]
+    fn inspect_rejects_malformed_files() {
+        assert!(matches!(
+            inspect_snapshot(&b"not a table file (header-sized filler!)"[..]),
+            Err(PersistError::BadMagic)
+        ));
+        let (auto, _) = warmed();
+        let mut bytes = Vec::new();
+        export_snapshot(&auto.snapshot(), &mut bytes).unwrap();
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            inspect_snapshot(&corrupt[..]),
+            Err(PersistError::ChecksumMismatch)
+        ));
+        assert!(matches!(
+            inspect_snapshot(&bytes[..bytes.len() / 2]),
+            Err(PersistError::Truncated)
+        ));
     }
 
     #[test]

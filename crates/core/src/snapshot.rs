@@ -16,17 +16,20 @@
 //!
 //! Because the master automaton is append-only within an epoch (state,
 //! transition and signature ids are never reassigned until a
-//! [`BudgetPolicy::Flush`](crate::BudgetPolicy) wipe), any prefix of a
+//! [`BudgetPolicy::Flush`](crate::BudgetPolicy) wipe or a heat-guided
+//! [compaction](crate::govern) starts the next epoch), any prefix of a
 //! forest labeled against an older snapshot remains valid against the
 //! newer master — the slow path can resume exactly where the fast path
 //! stopped.
 
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use odburg_grammar::{NormalGrammar, NormalRuleId, NtId, RuleCost};
 use odburg_ir::Op;
 
 use crate::fxhash::FxHashMap;
+use crate::govern::{self, ComponentBytes};
 use crate::label::StateLookup;
 use crate::ondemand::OnDemandConfig;
 use crate::signature::{SigId, SignatureInterner};
@@ -58,17 +61,25 @@ pub(crate) struct TransKey {
     pub sig: SigId,
 }
 
-/// Size statistics of a snapshot.
+/// Size statistics of a snapshot, including the per-component byte
+/// accounting the memory governor budgets against (see
+/// [`govern`](crate::govern)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SnapshotStats {
     /// Epoch the snapshot belongs to (see [`AutomatonSnapshot::epoch`]).
     pub epoch: u64,
     /// States in the arena.
     pub states: usize,
+    /// Projected states (projection mode only; 0 otherwise).
+    pub projections: usize,
     /// Memoized transitions.
     pub transitions: usize,
+    /// `(state, op, position)` projection-cache entries.
+    pub cached_projections: usize,
     /// Interned dynamic-cost signatures.
     pub signatures: usize,
+    /// Accounted bytes per component.
+    pub bytes: ComponentBytes,
 }
 
 /// An immutable copy of an on-demand automaton's tables, safe to read
@@ -93,6 +104,11 @@ pub struct AutomatonSnapshot {
     transitions: FxHashMap<TransKey, StateId>,
     projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
     signatures: SignatureInterner,
+    /// Per-state touch counters for this epoch, bumped (relaxed) by the
+    /// lock-free fast path once per forest and folded into the writer's
+    /// heat at compaction time. Not part of the persisted format and
+    /// not compared by [`SnapshotStats`].
+    heat: Box<[AtomicU32]>,
 }
 
 impl AutomatonSnapshot {
@@ -107,6 +123,7 @@ impl AutomatonSnapshot {
         projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
         signatures: SignatureInterner,
     ) -> Self {
+        let heat = (0..states.len()).map(|_| AtomicU32::new(0)).collect();
         AutomatonSnapshot {
             epoch,
             grammar,
@@ -116,7 +133,41 @@ impl AutomatonSnapshot {
             transitions,
             projection_cache,
             signatures,
+            heat,
         }
+    }
+
+    /// Records one touch per state in `states` (relaxed; heat is a
+    /// statistic, not synchronization). Called once per forest by the
+    /// lock-free fast path with the prefix of states it resolved.
+    pub(crate) fn record_heat(&self, states: &[StateId]) {
+        for &sid in states {
+            if let Some(cell) = self.heat.get(sid.0 as usize) {
+                cell.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Copies `prev`'s heat into this snapshot when both belong to the
+    /// same epoch (state ids line up; the arena is append-only within an
+    /// epoch). Called at publication so fast-path heat survives grow
+    /// publications; across epochs heat restarts (the master carries a
+    /// decayed copy through compaction).
+    pub(crate) fn adopt_heat(&self, prev: &AutomatonSnapshot) {
+        if self.epoch != prev.epoch {
+            return;
+        }
+        for (cell, old) in self.heat.iter().zip(prev.heat.iter()) {
+            cell.store(old.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the per-state touch counters.
+    pub(crate) fn heat_counts(&self) -> Vec<u32> {
+        self.heat
+            .iter()
+            .map(|cell| cell.load(Ordering::Relaxed))
+            .collect()
     }
 
     pub(crate) fn states_arena(&self) -> &[Arc<StateData>] {
@@ -157,13 +208,24 @@ impl AutomatonSnapshot {
         self.config
     }
 
-    /// Size statistics.
+    /// Size statistics, including per-component byte accounting.
     pub fn stats(&self) -> SnapshotStats {
+        let bytes = govern::account_tables(&govern::TableView {
+            states: &self.states,
+            projections: &self.projections,
+            transitions: &self.transitions,
+            projection_cache: &self.projection_cache,
+            signatures: &self.signatures,
+            project_children: self.config.project_children,
+        });
         SnapshotStats {
             epoch: self.epoch,
             states: self.states.len(),
+            projections: self.projections.len(),
             transitions: self.transitions.len(),
+            cached_projections: self.projection_cache.len(),
             signatures: self.signatures.len(),
+            bytes,
         }
     }
 
@@ -306,6 +368,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stats_break_bytes_down_per_component() {
+        let (auto, _) = warmed();
+        let snap = auto.snapshot();
+        let stats = snap.stats();
+        assert!(stats.bytes.states > 0);
+        assert!(stats.bytes.transitions > 0);
+        assert!(stats.bytes.signatures > 0);
+        assert_eq!(stats.bytes.projections, 0, "direct mode has no projections");
+        assert_eq!(stats.bytes.projection_cache, 0);
+        assert_eq!(stats.bytes.total(), auto.accounted_bytes().total());
+        assert_eq!(stats.bytes, auto.accounted_bytes());
+    }
+
+    #[test]
+    fn heat_is_recorded_and_adopted_within_an_epoch() {
+        let (auto, forest) = warmed();
+        let snap = auto.snapshot();
+        assert!(snap.heat_counts().iter().all(|&h| h == 0));
+        let states: Vec<StateId> = {
+            let mut states = Vec::new();
+            for (_, node) in forest.iter() {
+                let kids: Vec<StateId> =
+                    node.children().iter().map(|c| states[c.index()]).collect();
+                states.push(snap.lookup(node.op(), &kids, SigId::EMPTY).unwrap());
+            }
+            states
+        };
+        snap.record_heat(&states);
+        let heat = snap.heat_counts();
+        assert_eq!(
+            heat.iter().map(|&h| h as usize).sum::<usize>(),
+            forest.len()
+        );
+
+        // Publication within the epoch carries the heat forward…
+        let next = auto.snapshot();
+        next.adopt_heat(&snap);
+        assert_eq!(next.heat_counts(), heat);
+        // …but a snapshot from another epoch starts cold.
+        let mut flushed = OnDemandAutomaton::from_snapshot(&next);
+        flushed.clear();
+        let other_epoch = flushed.snapshot();
+        other_epoch.adopt_heat(&snap);
+        assert!(other_epoch.heat_counts().iter().all(|&h| h == 0));
     }
 
     #[test]

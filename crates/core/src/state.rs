@@ -211,6 +211,11 @@ impl StateSet {
         self.states.clone()
     }
 
+    /// A borrowed view of the arena, for byte accounting and compaction.
+    pub(crate) fn arena(&self) -> &[Arc<StateData>] {
+        &self.states
+    }
+
     /// Number of interned states.
     pub fn len(&self) -> usize {
         self.states.len()

@@ -173,9 +173,10 @@ pub mod prelude {
     pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};
     pub use odburg_core::{
-        AutomatonSnapshot, BudgetPolicy, CoarseSharedOnDemand, DynCostMode, LabelError, Labeler,
-        Labeling, OfflineAutomaton, OfflineConfig, OfflineLabeler, OnDemandAutomaton,
-        OnDemandConfig, PinnedLabeling, RuleChooser, SharedOnDemand, WorkCounters,
+        AutomatonSnapshot, BudgetPolicy, CoarseSharedOnDemand, CompactionStats, ComponentBytes,
+        DynCostMode, LabelError, Labeler, Labeling, MemoryBudget, OfflineAutomaton, OfflineConfig,
+        OfflineLabeler, OnDemandAutomaton, OnDemandConfig, PinnedLabeling, PressureAction,
+        PressureEvent, RuleChooser, SharedOnDemand, WorkCounters,
     };
     pub use odburg_dp::{DpLabeler, MacroExpander};
     pub use odburg_grammar::{parse_grammar, Cost, Grammar, NormalGrammar, RuleCost};

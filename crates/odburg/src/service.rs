@@ -23,6 +23,16 @@
 //!   corruption) is a hard [`ServiceError::Tables`] carrying the target
 //!   name — a registry must never silently mislabel or silently fall
 //!   back to cold tables.
+//! * **Memory governance** — a [`MemoryBudget`] per target (the
+//!   service-wide [`ServiceConfig::memory_budget`] default, overridable
+//!   per target with [`SelectorService::set_memory_budget`]) caps each
+//!   master's accounted table bytes. [`drain`](SelectorService::drain)
+//!   enforces the budgets after labeling: a target over its ceiling is
+//!   compacted (hot states survive, cold ones are evicted — see
+//!   [`odburg_core::govern`]) or flushed, per the budget's
+//!   [`PressureAction`](odburg_core::PressureAction), and the report
+//!   carries the resulting [`PressureEvent`] and post-enforcement
+//!   [`TargetBatchStats::table_bytes`].
 //! * **Batch API** — [`submit`](SelectorService::submit) queues a
 //!   `(target, forest)` job and returns a [`Ticket`];
 //!   [`drain`](SelectorService::drain) shards every queued job across a
@@ -73,8 +83,8 @@ use std::time::{Duration, Instant};
 
 use odburg_codegen::{reduce_forest, Reduction};
 use odburg_core::{
-    persist, LabelError, OnDemandAutomaton, OnDemandConfig, PersistError, PinnedLabeling,
-    SharedOnDemand, WorkCounters,
+    persist, LabelError, MemoryBudget, OnDemandAutomaton, OnDemandConfig, PersistError,
+    PinnedLabeling, PressureEvent, SharedOnDemand, WorkCounters,
 };
 use odburg_grammar::{Grammar, NormalGrammar};
 use odburg_ir::Forest;
@@ -93,6 +103,15 @@ pub struct ServiceConfig {
     /// first built. Missing files start cold; mismatched or corrupted
     /// files are [`ServiceError::Tables`] — never a silent cold start.
     pub tables_dir: Option<PathBuf>,
+    /// Default per-target memory budget. At the end of every
+    /// [`drain`](SelectorService::drain), each involved target whose
+    /// accounted table bytes exceed the budget runs the configured
+    /// [`PressureAction`](odburg_core::PressureAction) — compaction
+    /// keeps the hot working set, flush restarts cold. Individual
+    /// targets can override this with
+    /// [`SelectorService::set_memory_budget`]; `None` (the default)
+    /// leaves growth unbounded.
+    pub memory_budget: Option<MemoryBudget>,
 }
 
 /// Errors of the registry and batch front end.
@@ -161,6 +180,9 @@ struct TargetEntry {
     name: String,
     grammar: Arc<NormalGrammar>,
     mode: OnDemandConfig,
+    /// Per-target memory budget: `Some(Some(_))` overrides the service
+    /// default, `Some(None)` opts the target out, `None` inherits.
+    budget: Mutex<Option<Option<MemoryBudget>>>,
     /// Built on first use; the flag records whether persisted tables
     /// seeded it (for the batch report).
     master: Mutex<Option<(Arc<SharedOnDemand>, bool)>>,
@@ -274,6 +296,13 @@ pub struct TargetBatchStats {
     /// Whether this target's master was warm-started from persisted
     /// tables.
     pub warm_started: bool,
+    /// Accounted bytes of the target's tables when the drain finished
+    /// (after budget enforcement — so with a budget configured this
+    /// never exceeds it).
+    pub table_bytes: usize,
+    /// The budget enforcement this drain triggered for the target, if
+    /// its [`MemoryBudget`] tripped.
+    pub pressure: Option<PressureEvent>,
 }
 
 /// Latency percentiles over one batch's jobs.
@@ -406,10 +435,39 @@ impl SelectorService {
                 name: name.to_owned(),
                 grammar,
                 mode,
+                budget: Mutex::new(None),
                 master: Mutex::new(None),
             }),
         );
         Ok(())
+    }
+
+    /// Overrides the service-level [`ServiceConfig::memory_budget`] for
+    /// one target: `Some(budget)` applies that budget at the end of
+    /// every drain, `None` opts the target out of budget enforcement
+    /// entirely (even when the service has a default).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] if the name is not registered.
+    pub fn set_memory_budget(
+        &self,
+        target: &str,
+        budget: Option<MemoryBudget>,
+    ) -> Result<(), ServiceError> {
+        let entry = self.entry(target)?;
+        *entry.budget.lock().expect("budget lock") = Some(budget);
+        Ok(())
+    }
+
+    /// The budget `drain` enforces for `entry`: its override when set,
+    /// the service default otherwise.
+    fn effective_budget(&self, entry: &TargetEntry) -> Option<MemoryBudget> {
+        entry
+            .budget
+            .lock()
+            .expect("budget lock")
+            .unwrap_or(self.config.memory_budget)
     }
 
     /// The registered target names, sorted.
@@ -504,13 +562,18 @@ impl SelectorService {
         }
         let started = Instant::now();
 
-        // Per-target bookkeeping, in first-submission order: the master
-        // handle plus its cumulative counters before the batch runs.
-        let mut involved: Vec<(String, Arc<SharedOnDemand>, bool, WorkCounters)> = Vec::new();
+        // Per-target bookkeeping, in first-submission order: the entry
+        // and master handles plus the master's cumulative counters
+        // before the batch runs.
+        let mut involved: Vec<(Arc<TargetEntry>, Arc<SharedOnDemand>, bool, WorkCounters)> =
+            Vec::new();
         for job in &jobs {
-            if !involved.iter().any(|(name, ..)| *name == job.entry.name) {
+            if !involved
+                .iter()
+                .any(|(entry, ..)| entry.name == job.entry.name)
+            {
                 involved.push((
-                    job.entry.name.clone(),
+                    Arc::clone(&job.entry),
                     Arc::clone(&job.master),
                     job.warm,
                     job.master.counters(),
@@ -568,7 +631,17 @@ impl SelectorService {
 
         let per_target = involved
             .into_iter()
-            .map(|(target, master, warm_started, before)| {
+            .map(|(entry, master, warm_started, before)| {
+                // The compaction trigger: once the batch's growth is in,
+                // enforce the target's memory budget so the tables are
+                // back under the ceiling before the next batch (and
+                // before this report samples their size). Pinned
+                // labelings in `results` are unaffected — they keep
+                // their snapshots alive.
+                let pressure = self
+                    .effective_budget(&entry)
+                    .and_then(|budget| master.enforce_budget(&budget));
+                let target = entry.name.clone();
                 let mine = results.iter().filter(|r| r.target == target);
                 let mut jobs = 0;
                 let mut nodes = 0u64;
@@ -595,6 +668,8 @@ impl SelectorService {
                     counters: master.counters().since(&before),
                     epochs,
                     warm_started,
+                    table_bytes: master.accounted_bytes().total(),
+                    pressure,
                 }
             })
             .collect();
@@ -732,6 +807,7 @@ mod tests {
         let svc = SelectorService::with_builtin_targets(ServiceConfig {
             workers: 1,
             tables_dir: Some(dir),
+            ..ServiceConfig::default()
         });
         svc.submit("demo", seen).unwrap();
         let report = svc.drain();
@@ -762,6 +838,7 @@ mod tests {
         let svc = SelectorService::with_builtin_targets(ServiceConfig {
             workers: 1,
             tables_dir: Some(dir),
+            ..ServiceConfig::default()
         });
         let err = svc
             .submit("jvmish", forest("(ConstI8 1)"))
@@ -808,6 +885,112 @@ mod tests {
         // The projected master still selects the RMW fold.
         let red = report.results[0].reduce().unwrap();
         assert_eq!(red.total_cost, odburg_grammar::Cost::finite(2));
+    }
+
+    /// A grammar whose dynamic cost depends on the constant's value, so
+    /// distinct constants keep minting new signatures and transitions —
+    /// unbounded growth unless a budget reins it in.
+    fn churn_grammar() -> Arc<NormalGrammar> {
+        let mut g = odburg_grammar::parse_grammar(
+            r#"
+            %grammar churn
+            %start stmt
+            %dyncost val
+            reg: ConstI8 [val]
+            reg: AddI8(reg, reg) (1)
+            stmt: StoreI8(reg, reg) (1)
+            "#,
+        )
+        .unwrap();
+        g.bind_dyncost(
+            "val",
+            Arc::new(|forest: &odburg_ir::Forest, node| {
+                let v = forest.node(node).payload().as_int().unwrap_or(0);
+                odburg_grammar::RuleCost::Finite((v.unsigned_abs() % 911) as u16)
+            }),
+        )
+        .unwrap();
+        Arc::new(g.normalize())
+    }
+
+    #[test]
+    fn memory_budget_is_enforced_per_target_in_drain() {
+        let byte_budget = 24 * 1024;
+        let svc = SelectorService::new(ServiceConfig {
+            workers: 2,
+            memory_budget: Some(MemoryBudget::compact(byte_budget, 0.5)),
+            ..ServiceConfig::default()
+        });
+        svc.register_normal("churn", churn_grammar()).unwrap();
+
+        let mut pressured = 0;
+        for round in 0..24 {
+            for i in 0..12 {
+                let k = round * 100 + i;
+                svc.submit(
+                    "churn",
+                    forest(&format!("(StoreI8 (ConstI8 {k}) (ConstI8 {}))", k + 7)),
+                )
+                .unwrap();
+            }
+            let report = svc.drain();
+            assert_eq!(report.failed(), 0);
+            let t = &report.per_target[0];
+            assert!(
+                t.table_bytes <= byte_budget,
+                "round {round}: {} bytes exceed the budget",
+                t.table_bytes
+            );
+            if let Some(event) = t.pressure {
+                pressured += 1;
+                assert!(event.bytes_before > byte_budget);
+                assert!(event.bytes_after <= byte_budget);
+            }
+        }
+        assert!(pressured > 0, "churn must trip the budget");
+        // The governance activity is visible in the ordinary counters.
+        let master = svc.shared("churn").unwrap();
+        assert!(master.counters().compactions > 0);
+        assert!(master.counters().states_evicted > 0);
+    }
+
+    #[test]
+    fn per_target_budget_overrides_the_service_default() {
+        let svc = SelectorService::new(ServiceConfig {
+            workers: 1,
+            // A default so tight every target would flush each drain…
+            memory_budget: Some(MemoryBudget::flush(1)),
+            ..ServiceConfig::default()
+        });
+        svc.register_normal("governed", churn_grammar()).unwrap();
+        svc.register_normal("exempt", churn_grammar()).unwrap();
+        // …except the one opted out.
+        svc.set_memory_budget("exempt", None).unwrap();
+        assert!(matches!(
+            svc.set_memory_budget("nope", None),
+            Err(ServiceError::UnknownTarget { .. })
+        ));
+
+        for target in ["governed", "exempt"] {
+            svc.submit(target, forest("(StoreI8 (ConstI8 1) (ConstI8 2))"))
+                .unwrap();
+        }
+        let report = svc.drain();
+        assert_eq!(report.failed(), 0);
+        let stats = |name: &str| {
+            report
+                .per_target
+                .iter()
+                .find(|t| t.target == name)
+                .unwrap()
+                .clone()
+        };
+        let governed = stats("governed");
+        assert!(governed.pressure.is_some(), "default budget must apply");
+        assert_eq!(governed.counters.flushes, 1);
+        let exempt = stats("exempt");
+        assert!(exempt.pressure.is_none(), "opt-out must stick");
+        assert!(exempt.table_bytes > 1);
     }
 
     #[test]

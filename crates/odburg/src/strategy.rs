@@ -182,6 +182,29 @@ impl std::error::Error for WarmStartError {
     }
 }
 
+/// Error of [`AnyLabeler::build_with_mode`]: the strategy is not backed
+/// by an on-demand automaton, so an [`OnDemandConfig`] (budget policy,
+/// memory budget) cannot apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigUnsupported {
+    /// The strategy that takes no on-demand configuration.
+    pub strategy: Strategy,
+}
+
+impl fmt::Display for ConfigUnsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "labeler `{}` is not backed by an on-demand automaton; budget \
+             policies and memory budgets only apply to ondemand, \
+             ondemand-projected and shared",
+            self.strategy
+        )
+    }
+}
+
+impl std::error::Error for ConfigUnsupported {}
+
 impl FromStr for Strategy {
     type Err = UnknownStrategy;
 
@@ -275,6 +298,55 @@ impl AnyLabeler {
             Strategy::Dp => AnyLabeler::Dp(DpLabeler::new(normal)),
             Strategy::Macro => AnyLabeler::Macro(MacroExpander::new(normal)),
         })
+    }
+
+    /// Builds an on-demand-backed selector with an explicit automaton
+    /// configuration — the way the CLI's `--memory-budget` and
+    /// `--budget-policy` flags reach [`BudgetPolicy`]
+    /// (odburg_core::BudgetPolicy). The strategy still dictates the
+    /// projection mode (`mode.project_children` is overridden to match,
+    /// so persisted-table compatibility via
+    /// [`Strategy::ondemand_config`] is preserved).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigUnsupported`] for strategies without an on-demand
+    /// automaton (offline, dp, macro).
+    pub fn build_with_mode(
+        strategy: Strategy,
+        normal: Arc<NormalGrammar>,
+        mode: OnDemandConfig,
+    ) -> Result<AnyLabeler, ConfigUnsupported> {
+        match strategy {
+            Strategy::OnDemand => Ok(AnyLabeler::OnDemand(OnDemandAutomaton::with_config(
+                normal,
+                OnDemandConfig {
+                    project_children: false,
+                    ..mode
+                },
+            ))),
+            Strategy::OnDemandProjected => {
+                Ok(AnyLabeler::OnDemand(OnDemandAutomaton::with_config(
+                    normal,
+                    OnDemandConfig {
+                        project_children: true,
+                        ..mode
+                    },
+                )))
+            }
+            Strategy::Shared => Ok(AnyLabeler::Shared(SharedOnDemand::new(
+                OnDemandAutomaton::with_config(
+                    normal,
+                    OnDemandConfig {
+                        project_children: false,
+                        ..mode
+                    },
+                ),
+            ))),
+            Strategy::Offline | Strategy::Dp | Strategy::Macro => {
+                Err(ConfigUnsupported { strategy })
+            }
+        }
     }
 
     /// Warm-starts the selector for `strategy` from a previously built

@@ -107,6 +107,86 @@ fn rmw_dynamic_cost_sees_shared_address_identity() {
 }
 
 #[test]
+fn service_labels_shared_dag_nodes_once_and_agrees_with_trees() {
+    use odburg::service::{SelectorService, ServiceConfig};
+
+    let grammar = odburg::targets::x86ish();
+    let normal = Arc::new(grammar.normalize());
+
+    // Two statements recomputing the same expensive product; CSE shares
+    // the product subtree.
+    let mut tree = Forest::new();
+    for local in ["@a", "@b"] {
+        let root = parse_sexpr(
+            &mut tree,
+            &format!(
+                "(StoreI8 (AddrLocalP {local}) \
+                 (MulI8 (LoadI8 (AddrLocalP @x)) (LoadI8 (AddrLocalP @y))))"
+            ),
+        )
+        .unwrap();
+        tree.add_root(root);
+    }
+    let dag = cse_forest(&tree);
+    assert!(dag.len() < tree.len(), "CSE must share something");
+
+    let svc = SelectorService::with_builtin_targets(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    svc.submit("x86ish", dag.clone()).unwrap();
+    let report = svc.drain();
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.per_target[0].nodes, dag.len() as u64);
+
+    // Shared nodes are labeled exactly once: a second submission of the
+    // DAG is answered with exactly one memo hit per DAG node — not one
+    // per tree occurrence — and no misses.
+    svc.submit("x86ish", dag.clone()).unwrap();
+    let warm = svc.drain();
+    let stats = &warm.per_target[0];
+    assert_eq!(
+        stats.counters.nodes,
+        dag.len() as u64,
+        "{:?}",
+        stats.counters
+    );
+    assert_eq!(
+        stats.counters.memo_hits,
+        dag.len() as u64,
+        "{:?}",
+        stats.counters
+    );
+    assert_eq!(stats.counters.memo_misses, 0, "{:?}", stats.counters);
+
+    // The service's DAG reduction is bit-identical (instructions and
+    // cost) to a fresh DP-oracle reduction of the same DAG…
+    let service_red = report.results[0].reduce().unwrap();
+    let mut dp = DpLabeler::new(normal.clone());
+    let dp_labeling = dp.label_forest(&dag).unwrap();
+    let oracle_red = odburg::codegen::reduce_forest(&dag, &normal, &dp_labeling).unwrap();
+    assert_eq!(service_red.instructions, oracle_red.instructions);
+    assert_eq!(service_red.total_cost, oracle_red.total_cost);
+
+    // …and per-root optimal costs agree with the un-shared tree forest
+    // (sharing changes emission, never the selected derivations' costs).
+    let tree_labeling = dp.label_forest(&tree).unwrap();
+    for (t_root, d_root) in tree.roots().iter().zip(dag.roots()) {
+        assert_eq!(
+            tree_labeling.cost_of(*t_root, normal.start()),
+            dp_labeling.cost_of(*d_root, normal.start()),
+        );
+    }
+    // The shared product is emitted exactly once through the service.
+    let muls = service_red
+        .instructions
+        .iter()
+        .filter(|i| i.starts_with("imul"))
+        .count();
+    assert_eq!(muls, 1, "{:?}", service_red.instructions);
+}
+
+#[test]
 fn whole_suite_compiles_as_dags() {
     let grammar = odburg::targets::riscish();
     let normal = Arc::new(grammar.normalize());
