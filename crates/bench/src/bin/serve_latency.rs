@@ -1,0 +1,307 @@
+//! **Serve latency: the long-running server under open-loop load.**
+//!
+//! The `service_throughput` bench measures closed-loop batches (submit
+//! everything, drain once). This one measures what the [`SelectorServer`]
+//! redesign exists for: **continuous mixed-target traffic** against a
+//! *bounded* queue with deadlines and backpressure. Two phases:
+//!
+//! * **paced** — an arrival-paced ([`paced_traffic`]) open-loop replay:
+//!   jobs are submitted at their scheduled instants whether or not
+//!   earlier jobs finished, with a compacting per-target memory budget
+//!   so the maintenance quanta run between jobs. Reports p50/p99
+//!   submit→complete latency, rejection and deadline rates.
+//! * **burst** — an adversarial overload: one large plug job wedges the
+//!   single worker, then a burst of zero-deadline jobs slams the 8-slot
+//!   queue. Deterministically exercises both typed failure modes:
+//!   `QueueFull` rejections (queue bound) and `DeadlineExceeded`
+//!   completions (expired while queued).
+//!
+//! The shape checks this bench exists for, asserted on every run:
+//!
+//! * **conservation** — every submitted job is accounted as completed,
+//!   typed-rejected, or deadline-expired; zero are lost, including
+//!   across the graceful shutdown that ends each phase;
+//! * **off-path maintenance** — the budget work shows up in
+//!   `maintenance_runs` (worker quanta), proving no compaction ran on
+//!   the submit path.
+//!
+//! Results go to stdout and, as JSON, to `target/serve_latency.json`
+//! (CI uploads the artifact and re-asserts the fields).
+//!
+//! Regenerate with:
+//! `cargo run --release -p odburg_bench --bin serve_latency`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use odburg::service::{JobError, JobHandle, JobOptions, SelectorServer, ServerConfig, SubmitError};
+use odburg_bench::f;
+use odburg_core::MemoryBudget;
+use odburg_grammar::NormalGrammar;
+use odburg_workloads::paced_traffic;
+
+const SEED: u64 = 0x5E12_7E4C;
+
+struct PhaseStats {
+    phase: &'static str,
+    workers: usize,
+    queue_cap: usize,
+    deadline_ms: Option<u64>,
+    submitted: u64,
+    accepted: u64,
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+    deadline_missed: u64,
+    lost: i64,
+    p50_us: u128,
+    p99_us: u128,
+    maintenance_runs: u64,
+    wall_ms: u128,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize].as_micros()
+}
+
+/// Waits every handle out and folds the phase accounting together.
+fn settle(
+    phase: &'static str,
+    server: &SelectorServer,
+    handles: Vec<JobHandle>,
+    submitted: u64,
+    started: Instant,
+    deadline_ms: Option<u64>,
+) -> PhaseStats {
+    let mut latencies: Vec<Duration> = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let done = handle.wait();
+        match &done.outcome {
+            Ok(_) => latencies.push(done.queued + done.latency),
+            Err(JobError::DeadlineExceeded { .. }) => {}
+            Err(e) => panic!("{phase}: sampled traffic must label: {e}"),
+        }
+    }
+    let wall_ms = started.elapsed().as_millis();
+    let report = server.shutdown();
+    latencies.sort_unstable();
+    let maintenance_runs = report.counters().maintenance_runs;
+    let lost = report.accepted as i64 - report.completed as i64 - report.deadline_missed as i64;
+    PhaseStats {
+        phase,
+        workers: report.workers,
+        queue_cap: report.queue_cap,
+        deadline_ms,
+        submitted,
+        accepted: report.accepted,
+        completed: report.completed,
+        failed: report.failed,
+        rejected: report.rejected,
+        deadline_missed: report.deadline_missed,
+        lost,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        maintenance_runs,
+        wall_ms,
+    }
+}
+
+/// Open-loop replay: arrival-paced mixed traffic against a bounded
+/// queue, a deadline, and a compacting per-target budget.
+fn paced_phase(grammars: &[(String, Arc<NormalGrammar>)]) -> PhaseStats {
+    const JOBS: usize = 240;
+    let deadline = Duration::from_millis(250);
+    let refs: Vec<(&str, &NormalGrammar)> = grammars
+        .iter()
+        .map(|(n, g)| (n.as_str(), g.as_ref()))
+        .collect();
+    let traffic = paced_traffic(&refs, SEED, JOBS, Duration::from_micros(300));
+
+    let server = SelectorServer::with_builtin_targets(ServerConfig {
+        workers: 2,
+        queue_cap: 64,
+        memory_budget: Some(MemoryBudget::compact(128 * 1024, 0.5)),
+        ..ServerConfig::default()
+    });
+    let options = JobOptions {
+        deadline: Some(deadline),
+        ..JobOptions::default()
+    };
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(JOBS);
+    let mut submitted = 0u64;
+    for paced in traffic {
+        if let Some(wait) = paced.at.checked_sub(started.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        submitted += 1;
+        match server.try_submit_with(&paced.job.target, paced.job.forest, options) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::QueueFull { .. }) => {} // typed-rejected, tallied by the server
+            Err(e) => panic!("paced: unexpected rejection: {e}"),
+        }
+    }
+    settle(
+        "paced",
+        &server,
+        handles,
+        submitted,
+        started,
+        Some(deadline.as_millis() as u64),
+    )
+}
+
+/// Adversarial overload: a plug job wedges the single worker, then a
+/// zero-deadline burst slams the tiny queue.
+fn burst_phase() -> PhaseStats {
+    const BURST: usize = 200;
+    let server = SelectorServer::with_builtin_targets(ServerConfig {
+        workers: 1,
+        queue_cap: 8,
+        ..ServerConfig::default()
+    });
+    // The plug: a big MiniC workload, long enough that the burst below
+    // is fully submitted while the worker is still labeling it.
+    let suite = odburg::workloads::combined_workload();
+    let plug = odburg::workloads::replicate(&suite.forest, 50);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(BURST + 1);
+    handles.push(
+        server
+            .try_submit("x86ish", plug)
+            .expect("an empty queue accepts the plug"),
+    );
+    let mut submitted = 1u64;
+    let expired = JobOptions {
+        deadline: Some(Duration::ZERO),
+        ..JobOptions::default()
+    };
+    for i in 0..BURST {
+        let mut forest = odburg_ir::Forest::new();
+        let root =
+            odburg_ir::parse_sexpr(&mut forest, &format!("(AddI4 (ConstI4 {i}) (ConstI4 1))"))
+                .expect("burst tree parses");
+        forest.add_root(root);
+        submitted += 1;
+        match server.try_submit_with("x86ish", forest, expired) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::QueueFull { .. }) => {}
+            Err(e) => panic!("burst: unexpected rejection: {e}"),
+        }
+    }
+    settle("burst", &server, handles, submitted, started, Some(0))
+}
+
+fn main() {
+    let grammars: Vec<(String, Arc<NormalGrammar>)> = odburg::targets::all()
+        .into_iter()
+        .map(|g| (g.name().to_owned(), Arc::new(g.normalize())))
+        .collect();
+
+    let phases = [paced_phase(&grammars), burst_phase()];
+
+    println!("Serve latency: bounded queue, deadlines, backpressure\n");
+    for p in &phases {
+        let rate = |n: u64| {
+            if p.submitted == 0 {
+                0.0
+            } else {
+                n as f64 / p.submitted as f64
+            }
+        };
+        println!(
+            "{:<6} workers={} cap={} deadline={:?}ms: {} submitted = {} completed \
+             ({} failed) + {} rejected + {} deadline-missed (lost {}), \
+             p50 {}us p99 {}us, {} maintenance quanta, {} ms",
+            p.phase,
+            p.workers,
+            p.queue_cap,
+            p.deadline_ms.unwrap_or(0),
+            p.submitted,
+            p.completed,
+            p.failed,
+            p.rejected,
+            p.deadline_missed,
+            p.lost,
+            p.p50_us,
+            p.p99_us,
+            p.maintenance_runs,
+            p.wall_ms,
+        );
+        println!(
+            "       rejection rate {}, deadline rate {}",
+            f(rate(p.rejected), 3),
+            f(rate(p.deadline_missed), 3)
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"serve_latency\",\n");
+    json.push_str(&format!("  \"seed\": {SEED},\n  \"phases\": [\n"));
+    for (i, p) in phases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"workers\": {}, \"queue_cap\": {}, \
+             \"deadline_ms\": {}, \"submitted\": {}, \"accepted\": {}, \
+             \"completed\": {}, \"failed\": {}, \"rejected\": {}, \
+             \"deadline_missed\": {}, \"lost\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"rejection_rate\": {:.4}, \"deadline_rate\": {:.4}, \
+             \"maintenance_runs\": {}, \"wall_ms\": {}}}{}\n",
+            p.phase,
+            p.workers,
+            p.queue_cap,
+            p.deadline_ms.unwrap_or(0),
+            p.submitted,
+            p.accepted,
+            p.completed,
+            p.failed,
+            p.rejected,
+            p.deadline_missed,
+            p.lost,
+            p.p50_us,
+            p.p99_us,
+            p.rejected as f64 / p.submitted.max(1) as f64,
+            p.deadline_missed as f64 / p.submitted.max(1) as f64,
+            p.maintenance_runs,
+            p.wall_ms,
+            if i + 1 == phases.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new("target/serve_latency.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncannot write {}: {e}", path.display()),
+    }
+
+    // The shape checks this bench exists for.
+    for p in &phases {
+        assert_eq!(p.lost, 0, "{}: jobs were lost", p.phase);
+        assert_eq!(
+            p.submitted,
+            p.accepted + p.rejected,
+            "{}: submissions unaccounted",
+            p.phase
+        );
+        assert_eq!(p.failed, 0, "{}: sampled traffic must label", p.phase);
+    }
+    let paced = &phases[0];
+    assert!(paced.completed > 0, "paced: nothing completed");
+    assert!(
+        paced.maintenance_runs > 0,
+        "paced: budget enforcement must run in worker quanta"
+    );
+    let burst = &phases[1];
+    assert!(
+        burst.rejected > 0,
+        "burst: an 8-slot queue under a plug must reject"
+    );
+    assert!(
+        burst.deadline_missed > 0,
+        "burst: zero-deadline jobs queued behind the plug must expire"
+    );
+    println!(
+        "ok: conservation holds in both phases; backpressure and deadlines are typed outcomes"
+    );
+}

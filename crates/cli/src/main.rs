@@ -10,11 +10,16 @@
 //! odburg compile <grammar> <file.mc>   compile a MiniC file and print assembly
 //! odburg bench   <grammar>             quick cross-strategy comparison
 //! odburg tables export <grammar> <out> warm an automaton, persist its tables
+//!                                      (--compact-to=<n[k|m|g]> ships only the
+//!                                      hot core)
 //! odburg tables import <grammar> <in>  validate persisted tables, print sizes
 //! odburg tables stats  <file.odbt>     per-component size breakdown of a
 //!                                      persisted table file (no grammar needed)
 //! odburg batch   <manifest>            run a multi-target job manifest through
-//!                                      the selection service (alias: serve)
+//!                                      the selection service, one shot
+//! odburg serve   <manifest|->          stream a manifest (or stdin) through a
+//!                                      long-running SelectorServer with a
+//!                                      bounded queue, deadlines, backpressure
 //! ```
 //!
 //! `<grammar>` is a built-in target name (demo, x86ish, riscish, sparcish,
@@ -30,14 +35,26 @@
 //! `tables export` — a mismatched or corrupted file is rejected with an
 //! error, never silently mislabeled.
 //!
-//! `batch` (alias `serve`) reads a manifest of `<target> <sexpr-file>`
-//! lines, submits every job to a [`SelectorService`] over all built-in
-//! targets (plus any `.burg` paths the manifest names), and drains the
-//! batch across a worker pool. It takes `--workers=<n>` and
-//! `--tables-dir=<dir>` (one `<target>.odbt` file per target, as
-//! written by `tables export`); the per-grammar `--tables=<path>` flag
-//! and non-`shared` `--labeler` values are rejected — the service
-//! always labels through the shared snapshot core.
+//! `batch` reads a manifest of `<target> <sexpr-file>` lines, submits
+//! every job to a [`SelectorService`] over all built-in targets (plus
+//! any `.burg` paths the manifest names), and drains the batch across
+//! a worker pool — one shot, everything accepted, a single report.
+//!
+//! `serve` is the streaming sibling: it reads the manifest (or stdin,
+//! with `-`) **incrementally** and feeds each job to a long-running
+//! [`SelectorServer`](odburg::service::SelectorServer) with a
+//! **bounded** queue (`--queue-cap=<n>`, default 256) and per-job
+//! deadlines (`--deadline-ms=<n>`). A full queue *rejects* the job —
+//! backpressure is reported, never silently dropped — and a job whose
+//! deadline passes while queued completes as deadline-missed instead of
+//! being labeled. Completed jobs print as they finish, a stats line
+//! appears every 16 submissions, and EOF triggers a graceful shutdown
+//! (which re-exports per-target tables into `--tables-dir`, so heat
+//! survives restarts). `--queue-cap`/`--deadline-ms` are serve-only;
+//! both subcommands take `--workers=<n>` and `--tables-dir=<dir>`, and
+//! both reject the per-grammar `--tables=<path>` flag and non-`shared`
+//! `--labeler` values — the service always labels through the shared
+//! snapshot core.
 //!
 //! Memory governance: `--memory-budget=<bytes>` (suffixes `k`, `m`, `g`
 //! accepted) caps an on-demand automaton's accounted table bytes and
@@ -45,8 +62,8 @@
 //! (default `compact`: evict cold states, keep the hot working set). On
 //! `label`, `emit` and `compile` the flags configure the labeler's
 //! [`BudgetPolicy`](odburg_core::BudgetPolicy); on `batch`/`serve` they
-//! set the service's per-target budgets, enforced at the end of every
-//! drain.
+//! set the service's per-target budgets, enforced in the maintenance
+//! quanta the workers run between jobs — never on the submit path.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -68,10 +85,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables|batch> \
+    "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables|batch|serve> \
      <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
      [--workers=<n>] [--tables-dir=<dir>] [--memory-budget=<bytes>] \
-     [--budget-policy=<error|flush|compact>]";
+     [--budget-policy=<error|flush|compact>] [--queue-cap=<n>] [--deadline-ms=<n>] \
+     [--compact-to=<bytes>]";
 
 /// The `--budget-policy` flag values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,9 +112,8 @@ fn parse_policy(value: &str) -> Result<PolicyFlag, String> {
 
 /// Parses a byte size with an optional `k`/`m`/`g` suffix (KiB-style
 /// powers of two).
-fn parse_bytes(value: &str) -> Result<usize, String> {
-    let bad =
-        || format!("--memory-budget needs a positive byte count (e.g. 512k, 4m), got `{value}`");
+fn parse_bytes(flag: &str, value: &str) -> Result<usize, String> {
+    let bad = || format!("{flag} needs a positive byte count (e.g. 512k, 4m), got `{value}`");
     let lower = value.to_ascii_lowercase();
     let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
         Some(d) => (
@@ -126,14 +143,18 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut workers: Option<usize> = None;
     let mut memory_budget: Option<usize> = None;
     let mut budget_policy: Option<PolicyFlag> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut compact_to: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
-    let parse_workers = |value: &str| -> Result<usize, String> {
+    let parse_count = |flag: &str, value: &str| -> Result<usize, String> {
         match value.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(n),
-            _ => Err(format!("--workers needs a positive integer, got `{value}`")),
+            _ => Err(format!("{flag} needs a positive integer, got `{value}`")),
         }
     };
+    let parse_workers = |value: &str| parse_count("--workers", value);
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--labeler=") {
             strategy = name.parse().map_err(|e| format!("{e}"))?;
@@ -158,10 +179,27 @@ fn run(args: &[String]) -> Result<(), String> {
             let value = iter.next().ok_or("--workers needs a count")?;
             workers = Some(parse_workers(value)?);
         } else if let Some(value) = arg.strip_prefix("--memory-budget=") {
-            memory_budget = Some(parse_bytes(value)?);
+            memory_budget = Some(parse_bytes("--memory-budget", value)?);
         } else if arg == "--memory-budget" {
             let value = iter.next().ok_or("--memory-budget needs a byte count")?;
-            memory_budget = Some(parse_bytes(value)?);
+            memory_budget = Some(parse_bytes("--memory-budget", value)?);
+        } else if let Some(value) = arg.strip_prefix("--queue-cap=") {
+            queue_cap = Some(parse_count("--queue-cap", value)?);
+        } else if arg == "--queue-cap" {
+            let value = iter.next().ok_or("--queue-cap needs a job count")?;
+            queue_cap = Some(parse_count("--queue-cap", value)?);
+        } else if let Some(value) = arg.strip_prefix("--deadline-ms=") {
+            deadline_ms = Some(parse_count("--deadline-ms", value)? as u64);
+        } else if arg == "--deadline-ms" {
+            let value = iter
+                .next()
+                .ok_or("--deadline-ms needs a millisecond count")?;
+            deadline_ms = Some(parse_count("--deadline-ms", value)? as u64);
+        } else if let Some(value) = arg.strip_prefix("--compact-to=") {
+            compact_to = Some(parse_bytes("--compact-to", value)?);
+        } else if arg == "--compact-to" {
+            let value = iter.next().ok_or("--compact-to needs a byte count")?;
+            compact_to = Some(parse_bytes("--compact-to", value)?);
         } else if let Some(value) = arg.strip_prefix("--budget-policy=") {
             budget_policy = Some(parse_policy(value)?);
         } else if arg == "--budget-policy" {
@@ -176,17 +214,26 @@ fn run(args: &[String]) -> Result<(), String> {
     let tables = tables.as_deref();
 
     let command = positional.first().ok_or(USAGE)?;
+    if compact_to.is_some()
+        && !(command.as_str() == "tables"
+            && positional.get(1).map(|a| a.as_str()) == Some("export"))
+    {
+        return Err(
+            "--compact-to only applies to `tables export` (it bounds the \
+             exported file's hot core)"
+                .into(),
+        );
+    }
     if matches!(command.as_str(), "batch" | "serve") {
         if tables.is_some() {
-            return Err(
-                "batch warm-starts from --tables-dir=<dir> (one <target>.odbt per target), \
-                 not from a single --tables file"
-                    .into(),
-            );
-        }
-        if labeler_given && strategy != Strategy::Shared {
             return Err(format!(
-                "the batch service always labels through the shared snapshot core; \
+                "{command} warm-starts from --tables-dir=<dir> (one <target>.odbt per target), \
+                 not from a single --tables file"
+            ));
+        }
+        if labeler_given && !strategy.serves_concurrently() {
+            return Err(format!(
+                "the {command} service always labels through the shared snapshot core; \
                  drop `--labeler={strategy}` or pass --labeler=shared"
             ));
         }
@@ -200,15 +247,39 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             (Some(bytes), Some(PolicyFlag::Flush)) => Some(MemoryBudget::flush(bytes)),
             (Some(_), Some(PolicyFlag::Error)) => {
-                return Err("batch budgets support --budget-policy=compact or flush \
+                return Err(format!(
+                    "{command} budgets support --budget-policy=compact or flush \
                      (`error` would fail jobs instead of bounding memory)"
-                    .into());
+                ));
             }
         };
+        if command.as_str() == "batch" {
+            if queue_cap.is_some() {
+                return Err("--queue-cap only applies to `serve` (batch accepts every \
+                     job and drains once; there is no queue to bound)"
+                    .into());
+            }
+            if deadline_ms.is_some() {
+                return Err("--deadline-ms only applies to `serve` (batch jobs have no \
+                     deadline; they run to completion)"
+                    .into());
+            }
+            let manifest = positional
+                .get(1)
+                .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
+            return batch(manifest, workers, tables_dir.as_deref(), budget);
+        }
         let manifest = positional
             .get(1)
-            .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
-        return batch(manifest, workers, tables_dir.as_deref(), budget);
+            .ok_or("serve needs a manifest of `<target> <sexpr-file>` lines (or `-` for stdin)")?;
+        return serve(
+            manifest,
+            workers,
+            tables_dir.as_deref(),
+            budget,
+            queue_cap,
+            deadline_ms,
+        );
     }
     if let Some(dir) = &tables_dir {
         return Err(format!(
@@ -218,6 +289,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if workers.is_some() {
         return Err("--workers only applies to the batch/serve subcommand".into());
+    }
+    if queue_cap.is_some() || deadline_ms.is_some() {
+        return Err("--queue-cap/--deadline-ms only apply to the serve subcommand".into());
     }
     if !matches!(command.as_str(), "label" | "emit" | "compile")
         && (memory_budget.is_some() || budget_policy.is_some())
@@ -232,7 +306,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "the tables subcommand takes its path positionally, not via --tables".into(),
             );
         }
-        return tables_command(&positional, strategy);
+        return tables_command(&positional, strategy, compact_to);
     }
     let governed = governed_config(strategy, memory_budget, budget_policy)?;
     if governed.is_some() && tables.is_some() {
@@ -370,9 +444,14 @@ fn load_tables_for(
 
 /// `odburg tables export <grammar> <out>` / `odburg tables import
 /// <grammar> <in>` / `odburg tables stats <file>`.
-fn tables_command(positional: &[&String], strategy: Strategy) -> Result<(), String> {
+fn tables_command(
+    positional: &[&String],
+    strategy: Strategy,
+    compact_to: Option<usize>,
+) -> Result<(), String> {
     const TABLES_USAGE: &str = "usage: odburg tables <export|import> <grammar> <path> \
-                                [--labeler=<name>] | odburg tables stats <file.odbt>";
+                                [--labeler=<name>] [--compact-to=<bytes>] | \
+                                odburg tables stats <file.odbt>";
     let action = positional.get(1).ok_or(TABLES_USAGE)?;
     if action.as_str() == "stats" {
         let path = positional.get(2).ok_or(TABLES_USAGE)?;
@@ -398,6 +477,21 @@ fn tables_command(positional: &[&String], strategy: Strategy) -> Result<(), Stri
             };
             auto.label_forest(&workload.forest)
                 .map_err(|e| format!("cannot warm the automaton on `{}`: {e}", workload.name))?;
+            // Governed persistence: ship only the hot core. The same
+            // heat-guided compaction pass the memory governor runs
+            // rebuilds the tables down to the requested byte target
+            // before they are written.
+            if let Some(target_bytes) = compact_to {
+                let stats = auto.compact(target_bytes, &[]);
+                println!(
+                    "compacted to {} bytes (target {target_bytes}): kept {} states, \
+                     evicted {} states and {} transitions",
+                    stats.bytes_after,
+                    stats.retained_states,
+                    stats.evicted_states,
+                    stats.evicted_transitions,
+                );
+            }
             let snapshot = auto.snapshot();
             odburg::select::persist::save_tables(&snapshot, Path::new(path))
                 .map_err(|e| format!("cannot write tables `{path}`: {e}"))?;
@@ -611,6 +705,234 @@ fn batch(
     match first_failure {
         Some(failure) => Err(failure),
         None => Ok(()),
+    }
+}
+
+/// `odburg serve <manifest|->`: stream jobs through a long-running
+/// [`SelectorServer`](odburg::service::SelectorServer). Manifest lines
+/// are read incrementally (`-` reads stdin), each job is submitted
+/// with the configured deadline against the bounded queue, completions
+/// print as they finish, and EOF triggers a graceful shutdown whose
+/// report (including the table re-exports into `--tables-dir`) closes
+/// the run. A full queue rejects the job — counted and printed, never
+/// silently lost.
+fn serve(
+    manifest: &str,
+    workers: Option<usize>,
+    tables_dir: Option<&str>,
+    memory_budget: Option<MemoryBudget>,
+    queue_cap: Option<usize>,
+    deadline_ms: Option<u64>,
+) -> Result<(), String> {
+    use std::io::BufRead;
+    use std::time::Duration;
+
+    use odburg::service::{
+        JobHandle, JobOptions, SelectorServer, ServeError, ServerConfig, SubmitError,
+    };
+
+    let server = SelectorServer::with_builtin_targets(ServerConfig {
+        workers: workers.unwrap_or(0),
+        queue_cap: queue_cap.unwrap_or(0),
+        tables_dir: tables_dir.map(Into::into),
+        memory_budget,
+    });
+    let options = JobOptions {
+        deadline: deadline_ms.map(Duration::from_millis),
+        ..JobOptions::default()
+    };
+
+    let stdin = std::io::stdin();
+    let reader: Box<dyn BufRead> = if manifest == "-" {
+        Box::new(stdin.lock())
+    } else {
+        let file = std::fs::File::open(manifest)
+            .map_err(|e| format!("cannot read manifest `{manifest}`: {e}"))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+
+    let mut handles: Vec<(JobHandle, String)> = Vec::new(); // handle, file
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut rejected = 0u64;
+    let mut missed = 0u64;
+
+    /// Prints one finished job and tallies its outcome.
+    fn print_outcome(
+        done: &odburg::service::CompletedJob,
+        file: &str,
+        completed: &mut u64,
+        failed: &mut u64,
+        missed: &mut u64,
+    ) {
+        match done.reduce() {
+            Ok(red) => {
+                *completed += 1;
+                println!(
+                    "{} {} {file}: {} nodes, {} instructions, cost {}",
+                    done.ticket,
+                    done.target,
+                    done.forest.len(),
+                    red.len(),
+                    red.total_cost
+                );
+            }
+            Err(ServeError::Job(odburg::service::JobError::DeadlineExceeded { missed_by })) => {
+                *missed += 1;
+                println!(
+                    "{} {} {file}: DEADLINE MISSED by {missed_by:?}",
+                    done.ticket, done.target
+                );
+            }
+            Err(e) => {
+                *completed += 1;
+                *failed += 1;
+                println!("{} {} {file}: FAILED: {e}", done.ticket, done.target);
+            }
+        }
+    }
+
+    /// Reaps finished handles: prints each completed job, keeps the
+    /// rest. With `block`, waits every remaining handle out.
+    fn reap(
+        handles: &mut Vec<(JobHandle, String)>,
+        block: bool,
+        completed: &mut u64,
+        failed: &mut u64,
+        missed: &mut u64,
+    ) {
+        let mut i = 0;
+        while i < handles.len() {
+            if block {
+                let (handle, file) = handles.remove(i);
+                let done = handle.wait();
+                print_outcome(&done, &file, completed, failed, missed);
+            } else if let Some(done) = handles[i].0.try_wait() {
+                let (_, file) = handles.remove(i);
+                print_outcome(&done, &file, completed, failed, missed);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    for (idx, raw) in reader.lines().enumerate() {
+        let raw = raw.map_err(|e| format!("cannot read manifest `{manifest}`: {e}"))?;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (target, file) = line
+            .split_once(char::is_whitespace)
+            .map(|(t, f)| (t, f.trim()))
+            .filter(|(t, f)| !t.is_empty() && !f.is_empty())
+            .ok_or_else(|| {
+                format!("{manifest}:{lineno}: expected `<target> <sexpr-file>`, got `{line}`")
+            })?;
+
+        // Targets beyond the built-ins register on first sight, exactly
+        // as in `batch`.
+        if server.grammar(target).is_err() {
+            let grammar = load_grammar(target).map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+            server
+                .register_normal(target, Arc::new(grammar.normalize()))
+                .map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+        }
+
+        let trees = std::fs::read_to_string(file)
+            .map_err(|e| format!("{manifest}:{lineno}: cannot read `{file}`: {e}"))?;
+        let mut forest = Forest::new();
+        for tree in trees.lines() {
+            let tree = tree.trim();
+            if tree.is_empty() || tree.starts_with('#') {
+                continue;
+            }
+            let root = parse_sexpr(&mut forest, tree)
+                .map_err(|e| format!("{manifest}:{lineno}: {file}: bad tree: {e}"))?;
+            forest.add_root(root);
+        }
+        if forest.is_empty() {
+            return Err(format!("{manifest}:{lineno}: {file}: no trees"));
+        }
+
+        submitted += 1;
+        match server.try_submit_with(target, forest, options) {
+            Ok(handle) => handles.push((handle, file.to_owned())),
+            Err(SubmitError::QueueFull { capacity }) => {
+                rejected += 1;
+                println!("-- {target} {file}: rejected (queue full at {capacity})");
+            }
+            Err(e) => return Err(format!("{manifest}:{lineno}: {e}")),
+        }
+
+        reap(
+            &mut handles,
+            false,
+            &mut completed,
+            &mut failed,
+            &mut missed,
+        );
+        if submitted.is_multiple_of(16) {
+            let t = server.tallies();
+            println!(
+                "serve: submitted={} completed={} failed={} rejected={} \
+                 deadline-missed={} queue-depth={}",
+                t.submitted, t.completed, t.failed, t.rejected, t.deadline_missed, t.queue_depth,
+            );
+        }
+    }
+    if submitted == 0 {
+        return Err(format!("manifest `{manifest}` contains no jobs"));
+    }
+
+    // EOF: finish every accepted job, then shut down gracefully.
+    reap(&mut handles, true, &mut completed, &mut failed, &mut missed);
+    let report = server.shutdown();
+    for t in &report.per_target {
+        println!(
+            "target {}: {} misses, {} states built, {}, {} table bytes, \
+             {} maintenance quanta, {} deadline misses, {} rejected{}",
+            t.target,
+            t.counters.memo_misses,
+            t.counters.states_built,
+            if t.warm_started { "warm" } else { "cold" },
+            t.table_bytes,
+            t.counters.maintenance_runs,
+            t.counters.deadline_misses,
+            t.counters.rejected_submits,
+            match t.pressure {
+                Some(event) => format!(
+                    ", {} {} -> {} bytes",
+                    match event.action {
+                        PressureAction::Flush => "flushed",
+                        PressureAction::Compact { .. } => "compacted",
+                    },
+                    event.bytes_before,
+                    event.bytes_after,
+                ),
+                None => String::new(),
+            },
+        );
+    }
+    for name in &report.exported_tables {
+        println!("exported tables: {name}");
+    }
+    for (name, error) in &report.export_errors {
+        eprintln!("odburg: cannot export tables for `{name}`: {error}");
+    }
+    println!(
+        "serve: submitted {submitted}, completed {completed}, failed {failed}, \
+         rejected {rejected}, deadline-missed {missed}, across {} workers \
+         (queue cap {}) in {:?}",
+        report.workers, report.queue_cap, report.uptime,
+    );
+    debug_assert_eq!(report.completed + report.deadline_missed, report.accepted);
+    if failed > 0 {
+        Err(format!("{failed} jobs failed"))
+    } else {
+        Ok(())
     }
 }
 

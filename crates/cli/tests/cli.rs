@@ -558,13 +558,238 @@ fn batch_runs_a_multi_target_manifest() {
     );
     assert!(stdout.contains("p99"), "{stdout}");
 
-    // `serve` is an alias.
+    // `serve` streams the same manifest through the long-running
+    // server: every job completes, nothing is rejected or lost, and
+    // the final accounting line reports it.
     let (ok, stdout, stderr) = odburg(&["serve", manifest.to_str().unwrap(), "--workers=1"]);
     assert!(ok, "{stderr}");
+    assert!(stdout.contains("#0 demo"), "{stdout}");
     assert!(
-        stdout.contains("batch: 4 jobs across 1 workers"),
+        stdout.contains("serve: submitted 4, completed 4, failed 0, rejected 0, deadline-missed 0"),
         "{stdout}"
     );
+    assert!(stdout.contains("maintenance quanta"), "{stdout}");
+}
+
+#[test]
+fn serve_streams_with_queue_cap_and_deadline() {
+    let dir = std::env::temp_dir().join("odburg-cli-serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree = dir.join("store.sx");
+    std::fs::write(&tree, "(StoreI8 (AddrLocalP @x) (ConstI8 1))\n").unwrap();
+    let manifest = dir.join("jobs.txt");
+    let mut lines = String::new();
+    for _ in 0..20 {
+        lines.push_str(&format!("demo {}\n", tree.display()));
+    }
+    std::fs::write(&manifest, &lines).unwrap();
+
+    // A roomy queue and deadline: everything completes; the periodic
+    // stats line appears (20 submissions cross the every-16 mark).
+    let (ok, stdout, stderr) = odburg(&[
+        "serve",
+        manifest.to_str().unwrap(),
+        "--workers=1",
+        "--queue-cap=64",
+        "--deadline-ms=60000",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("queue-depth="), "{stdout}");
+    assert!(
+        stdout.contains("serve: submitted 20, completed 20, failed 0, rejected 0"),
+        "{stdout}"
+    );
+
+    // Serve reads from stdin with `-`.
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_odburg"))
+        .args(["serve", "-", "--workers=1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(format!("demo {}\n", tree.display()).as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed 1"), "{stdout}");
+}
+
+#[test]
+fn serve_and_batch_flag_interactions_error_one_line() {
+    let dir = std::env::temp_dir().join("odburg-cli-serve-flags");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree = dir.join("ok.sx");
+    std::fs::write(&tree, "(StoreI8 (AddrLocalP @x) (ConstI8 1))\n").unwrap();
+    let manifest = dir.join("jobs.txt");
+    std::fs::write(&manifest, format!("demo {}\n", tree.display())).unwrap();
+    let manifest = manifest.to_str().unwrap();
+
+    let cases: &[(&[&str], &str)] = &[
+        // Streaming flags on `batch` and on non-service commands.
+        (
+            &["batch", manifest, "--queue-cap=8"],
+            "only applies to `serve`",
+        ),
+        (
+            &["batch", manifest, "--deadline-ms=5"],
+            "only applies to `serve`",
+        ),
+        (
+            &["emit", "demo", "(ConstI8 1)", "--queue-cap=8"],
+            "only apply to the serve subcommand",
+        ),
+        (
+            &["label", "demo", "(ConstI8 1)", "--deadline-ms=5"],
+            "only apply to the serve subcommand",
+        ),
+        // Bad values.
+        (&["serve", manifest, "--queue-cap=0"], "--queue-cap"),
+        (&["serve", manifest, "--deadline-ms=never"], "--deadline-ms"),
+        // The server labels through the shared core, like batch.
+        (&["serve", manifest, "--labeler=dp"], "shared snapshot core"),
+        (&["serve", manifest, "--tables=/tmp/x.odbt"], "--tables-dir"),
+        // Missing/empty manifests.
+        (&["serve", "/no/such/manifest.txt"], "cannot read manifest"),
+    ];
+    for (args, needle) in cases {
+        let (ok, _, stderr) = odburg(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+    }
+
+    // An empty manifest: no jobs is an error, same as batch.
+    let empty = dir.join("empty.txt");
+    std::fs::write(&empty, "# nothing\n").unwrap();
+    let (ok, _, stderr) = odburg(&["serve", empty.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("no jobs"), "{stderr}");
+
+    // A job the grammar cannot cover fails the run (exit nonzero) but
+    // still reports the stream.
+    let float = dir.join("float.sx");
+    std::fs::write(&float, "(MulF8 (ConstF8 #1.0) (ConstF8 #1.0))\n").unwrap();
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, format!("demo {}\n", float.display())).unwrap();
+    let (ok, stdout, stderr) = odburg(&["serve", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stderr.contains("1 jobs failed"), "{stderr}");
+}
+
+#[test]
+fn serve_shutdown_reexports_tables_for_warm_restart() {
+    let dir = std::env::temp_dir().join("odburg-cli-serve-export");
+    let tables_dir = dir.join("tables");
+    let _ = std::fs::remove_dir_all(&tables_dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree = dir.join("rmw.sx");
+    std::fs::write(
+        &tree,
+        "(StoreI8 (AddrLocalP @x) (AddI8 (LoadI8 (AddrLocalP @x)) (ConstI8 5)))\n",
+    )
+    .unwrap();
+    let manifest = dir.join("jobs.txt");
+    std::fs::write(&manifest, format!("demo {}\n", tree.display())).unwrap();
+
+    // First run: cold, exports demo's tables at shutdown.
+    let (ok, stdout, stderr) = odburg(&[
+        "serve",
+        manifest.to_str().unwrap(),
+        &format!("--tables-dir={}", tables_dir.display()),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("exported tables: demo"), "{stdout}");
+    assert!(tables_dir.join("demo.odbt").exists());
+
+    // Second run: warm-starts from the export and labels the same
+    // traffic without a single miss — heat survived the restart.
+    let (ok, stdout, stderr) = odburg(&[
+        "serve",
+        manifest.to_str().unwrap(),
+        &format!("--tables-dir={}", tables_dir.display()),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("target demo: 0 misses, 0 states built, warm"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn tables_export_compacts_to_a_byte_target() {
+    let dir = std::env::temp_dir().join("odburg-cli-compact-to");
+    std::fs::create_dir_all(&dir).unwrap();
+    let full = dir.join("full.odbt");
+    let small = dir.join("small.odbt");
+
+    let (ok, _, stderr) = odburg(&["tables", "export", "x86ish", full.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = odburg(&[
+        "tables",
+        "export",
+        "x86ish",
+        small.to_str().unwrap(),
+        "--compact-to=8k",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("compacted to"), "{stdout}");
+    assert!(stdout.contains("evicted"), "{stdout}");
+    // The governed export is genuinely smaller and still imports clean.
+    let full_len = std::fs::metadata(&full).unwrap().len();
+    let small_len = std::fs::metadata(&small).unwrap().len();
+    assert!(
+        small_len < full_len,
+        "compacted export must shrink: {small_len} vs {full_len}"
+    );
+    let (ok, stdout, stderr) = odburg(&["tables", "import", "x86ish", small.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("imported"), "{stdout}");
+    // And the `tables stats` accounting respects the target.
+    let (ok, stdout, _) = odburg(&["tables", "stats", small.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("accounted bytes"), "{stdout}");
+
+    // Misuse: --compact-to anywhere but `tables export`.
+    for args in [
+        &[
+            "tables",
+            "import",
+            "x86ish",
+            full.to_str().unwrap(),
+            "--compact-to=8k",
+        ][..],
+        &["tables", "stats", full.to_str().unwrap(), "--compact-to=8k"][..],
+        &["emit", "demo", "(ConstI8 1)", "--compact-to=8k"][..],
+        &["batch", "/tmp/x.txt", "--compact-to=8k"][..],
+    ] {
+        let (ok, _, stderr) = odburg(args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(
+            stderr.contains("only applies to `tables export`"),
+            "{args:?}: {stderr}"
+        );
+    }
+    let (ok, _, stderr) = odburg(&[
+        "tables",
+        "export",
+        "x86ish",
+        small.to_str().unwrap(),
+        "--compact-to=zero",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("positive byte count"), "{stderr}");
 }
 
 #[test]

@@ -400,6 +400,23 @@ impl SharedOnDemand {
         })
     }
 
+    /// Runs one **maintenance quantum**: the off-path slot a serving
+    /// worker gives this automaton *between* jobs. The quantum is
+    /// counted ([`WorkCounters::maintenance_runs`]) whether or not
+    /// anything needed doing, so a report can prove governance ran in
+    /// worker quanta rather than on the submit/complete hot path; when a
+    /// `budget` is supplied and the accounted bytes exceed it, the
+    /// configured [`PressureAction`] runs exactly as
+    /// [`enforce_budget`](Self::enforce_budget) would. Pinned labelings
+    /// are unaffected either way.
+    pub fn run_maintenance(&self, budget: Option<&MemoryBudget>) -> Option<PressureEvent> {
+        self.counters.merge(&WorkCounters {
+            maintenance_runs: 1,
+            ..WorkCounters::default()
+        });
+        budget.and_then(|b| self.enforce_budget(b))
+    }
+
     /// Per-component byte accounting of the master's tables (takes the
     /// writer lock; intended for monitoring, not hot paths).
     pub fn accounted_bytes(&self) -> ComponentBytes {
@@ -992,6 +1009,30 @@ mod tests {
                 "pinned labeling must survive enforcement"
             );
         }
+    }
+
+    #[test]
+    fn maintenance_quanta_are_counted_and_enforce_budgets() {
+        let shared = SharedOnDemand::new(churn_automaton());
+        shared
+            .label_forest(&forest("(StoreI8 (ConstI8 1) (ConstI8 2))"))
+            .unwrap();
+        // A budget-less quantum is counted but changes nothing.
+        let bytes = shared.accounted_bytes().total();
+        assert!(shared.run_maintenance(None).is_none());
+        assert_eq!(shared.counters().maintenance_runs, 1);
+        assert_eq!(shared.accounted_bytes().total(), bytes);
+        // A roomy budget: counted, no pressure.
+        assert!(shared
+            .run_maintenance(Some(&crate::govern::MemoryBudget::flush(1 << 30)))
+            .is_none());
+        // A one-byte budget trips exactly like enforce_budget.
+        let event = shared
+            .run_maintenance(Some(&crate::govern::MemoryBudget::flush(1)))
+            .expect("budget must trip");
+        assert!(event.bytes_before > event.bytes_after);
+        assert_eq!(shared.counters().maintenance_runs, 3);
+        assert_eq!(shared.counters().flushes, 1);
     }
 
     #[test]

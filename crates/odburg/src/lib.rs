@@ -15,7 +15,7 @@
 //! | [`frontend`] | MiniC: a small language lowered to IR forests |
 //! | [`workloads`] | benchmark programs and random-tree workloads |
 //! | [`strategy`] | runtime strategy choice behind the unified `Labeler` trait |
-//! | [`service`] | multi-target selection service: grammar registry + batched, sharded labeling |
+//! | [`service`] | multi-target selection service: grammar registry + long-running `SelectorServer` (bounded queue, deadlines, backpressure) with a batch-compatible `SelectorService` layer |
 //!
 //! # Quick start
 //!
@@ -167,9 +167,15 @@ pub fn select_with(
     Ok(reduce_forest(forest, &labeler.grammar(), &chooser)?)
 }
 
+pub use service::SelectorServer;
+
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::service::{BatchReport, SelectorService, ServiceConfig, ServiceError, Ticket};
+    pub use crate::service::{
+        BatchReport, CompletedJob, JobError, JobHandle, JobOptions, Priority, SelectorServer,
+        SelectorService, ServeError, ServerConfig, ServerReport, ServerTallies, ServiceConfig,
+        ServiceError, SubmitError, TargetServerStats, Ticket,
+    };
     pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};
     pub use odburg_core::{

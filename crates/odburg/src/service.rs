@@ -1,120 +1,180 @@
 //! The multi-target selection service: a **grammar registry** plus a
-//! **batched, sharded labeling** front end.
+//! long-running **[`SelectorServer`]** front end.
 //!
 //! Everything below `odburg::service` drives *one* grammar per labeler.
 //! A JIT service does not get that luxury: requests arrive for many
-//! targets at once, tables should be amortized across all of them, and
-//! labeling work should spread over a worker pool. This module is that
-//! layer:
+//! targets at once, continuously, and the service has to answer under
+//! latency targets with bounded memory. This module is that layer:
 //!
-//! * **Registry** — [`SelectorService`] maps target names to lazily
-//!   built [`SharedOnDemand`] masters. The six built-in grammars come
-//!   pre-registered via [`SelectorService::with_builtin_targets`]; more
-//!   targets can [register](SelectorService::register) at any time,
-//!   including between submissions of an in-flight batch. Each target
-//!   may use its own [`OnDemandConfig`]
-//!   ([`register_with_mode`](SelectorService::register_with_mode)), so
+//! * **Registry** — targets map to lazily built
+//!   [`SharedOnDemand`] masters. The six built-in grammars come
+//!   pre-registered via `with_builtin_targets`; more targets can
+//!   register at any time, each with its own [`OnDemandConfig`], so
 //!   projection-mode masters coexist with direct-table ones.
-//! * **Warm start** — with [`ServiceConfig::tables_dir`] set, a master
-//!   is seeded from `<dir>/<target>.odbt` (the
+//! * **Warm start** — with a tables directory configured, a master is
+//!   seeded from `<dir>/<target>.odbt` (the
 //!   [`persist`](odburg_core::persist) format written by
 //!   `odburg tables export`). A missing file means a cold start; a
-//!   *mismatched* file (wrong grammar fingerprint, wrong configuration,
-//!   corruption) is a hard [`ServiceError::Tables`] carrying the target
-//!   name — a registry must never silently mislabel or silently fall
-//!   back to cold tables.
-//! * **Memory governance** — a [`MemoryBudget`] per target (the
-//!   service-wide [`ServiceConfig::memory_budget`] default, overridable
-//!   per target with [`SelectorService::set_memory_budget`]) caps each
-//!   master's accounted table bytes. [`drain`](SelectorService::drain)
-//!   enforces the budgets after labeling: a target over its ceiling is
-//!   compacted (hot states survive, cold ones are evicted — see
-//!   [`odburg_core::govern`]) or flushed, per the budget's
-//!   [`PressureAction`](odburg_core::PressureAction), and the report
-//!   carries the resulting [`PressureEvent`] and post-enforcement
-//!   [`TargetBatchStats::table_bytes`].
-//! * **Batch API** — [`submit`](SelectorService::submit) queues a
-//!   `(target, forest)` job and returns a [`Ticket`];
-//!   [`drain`](SelectorService::drain) shards every queued job across a
-//!   fixed worker pool and returns a [`BatchReport`]: per-job
-//!   [pinned labelings](PinnedLabeling) and latencies, per-target
-//!   [`WorkCounters`] deltas and epoch spans, and batch-level p50/p99
-//!   latency.
+//!   *mismatched* file is a hard [`ServiceError::Tables`] carrying the
+//!   target name — never a silent cold start, never a mislabel.
+//! * **The server** — [`SelectorServer`] owns a persistent worker pool
+//!   fed by a **bounded** two-lane (priority) job queue.
+//!   [`try_submit`](SelectorServer::try_submit) either accepts a job
+//!   and returns a [`JobHandle`], or rejects it with a *typed*
+//!   [`SubmitError`] — [`SubmitError::QueueFull`] is backpressure as a
+//!   first-class outcome, not an error to hide. Per-job
+//!   [`JobOptions`] carry a deadline and a priority; a job whose
+//!   deadline passes while it waits is completed with
+//!   [`JobError::DeadlineExceeded`] instead of being labeled.
+//!   Completion is delivered through [`JobHandle::wait`] /
+//!   [`JobHandle::try_wait`] — no global drain barrier.
+//! * **Off-path maintenance** — per-target [`MemoryBudget`]
+//!   enforcement (compaction, flushes) never runs on the submit or
+//!   complete path. Workers run **maintenance quanta** between jobs
+//!   ([`SharedOnDemand::run_maintenance`]): after a target's job
+//!   completes, a quantum for that target is queued behind the
+//!   remaining jobs and enforces the budget in the next gap — with a
+//!   starvation bound, so sustained saturation cannot defer
+//!   enforcement indefinitely. [`WorkCounters::maintenance_runs`]
+//!   proves where the work happened.
+//! * **Graceful shutdown** — [`shutdown`](SelectorServer::shutdown)
+//!   rejects new submits, finishes every accepted job (in-flight
+//!   pinned labelings included), re-exports per-target tables into the
+//!   configured directory so heat survives restarts, and returns a
+//!   final [`ServerReport`].
+//! * **Batch compatibility** — [`SelectorService`] keeps the PR-3
+//!   `submit()`/`drain()` batch API as a thin layer over the server:
+//!   `drain()` feeds the queued jobs to a private, uncapped server,
+//!   waits on their handles, and waits for the resulting maintenance
+//!   quanta, so batch callers observe the same per-target budget
+//!   guarantees as before.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//! try_submit(target, forest)
+//!     │            ┌──────────────── QueueFull/Shutdown (typed reject)
+//!     ▼            │
+//!  [bounded queue: high │ normal]
+//!     │ pop (priority first)
+//!     ▼
+//!  worker: deadline passed? ──yes──► JobError::DeadlineExceeded ─┐
+//!     │ no                                                       │
+//!     ▼                                                          ▼
+//!  label_forest_pinned ──► Ok(PinnedLabeling) / JobError ──► JobHandle
+//!     │                                                  wait()/try_wait()
+//!     ▼
+//!  maintenance quantum for the job's target (between jobs:
+//!  budget check → compact/flush off the hot path)
+//! ```
 //!
 //! # Epoch pinning
 //!
 //! Every job is labeled through
-//! [`SharedOnDemand::label_forest_pinned`], so each [`JobResult`] owns
-//! the exact snapshot its state ids refer to. Results therefore stay
-//! valid however long the caller holds them — later batches, grow-path
-//! publications, even [`BudgetPolicy::Flush`](odburg_core::BudgetPolicy)
-//! epochs cannot invalidate them. The price is documented snapshot
-//! retention: a held `JobResult` pins one snapshot, and the shim's
+//! [`SharedOnDemand::label_forest_pinned`], so each result owns the
+//! exact snapshot its state ids refer to. Results stay valid however
+//! long the caller holds them — later jobs, grow-path publications,
+//! compactions and flushes cannot invalidate them. The price is
+//! documented snapshot retention: a held result pins one snapshot, and
 //! hazard-pointer reclamation keeps `snapshots_retained()` bounded by
-//! the number of live pins, not by publication count.
+//! live pins, not publications.
 //!
 //! # Examples
 //!
 //! ```
-//! use odburg::service::{SelectorService, ServiceConfig};
+//! use odburg::service::{JobOptions, SelectorServer, ServerConfig};
 //! use odburg_ir::{parse_sexpr, Forest};
 //!
-//! let svc = SelectorService::with_builtin_targets(ServiceConfig {
+//! let server = SelectorServer::with_builtin_targets(ServerConfig {
 //!     workers: 2,
-//!     ..ServiceConfig::default()
+//!     queue_cap: 64,
+//!     ..ServerConfig::default()
 //! });
 //! let mut forest = Forest::new();
 //! let root = parse_sexpr(&mut forest, "(StoreI8 (AddrLocalP @x) (ConstI8 1))")?;
 //! forest.add_root(root);
-//! svc.submit("demo", forest)?;
-//! let report = svc.drain();
-//! assert_eq!(report.results.len(), 1);
-//! let code = report.results[0].reduce()?;
+//! let handle = server.try_submit("demo", forest)?;
+//! let done = handle.wait();
+//! let code = done.reduce()?;
 //! assert_eq!(code.instructions.len(), 2);
+//! let report = server.shutdown();
+//! assert_eq!(report.completed, 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use odburg_codegen::{reduce_forest, Reduction};
+use odburg_codegen::{reduce_forest, ReduceError, Reduction};
 use odburg_core::{
-    persist, LabelError, MemoryBudget, OnDemandAutomaton, OnDemandConfig, PersistError,
-    PinnedLabeling, PressureEvent, SharedOnDemand, WorkCounters,
+    persist, AtomicWorkCounters, LabelError, MemoryBudget, OnDemandAutomaton, OnDemandConfig,
+    PersistError, PinnedLabeling, PressureEvent, SharedOnDemand, WorkCounters,
 };
 use odburg_grammar::{Grammar, NormalGrammar};
 use odburg_ir::Forest;
 
 use crate::SelectError;
 
-/// Configuration of a [`SelectorService`].
+/// Queue capacity a [`ServerConfig`] of `queue_cap: 0` resolves to.
+pub const DEFAULT_QUEUE_CAP: usize = 256;
+
+/// Configuration of the batch-compatible [`SelectorService`].
 #[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
-    /// Size of the fixed worker pool [`SelectorService::drain`] shards
-    /// batches across. `0` picks the machine's available parallelism,
-    /// capped at 8.
+    /// Size of the worker pool batches are sharded across. `0` picks
+    /// the machine's available parallelism, capped at 8.
     pub workers: usize,
     /// Directory of persisted tables to warm-start masters from: a
     /// target named `t` looks for `<dir>/t.odbt` when its master is
     /// first built. Missing files start cold; mismatched or corrupted
     /// files are [`ServiceError::Tables`] — never a silent cold start.
     pub tables_dir: Option<PathBuf>,
-    /// Default per-target memory budget. At the end of every
-    /// [`drain`](SelectorService::drain), each involved target whose
-    /// accounted table bytes exceed the budget runs the configured
-    /// [`PressureAction`](odburg_core::PressureAction) — compaction
-    /// keeps the hot working set, flush restarts cold. Individual
-    /// targets can override this with
-    /// [`SelectorService::set_memory_budget`]; `None` (the default)
-    /// leaves growth unbounded.
+    /// Default per-target memory budget, enforced by the maintenance
+    /// quanta workers run between jobs. Individual targets can override
+    /// this with [`SelectorService::set_memory_budget`]; `None` (the
+    /// default) leaves growth unbounded.
     pub memory_budget: Option<MemoryBudget>,
 }
 
-/// Errors of the registry and batch front end.
+/// Configuration of a [`SelectorServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Size of the persistent worker pool. `0` picks the machine's
+    /// available parallelism, capped at 8.
+    pub workers: usize,
+    /// Capacity of the bounded job queue (waiting jobs, both priority
+    /// lanes together; jobs being labeled do not count). Submissions
+    /// beyond it are rejected with [`SubmitError::QueueFull`]. `0`
+    /// resolves to [`DEFAULT_QUEUE_CAP`].
+    pub queue_cap: usize,
+    /// Directory of persisted tables: masters warm-start from
+    /// `<dir>/<target>.odbt`, and [`SelectorServer::shutdown`]
+    /// re-exports each built master's tables back into it so the hot
+    /// working set survives restarts.
+    pub tables_dir: Option<PathBuf>,
+    /// Default per-target memory budget, enforced in the maintenance
+    /// quanta workers run between jobs — never on the submit path.
+    pub memory_budget: Option<MemoryBudget>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            tables_dir: None,
+            memory_budget: None,
+        }
+    }
+}
+
+/// Errors of the registry (unknown targets, duplicate registration,
+/// rejected table files).
 #[derive(Debug)]
 pub enum ServiceError {
     /// The target is not registered.
@@ -163,6 +223,124 @@ impl std::error::Error for ServiceError {
     }
 }
 
+/// Why [`SelectorServer::try_submit`] did not accept a job. Rejection
+/// is a *typed, expected* outcome — `QueueFull` is how the server
+/// exerts backpressure on an open-loop submitter.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; the job was **not** enqueued.
+    /// Resubmit later, shed the load, or raise `queue_cap`.
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new jobs.
+    Shutdown,
+    /// The job never reached the queue: unknown target, or its
+    /// persisted tables were rejected.
+    Service(ServiceError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "job queue is full ({capacity} jobs); backpressure applies"
+                )
+            }
+            SubmitError::Shutdown => write!(f, "server is shutting down; submissions rejected"),
+            SubmitError::Service(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Service(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServiceError> for SubmitError {
+    fn from(e: ServiceError) -> Self {
+        SubmitError::Service(e)
+    }
+}
+
+/// Why an accepted job did not produce a labeling.
+#[derive(Debug, Clone)]
+pub enum JobError {
+    /// Labeling ran and failed (uncovered node, budget error, …).
+    Label(LabelError),
+    /// The job's deadline passed before a worker reached it; it was
+    /// completed without being labeled.
+    DeadlineExceeded {
+        /// How far past the deadline the job was when a worker popped
+        /// it.
+        missed_by: Duration,
+    },
+    /// Labeling panicked (e.g. inside a user-bound dynamic-cost
+    /// closure). The panic is contained: the worker survives, the job
+    /// completes with this error, and every other job is unaffected.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Label(e) => e.fmt(f),
+            JobError::DeadlineExceeded { missed_by } => {
+                write!(f, "deadline exceeded (missed by {missed_by:?})")
+            }
+            JobError::Panicked { message } => write!(f, "labeling panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Label(e) => Some(e),
+            JobError::DeadlineExceeded { .. } | JobError::Panicked { .. } => None,
+        }
+    }
+}
+
+/// Error of [`CompletedJob::reduce`]: either the job itself failed, or
+/// the labeling does not derive the start symbol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The job completed without a labeling.
+    Job(JobError),
+    /// The pinned labeling does not reduce.
+    Reduce(ReduceError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Job(e) => e.fmt(f),
+            ServeError::Reduce(e) => write!(f, "reduction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Job(e) => Some(e),
+            ServeError::Reduce(e) => Some(e),
+        }
+    }
+}
+
 /// Identifies one submitted job within its service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ticket(pub u64);
@@ -171,6 +349,31 @@ impl fmt::Display for Ticket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "#{}", self.0)
     }
+}
+
+/// Scheduling class of a job: `High` jobs are popped before any
+/// `Normal` job, regardless of arrival order. Both lanes share the
+/// bounded queue's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Popped in arrival order after every queued `High` job.
+    #[default]
+    Normal,
+    /// Jumps the normal lane.
+    High,
+}
+
+/// Per-job options for [`SelectorServer::try_submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobOptions {
+    /// Latest acceptable start, relative to submission. A job still
+    /// queued past it is completed with [`JobError::DeadlineExceeded`]
+    /// instead of being labeled. A job *already being labeled* when the
+    /// deadline passes finishes normally — deadlines bound queueing,
+    /// not preemption. `None` means no deadline.
+    pub deadline: Option<Duration>,
+    /// Scheduling class.
+    pub priority: Priority,
 }
 
 /// One registered target: its grammar, its automaton configuration, and
@@ -184,8 +387,18 @@ struct TargetEntry {
     /// default, `Some(None)` opts the target out, `None` inherits.
     budget: Mutex<Option<Option<MemoryBudget>>>,
     /// Built on first use; the flag records whether persisted tables
-    /// seeded it (for the batch report).
+    /// seeded it (for the reports).
     master: Mutex<Option<(Arc<SharedOnDemand>, bool)>>,
+    /// Service-level events attributed to this target (rejected
+    /// submits, deadline misses) — merged into its reported counters.
+    events: AtomicWorkCounters,
+    /// The most recent pressure event a maintenance quantum produced.
+    last_pressure: Mutex<Option<PressureEvent>>,
+    /// Whether a maintenance quantum for this target is already queued.
+    /// Cleared when the quantum is *popped*, so any job completing
+    /// after that pop queues a fresh one — the final job of a burst is
+    /// always followed by a quantum that sees its growth.
+    maintenance_queued: AtomicBool,
 }
 
 impl TargetEntry {
@@ -219,13 +432,976 @@ impl TargetEntry {
         *slot = Some((Arc::clone(&master), warm));
         Ok((master, warm))
     }
+
+    /// The master if it has been built, without building it.
+    fn built_master(&self) -> Option<(Arc<SharedOnDemand>, bool)> {
+        self.master
+            .lock()
+            .expect("registry lock")
+            .as_ref()
+            .map(|(m, w)| (Arc::clone(m), *w))
+    }
+
+    /// The target's cumulative counters: labeling work on the master
+    /// plus service-level events.
+    fn counters(&self) -> WorkCounters {
+        let mut c = self
+            .built_master()
+            .map(|(m, _)| m.counters())
+            .unwrap_or_default();
+        c.merge(&self.events.snapshot());
+        c
+    }
 }
 
-/// A queued `(target, forest)` job; the master is resolved at submit
-/// time so a batch keeps labeling correctly even if the registry gains
-/// targets mid-batch.
+/// The shared grammar registry behind both front ends.
 #[derive(Debug)]
-struct Job {
+struct Registry {
+    tables_dir: Option<PathBuf>,
+    default_budget: Option<MemoryBudget>,
+    targets: RwLock<HashMap<String, Arc<TargetEntry>>>,
+    next_ticket: AtomicU64,
+}
+
+impl Registry {
+    fn new(tables_dir: Option<PathBuf>, default_budget: Option<MemoryBudget>) -> Self {
+        Registry {
+            tables_dir,
+            default_budget,
+            targets: RwLock::new(HashMap::new()),
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    fn register_with_mode(
+        &self,
+        name: &str,
+        grammar: Arc<NormalGrammar>,
+        mode: OnDemandConfig,
+    ) -> Result<(), ServiceError> {
+        let mut targets = self.targets.write().expect("registry lock");
+        if targets.contains_key(name) {
+            return Err(ServiceError::DuplicateTarget {
+                target: name.to_owned(),
+            });
+        }
+        targets.insert(
+            name.to_owned(),
+            Arc::new(TargetEntry {
+                name: name.to_owned(),
+                grammar,
+                mode,
+                budget: Mutex::new(None),
+                master: Mutex::new(None),
+                events: AtomicWorkCounters::new(),
+                last_pressure: Mutex::new(None),
+                maintenance_queued: AtomicBool::new(false),
+            }),
+        );
+        Ok(())
+    }
+
+    fn entry(&self, target: &str) -> Result<Arc<TargetEntry>, ServiceError> {
+        self.targets
+            .read()
+            .expect("registry lock")
+            .get(target)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownTarget {
+                target: target.to_owned(),
+            })
+    }
+
+    /// All registered entries, name-sorted.
+    fn entries(&self) -> Vec<Arc<TargetEntry>> {
+        let mut entries: Vec<Arc<TargetEntry>> = self
+            .targets
+            .read()
+            .expect("registry lock")
+            .values()
+            .cloned()
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .targets
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The budget maintenance enforces for `entry`: its override when
+    /// set, the service default otherwise.
+    fn effective_budget(&self, entry: &TargetEntry) -> Option<MemoryBudget> {
+        entry
+            .budget
+            .lock()
+            .expect("budget lock")
+            .unwrap_or(self.default_budget)
+    }
+
+    fn allocate_ticket(&self) -> Ticket {
+        Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job plumbing: slots, handles, completed jobs.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    // Boxed: a slot outlives its job by however long the caller sits on
+    // the handle, and `CompletedJob` (forest + pinned labeling) is big.
+    Ready(Box<CompletedJob>),
+    Taken,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState::Pending),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, done: CompletedJob) {
+        let mut state = self.state.lock().expect("job slot lock");
+        *state = SlotState::Ready(Box::new(done));
+        self.cond.notify_all();
+    }
+}
+
+/// The caller's side of one accepted job: wait on it (or poll it) for
+/// the [`CompletedJob`]. Dropping the handle does not cancel the job.
+#[derive(Debug)]
+pub struct JobHandle {
+    ticket: Ticket,
+    target: String,
+    slot: Arc<Slot>,
+}
+
+impl JobHandle {
+    /// The job's ticket.
+    pub fn ticket(&self) -> Ticket {
+        self.ticket
+    }
+
+    /// The target the job was submitted against.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Blocks until the job completes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already taken by
+    /// [`try_wait`](Self::try_wait).
+    pub fn wait(self) -> CompletedJob {
+        let mut state = self.slot.state.lock().expect("job slot lock");
+        loop {
+            match &*state {
+                SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
+                    SlotState::Ready(done) => return *done,
+                    _ => unreachable!("checked Ready above"),
+                },
+                SlotState::Taken => panic!("job {} was already waited on", self.ticket),
+                SlotState::Pending => {
+                    state = self.slot.cond.wait(state).expect("job slot lock");
+                }
+            }
+        }
+    }
+
+    /// Returns the result if the job has completed, without blocking.
+    /// Once this returns `Some`, the handle is spent.
+    pub fn try_wait(&mut self) -> Option<CompletedJob> {
+        let mut state = self.slot.state.lock().expect("job slot lock");
+        match &*state {
+            SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Ready(done) => Some(*done),
+                _ => unreachable!("checked Ready above"),
+            },
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of one served job.
+#[derive(Debug)]
+pub struct CompletedJob {
+    /// The ticket [`SelectorServer::try_submit`] returned for this job.
+    pub ticket: Ticket,
+    /// The target the job was labeled against.
+    pub target: String,
+    /// The submitted forest, returned to the caller.
+    pub forest: Forest,
+    /// The labeling, pinned to the exact snapshot its state ids refer
+    /// to, or why the job produced none.
+    pub outcome: Result<PinnedLabeling, JobError>,
+    /// Wall-clock time the job spent labeling on its worker (zero for
+    /// deadline-expired jobs, which are never labeled).
+    pub latency: Duration,
+    /// Time the job spent queued before a worker popped it.
+    pub queued: Duration,
+}
+
+impl CompletedJob {
+    /// The epoch of the snapshot this job's labeling is pinned to.
+    pub fn epoch(&self) -> Option<u64> {
+        self.outcome.as_ref().ok().map(|p| p.snapshot().epoch())
+    }
+
+    /// Reduces the job to instructions against its pinned snapshot's
+    /// grammar.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Job`] if the job failed or missed its deadline,
+    /// [`ServeError::Reduce`] if the forest is not derivable from the
+    /// start symbol.
+    pub fn reduce(&self) -> Result<Reduction, ServeError> {
+        match &self.outcome {
+            Ok(pinned) => {
+                reduce_forest(&self.forest, pinned.snapshot().grammar(), &pinned.chooser())
+                    .map_err(ServeError::Reduce)
+            }
+            Err(e) => Err(ServeError::Job(e.clone())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server core: bounded queue, worker pool, maintenance quanta.
+// ---------------------------------------------------------------------
+
+/// One accepted, not-yet-completed job.
+#[derive(Debug)]
+struct QueuedJob {
+    ticket: Ticket,
+    entry: Arc<TargetEntry>,
+    master: Arc<SharedOnDemand>,
+    forest: Forest,
+    deadline: Option<Instant>,
+    accepted_at: Instant,
+    slot: Arc<Slot>,
+}
+
+/// How many consecutive job pops may starve a pending maintenance
+/// quantum before it jumps the line. Under sustained saturation the job
+/// lanes never empty; without this bound a memory budget would go
+/// unenforced for exactly as long as the overload lasts — the regime
+/// the budget exists for.
+const MAINTENANCE_STARVATION_BOUND: usize = 32;
+
+#[derive(Debug)]
+struct ServerState {
+    high: VecDeque<QueuedJob>,
+    normal: VecDeque<QueuedJob>,
+    /// Targets with a pending maintenance quantum. Jobs normally pop
+    /// first, so quanta run in the gaps between jobs — but after
+    /// [`MAINTENANCE_STARVATION_BOUND`] consecutive job pops a pending
+    /// quantum goes next, so saturation cannot defer budget
+    /// enforcement indefinitely.
+    maintenance: VecDeque<Arc<TargetEntry>>,
+    /// Consecutive job pops since the last maintenance pop.
+    jobs_since_maintenance: usize,
+    /// Jobs and quanta currently being processed by workers.
+    active: usize,
+    shutdown: bool,
+}
+
+impl ServerState {
+    fn queued(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.high.is_empty()
+            && self.normal.is_empty()
+            && self.maintenance.is_empty()
+            && self.active == 0
+    }
+}
+
+#[derive(Debug)]
+struct ServerShared {
+    registry: Arc<Registry>,
+    state: Mutex<ServerState>,
+    /// Wakes workers: a job or quantum was queued, or shutdown began.
+    work: Condvar,
+    /// Wakes [`SelectorServer::wait_idle`] callers.
+    idle: Condvar,
+    queue_cap: usize,
+    started: Instant,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_missed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+enum Task {
+    Job(QueuedJob),
+    Maintain(Arc<TargetEntry>),
+    Exit,
+}
+
+fn worker_loop(shared: Arc<ServerShared>) {
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("server state lock");
+            loop {
+                let overdue = st.jobs_since_maintenance >= MAINTENANCE_STARVATION_BOUND
+                    && !st.maintenance.is_empty();
+                if !overdue {
+                    if let Some(job) = st.high.pop_front().or_else(|| st.normal.pop_front()) {
+                        st.jobs_since_maintenance += 1;
+                        st.active += 1;
+                        break Task::Job(job);
+                    }
+                }
+                if let Some(entry) = st.maintenance.pop_front() {
+                    entry.maintenance_queued.store(false, Ordering::Relaxed);
+                    st.jobs_since_maintenance = 0;
+                    st.active += 1;
+                    break Task::Maintain(entry);
+                }
+                if st.shutdown {
+                    shared.idle.notify_all();
+                    break Task::Exit;
+                }
+                if st.is_idle() {
+                    shared.idle.notify_all();
+                }
+                st = shared.work.wait(st).expect("server state lock");
+            }
+        };
+        match task {
+            Task::Job(job) => process_job(&shared, job),
+            Task::Maintain(entry) => run_quantum(&shared, entry),
+            Task::Exit => break,
+        }
+    }
+}
+
+/// Labels one popped job (or expires it) and delivers the result.
+fn process_job(shared: &ServerShared, job: QueuedJob) {
+    let queued = job.accepted_at.elapsed();
+    let (outcome, latency) = match job.deadline {
+        Some(deadline) if Instant::now() >= deadline => {
+            shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            job.entry.events.merge(&WorkCounters {
+                deadline_misses: 1,
+                ..WorkCounters::default()
+            });
+            (
+                Err(JobError::DeadlineExceeded {
+                    missed_by: Instant::now().saturating_duration_since(deadline),
+                }),
+                Duration::ZERO,
+            )
+        }
+        _ => {
+            let t = Instant::now();
+            // Contain panics (user-bound dyncost closures run in here):
+            // the worker must survive, and the job must still complete
+            // — a hung Pending slot would deadlock wait()/wait_idle()
+            // and silently lose the job from the report.
+            let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                job.master.label_forest_pinned(&job.forest)
+            })) {
+                Ok(Ok(pinned)) => Ok(pinned),
+                Ok(Err(e)) => Err(JobError::Label(e)),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    Err(JobError::Panicked { message })
+                }
+            };
+            let latency = t.elapsed();
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if outcome.is_err() {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            (outcome, latency)
+        }
+    };
+    job.slot.deliver(CompletedJob {
+        ticket: job.ticket,
+        target: job.entry.name.clone(),
+        forest: job.forest,
+        outcome,
+        latency,
+        queued,
+    });
+
+    // Between-jobs maintenance: queue a quantum for this job's target
+    // (deduplicated). Queued *behind* the job lanes — budget
+    // enforcement never delays a submit or the delivery above — but
+    // with a starvation bound, so it still runs under saturation.
+    let mut st = shared.state.lock().expect("server state lock");
+    if !job.entry.maintenance_queued.swap(true, Ordering::Relaxed) {
+        st.maintenance.push_back(Arc::clone(&job.entry));
+        shared.work.notify_one();
+    }
+    st.active -= 1;
+    if st.is_idle() {
+        shared.idle.notify_all();
+    }
+}
+
+/// Runs one maintenance quantum for `entry` and records any pressure
+/// event for the reports.
+fn run_quantum(shared: &ServerShared, entry: Arc<TargetEntry>) {
+    if let Some((master, _)) = entry.built_master() {
+        let budget = shared.registry.effective_budget(&entry);
+        // Same containment as the labeling path: a panicking quantum
+        // must not take the worker (and its `active` slot) with it.
+        let event = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            master.run_maintenance(budget.as_ref())
+        }))
+        .unwrap_or(None);
+        if let Some(event) = event {
+            *entry.last_pressure.lock().expect("pressure lock") = Some(event);
+        }
+    }
+    let mut st = shared.state.lock().expect("server state lock");
+    st.active -= 1;
+    if st.is_idle() {
+        shared.idle.notify_all();
+    }
+}
+
+fn resolve_workers(configured: usize) -> usize {
+    match configured {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+        n => n,
+    }
+}
+
+/// A point-in-time view of the server's tallies (for periodic stats
+/// lines; cheap, lock-free except the queue-depth sample).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerTallies {
+    /// Jobs offered: accepted + rejected.
+    pub submitted: u64,
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Jobs that ran labeling (successfully or not).
+    pub completed: u64,
+    /// Completed jobs whose labeling failed.
+    pub failed: u64,
+    /// Jobs expired with [`JobError::DeadlineExceeded`].
+    pub deadline_missed: u64,
+    /// Submissions rejected (queue full or shutdown).
+    pub rejected: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+}
+
+/// Per-target accounting in a [`ServerReport`].
+#[derive(Debug, Clone)]
+pub struct TargetServerStats {
+    /// The target name.
+    pub target: String,
+    /// Cumulative work on the target's master plus service events
+    /// (deadline misses, rejected submits, maintenance quanta).
+    pub counters: WorkCounters,
+    /// Accounted bytes of the target's tables.
+    pub table_bytes: usize,
+    /// Whether the master was warm-started from persisted tables.
+    pub warm_started: bool,
+    /// The most recent maintenance pressure event, if any fired.
+    pub pressure: Option<PressureEvent>,
+}
+
+/// What [`SelectorServer::shutdown`] learned over the server's
+/// lifetime. Conservation invariant once the queue has drained:
+/// `accepted == completed + deadline_missed` and
+/// `submitted == accepted + rejected` — no job is ever silently lost.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Jobs offered: `accepted + rejected`.
+    pub submitted: u64,
+    /// Jobs accepted into the queue.
+    pub accepted: u64,
+    /// Jobs that ran labeling (successfully or not).
+    pub completed: u64,
+    /// Completed jobs whose labeling failed.
+    pub failed: u64,
+    /// Jobs expired with [`JobError::DeadlineExceeded`].
+    pub deadline_missed: u64,
+    /// Submissions rejected with a typed [`SubmitError`].
+    pub rejected: u64,
+    /// Per-target accounting, name-sorted, masters-built only.
+    pub per_target: Vec<TargetServerStats>,
+    /// Server lifetime.
+    pub uptime: Duration,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_cap: usize,
+    /// Targets whose tables were re-exported at shutdown (tables
+    /// directory configured).
+    pub exported_tables: Vec<String>,
+    /// Targets whose shutdown export failed, with the reason.
+    pub export_errors: Vec<(String, String)>,
+}
+
+impl ServerReport {
+    /// Counters aggregated across all targets.
+    pub fn counters(&self) -> WorkCounters {
+        let mut total = WorkCounters::default();
+        for t in &self.per_target {
+            total.merge(&t.counters);
+        }
+        total
+    }
+}
+
+/// The long-running selection server; see the [module docs](self).
+#[derive(Debug)]
+pub struct SelectorServer {
+    shared: Arc<ServerShared>,
+    workers: usize,
+    /// Export tables to the registry's directory at shutdown.
+    export_on_shutdown: bool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    down: AtomicBool,
+}
+
+impl SelectorServer {
+    /// An empty server: worker pool running, no targets registered.
+    pub fn new(config: ServerConfig) -> Self {
+        let registry = Arc::new(Registry::new(
+            config.tables_dir.clone(),
+            config.memory_budget,
+        ));
+        let queue_cap = match config.queue_cap {
+            0 => DEFAULT_QUEUE_CAP,
+            n => n,
+        };
+        SelectorServer::with_registry(
+            registry,
+            config.workers,
+            queue_cap,
+            config.tables_dir.is_some(),
+        )
+    }
+
+    /// A server with all six built-in targets
+    /// ([`odburg_targets::TARGET_NAMES`]) pre-registered.
+    pub fn with_builtin_targets(config: ServerConfig) -> Self {
+        let server = SelectorServer::new(config);
+        for grammar in odburg_targets::all() {
+            server
+                .register(&grammar)
+                .expect("built-in target names are unique");
+        }
+        server
+    }
+
+    /// Spawns the pool over an existing registry (how the
+    /// [`SelectorService`] compatibility layer shares its targets).
+    fn with_registry(
+        registry: Arc<Registry>,
+        workers: usize,
+        queue_cap: usize,
+        export_on_shutdown: bool,
+    ) -> Self {
+        let workers = resolve_workers(workers);
+        let shared = Arc::new(ServerShared {
+            registry,
+            state: Mutex::new(ServerState {
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+                maintenance: VecDeque::new(),
+                jobs_since_maintenance: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            queue_cap,
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("odburg-serve-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        SelectorServer {
+            shared,
+            workers,
+            export_on_shutdown,
+            handles: Mutex::new(handles),
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Registers a grammar under its own name with the default
+    /// automaton configuration. Allowed at any time while serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTarget`] if the name is taken.
+    pub fn register(&self, grammar: &Grammar) -> Result<(), ServiceError> {
+        self.register_normal(grammar.name(), Arc::new(grammar.normalize()))
+    }
+
+    /// Registers an already-normalized grammar under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTarget`] if the name is taken.
+    pub fn register_normal(
+        &self,
+        name: &str,
+        grammar: Arc<NormalGrammar>,
+    ) -> Result<(), ServiceError> {
+        self.register_with_mode(name, grammar, OnDemandConfig::default())
+    }
+
+    /// Registers a grammar with an explicit automaton configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateTarget`] if the name is taken.
+    pub fn register_with_mode(
+        &self,
+        name: &str,
+        grammar: Arc<NormalGrammar>,
+        mode: OnDemandConfig,
+    ) -> Result<(), ServiceError> {
+        self.shared.registry.register_with_mode(name, grammar, mode)
+    }
+
+    /// Overrides the server-level default memory budget for one target:
+    /// `Some(budget)` applies that budget in its maintenance quanta,
+    /// `None` opts the target out entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] if the name is not registered.
+    pub fn set_memory_budget(
+        &self,
+        target: &str,
+        budget: Option<MemoryBudget>,
+    ) -> Result<(), ServiceError> {
+        let entry = self.shared.registry.entry(target)?;
+        *entry.budget.lock().expect("budget lock") = Some(budget);
+        Ok(())
+    }
+
+    /// The registered target names, sorted.
+    pub fn targets(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// The normalized grammar a target labels against.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] if the name is not registered.
+    pub fn grammar(&self, target: &str) -> Result<Arc<NormalGrammar>, ServiceError> {
+        Ok(Arc::clone(&self.shared.registry.entry(target)?.grammar))
+    }
+
+    /// The target's shared master, building (and warm-starting) it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] or [`ServiceError::Tables`].
+    pub fn shared(&self, target: &str) -> Result<Arc<SharedOnDemand>, ServiceError> {
+        let entry = self.shared.registry.entry(target)?;
+        entry
+            .master(self.shared.registry.tables_dir.as_deref())
+            .map(|(m, _)| m)
+    }
+
+    /// Submits a job with default [`JobOptions`] (no deadline, normal
+    /// priority).
+    ///
+    /// # Errors
+    ///
+    /// See [`try_submit_with`](Self::try_submit_with).
+    pub fn try_submit(&self, target: &str, forest: Forest) -> Result<JobHandle, SubmitError> {
+        self.try_submit_with(target, forest, JobOptions::default())
+    }
+
+    /// Submits a job, or rejects it with a typed [`SubmitError`].
+    /// Acceptance is all-or-nothing: an `Ok` handle is guaranteed to
+    /// resolve (labeling, label error, or deadline expiry) — even
+    /// across [`shutdown`](Self::shutdown) — and an `Err` means the job
+    /// never entered the queue. Nothing is ever silently dropped.
+    ///
+    /// No compaction or budget enforcement runs here: maintenance
+    /// belongs to the worker quanta between jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] (backpressure), [`SubmitError::Shutdown`],
+    /// or [`SubmitError::Service`] for registry/table problems.
+    pub fn try_submit_with(
+        &self,
+        target: &str,
+        forest: Forest,
+        options: JobOptions,
+    ) -> Result<JobHandle, SubmitError> {
+        let entry = self.shared.registry.entry(target)?;
+        let (master, _) = entry.master(self.shared.registry.tables_dir.as_deref())?;
+        self.enqueue(None, entry, master, forest, options, true)
+    }
+
+    /// The single enqueue point. `enforce_cap: false` is the internal
+    /// batch path ([`SelectorService::drain`]), which must never lose a
+    /// job to backpressure.
+    fn enqueue(
+        &self,
+        ticket: Option<Ticket>,
+        entry: Arc<TargetEntry>,
+        master: Arc<SharedOnDemand>,
+        forest: Forest,
+        options: JobOptions,
+        enforce_cap: bool,
+    ) -> Result<JobHandle, SubmitError> {
+        let accepted_at = Instant::now();
+        let deadline = options.deadline.map(|d| accepted_at + d);
+        let mut st = self.shared.state.lock().expect("server state lock");
+        if st.shutdown {
+            drop(st);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            entry.events.merge(&WorkCounters {
+                rejected_submits: 1,
+                ..WorkCounters::default()
+            });
+            return Err(SubmitError::Shutdown);
+        }
+        if enforce_cap && st.queued() >= self.shared.queue_cap {
+            drop(st);
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            entry.events.merge(&WorkCounters {
+                rejected_submits: 1,
+                ..WorkCounters::default()
+            });
+            return Err(SubmitError::QueueFull {
+                capacity: self.shared.queue_cap,
+            });
+        }
+        let ticket = ticket.unwrap_or_else(|| self.shared.registry.allocate_ticket());
+        let slot = Arc::new(Slot::new());
+        let handle = JobHandle {
+            ticket,
+            target: entry.name.clone(),
+            slot: Arc::clone(&slot),
+        };
+        let job = QueuedJob {
+            ticket,
+            entry,
+            master,
+            forest,
+            deadline,
+            accepted_at,
+            slot,
+        };
+        match options.priority {
+            Priority::High => st.high.push_back(job),
+            Priority::Normal => st.normal.push_back(job),
+        }
+        self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.work.notify_one();
+        Ok(handle)
+    }
+
+    /// Number of jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("server state lock")
+            .queued()
+    }
+
+    /// The worker pool size.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// A point-in-time view of the server's tallies.
+    pub fn tallies(&self) -> ServerTallies {
+        let accepted = self.shared.accepted.load(Ordering::Relaxed);
+        let rejected = self.shared.rejected.load(Ordering::Relaxed);
+        ServerTallies {
+            submitted: accepted + rejected,
+            accepted,
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            deadline_missed: self.shared.deadline_missed.load(Ordering::Relaxed),
+            rejected,
+            queue_depth: self.queue_depth(),
+        }
+    }
+
+    /// Blocks until every accepted job *and* every queued maintenance
+    /// quantum has finished. The batch layer uses this so its reports
+    /// reflect post-enforcement tables.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().expect("server state lock");
+        while !st.is_idle() {
+            st = self.shared.idle.wait(st).expect("server state lock");
+        }
+    }
+
+    /// Gracefully shuts the server down: new submissions are rejected
+    /// with [`SubmitError::Shutdown`], every already-accepted job is
+    /// finished (labeled, failed, or deadline-expired — in-flight
+    /// pinned labelings run to completion), pending maintenance quanta
+    /// run, per-target tables are re-exported into the configured
+    /// tables directory, and the final [`ServerReport`] is returned.
+    ///
+    /// Idempotent, and safe to race: concurrent calls serialize on the
+    /// worker join, so every returned report sees the queue fully
+    /// drained (conservation holds in all of them). Only the first
+    /// call re-exports tables; later reports carry an empty
+    /// `exported_tables`.
+    pub fn shutdown(&self) -> ServerReport {
+        let first = !self.down.swap(true, Ordering::SeqCst);
+        {
+            let mut st = self.shared.state.lock().expect("server state lock");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        {
+            // Hold the handles lock across the join: a second shutdown
+            // (or Drop) racing the first blocks here until every worker
+            // has exited, instead of snapshotting a half-drained queue.
+            let mut handles = self.handles.lock().expect("worker handles");
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+        let (exported_tables, export_errors) = if first && self.export_on_shutdown {
+            self.export_tables()
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        self.collect_report(exported_tables, export_errors)
+    }
+
+    /// Re-exports every built master's tables into the registry's
+    /// tables directory (`<dir>/<target>.odbt`).
+    fn export_tables(&self) -> (Vec<String>, Vec<(String, String)>) {
+        let Some(dir) = self.shared.registry.tables_dir.clone() else {
+            return (Vec::new(), Vec::new());
+        };
+        let mut exported = Vec::new();
+        let mut errors = Vec::new();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            errors.push((dir.display().to_string(), e.to_string()));
+            return (exported, errors);
+        }
+        for entry in self.shared.registry.entries() {
+            let Some((master, _)) = entry.built_master() else {
+                continue;
+            };
+            let path = dir.join(format!("{}.odbt", entry.name));
+            match persist::save_tables(&master.snapshot(), &path) {
+                Ok(()) => exported.push(entry.name.clone()),
+                Err(e) => errors.push((entry.name.clone(), e.to_string())),
+            }
+        }
+        (exported, errors)
+    }
+
+    fn collect_report(
+        &self,
+        exported_tables: Vec<String>,
+        export_errors: Vec<(String, String)>,
+    ) -> ServerReport {
+        let accepted = self.shared.accepted.load(Ordering::Relaxed);
+        let rejected = self.shared.rejected.load(Ordering::Relaxed);
+        let per_target = self
+            .shared
+            .registry
+            .entries()
+            .into_iter()
+            .filter_map(|entry| {
+                let (master, warm_started) = entry.built_master()?;
+                Some(TargetServerStats {
+                    target: entry.name.clone(),
+                    counters: entry.counters(),
+                    table_bytes: master.accounted_bytes().total(),
+                    warm_started,
+                    pressure: *entry.last_pressure.lock().expect("pressure lock"),
+                })
+            })
+            .collect();
+        ServerReport {
+            submitted: accepted + rejected,
+            accepted,
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            deadline_missed: self.shared.deadline_missed.load(Ordering::Relaxed),
+            rejected,
+            per_target,
+            uptime: self.shared.started.elapsed(),
+            workers: self.workers,
+            queue_cap: self.shared.queue_cap,
+            exported_tables,
+            export_errors,
+        }
+    }
+}
+
+impl Drop for SelectorServer {
+    fn drop(&mut self) {
+        if !self.down.load(Ordering::SeqCst) {
+            self.shutdown();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The batch compatibility layer.
+// ---------------------------------------------------------------------
+
+/// A queued `(target, forest)` job of the batch layer; the master is
+/// resolved at submit time so a batch keeps labeling correctly even if
+/// the registry gains targets mid-batch.
+#[derive(Debug)]
+struct PendingJob {
     ticket: Ticket,
     entry: Arc<TargetEntry>,
     master: Arc<SharedOnDemand>,
@@ -286,9 +1462,10 @@ pub struct TargetBatchStats {
     pub nodes: u64,
     /// Jobs whose labeling failed.
     pub failed: usize,
-    /// Work this batch performed on the target's master (counter delta
-    /// across the drain; approximate if another thread drains the same
-    /// target concurrently).
+    /// Work this batch performed on the target's master — including its
+    /// maintenance quanta — as a counter delta across the drain
+    /// (approximate if another thread drains the same target
+    /// concurrently).
     pub counters: WorkCounters,
     /// Minimum and maximum snapshot epoch the batch's labelings were
     /// pinned to, when at least one job succeeded.
@@ -297,11 +1474,11 @@ pub struct TargetBatchStats {
     /// tables.
     pub warm_started: bool,
     /// Accounted bytes of the target's tables when the drain finished
-    /// (after budget enforcement — so with a budget configured this
-    /// never exceeds it).
+    /// (after the batch's maintenance quanta — so with a budget
+    /// configured this never exceeds it).
     pub table_bytes: usize,
-    /// The budget enforcement this drain triggered for the target, if
-    /// its [`MemoryBudget`] tripped.
+    /// The budget enforcement this batch's maintenance quanta
+    /// triggered for the target, if its [`MemoryBudget`] tripped.
     pub pressure: Option<PressureEvent>,
 }
 
@@ -317,11 +1494,10 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_results(results: &[JobResult]) -> LatencyStats {
-        if results.is_empty() {
+    fn from_durations(mut sorted: Vec<Duration>) -> LatencyStats {
+        if sorted.is_empty() {
             return LatencyStats::default();
         }
-        let mut sorted: Vec<Duration> = results.iter().map(|r| r.latency).collect();
         sorted.sort_unstable();
         let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
         LatencyStats {
@@ -329,6 +1505,10 @@ impl LatencyStats {
             p99: at(0.99),
             max: *sorted.last().expect("non-empty"),
         }
+    }
+
+    fn from_results(results: &[JobResult]) -> LatencyStats {
+        LatencyStats::from_durations(results.iter().map(|r| r.latency).collect())
     }
 }
 
@@ -354,23 +1534,32 @@ impl BatchReport {
     }
 }
 
-/// The multi-target selection service; see the [module docs](self).
+/// The batch-compatible front end: `submit` queues, `drain` runs the
+/// whole batch through a private [`SelectorServer`] and blocks for the
+/// full report. See the [module docs](self); new code should prefer the
+/// server API.
 #[derive(Debug)]
 pub struct SelectorService {
-    config: ServiceConfig,
-    registry: RwLock<HashMap<String, Arc<TargetEntry>>>,
-    queue: Mutex<Vec<Job>>,
-    next_ticket: AtomicU64,
+    /// Worker-pool size for the batch server; the rest of the
+    /// [`ServiceConfig`] lives on in the shared registry (tables
+    /// directory, default budget) — the authoritative copies.
+    workers: usize,
+    registry: Arc<Registry>,
+    /// The lazily started server the batches run on. Uncapped queue:
+    /// `drain` must never lose a job to backpressure.
+    server: Mutex<Option<Arc<SelectorServer>>>,
+    queue: Mutex<Vec<PendingJob>>,
 }
 
 impl SelectorService {
     /// An empty service: no targets registered, nothing queued.
     pub fn new(config: ServiceConfig) -> Self {
+        let registry = Arc::new(Registry::new(config.tables_dir, config.memory_budget));
         SelectorService {
-            config,
-            registry: RwLock::new(HashMap::new()),
+            workers: config.workers,
+            registry,
+            server: Mutex::new(None),
             queue: Mutex::new(Vec::new()),
-            next_ticket: AtomicU64::new(0),
         }
     }
 
@@ -423,29 +1612,13 @@ impl SelectorService {
         grammar: Arc<NormalGrammar>,
         mode: OnDemandConfig,
     ) -> Result<(), ServiceError> {
-        let mut registry = self.registry.write().expect("registry lock");
-        if registry.contains_key(name) {
-            return Err(ServiceError::DuplicateTarget {
-                target: name.to_owned(),
-            });
-        }
-        registry.insert(
-            name.to_owned(),
-            Arc::new(TargetEntry {
-                name: name.to_owned(),
-                grammar,
-                mode,
-                budget: Mutex::new(None),
-                master: Mutex::new(None),
-            }),
-        );
-        Ok(())
+        self.registry.register_with_mode(name, grammar, mode)
     }
 
     /// Overrides the service-level [`ServiceConfig::memory_budget`] for
-    /// one target: `Some(budget)` applies that budget at the end of
-    /// every drain, `None` opts the target out of budget enforcement
-    /// entirely (even when the service has a default).
+    /// one target: `Some(budget)` applies that budget in the target's
+    /// maintenance quanta, `None` opts the target out of budget
+    /// enforcement entirely (even when the service has a default).
     ///
     /// # Errors
     ///
@@ -455,43 +1628,14 @@ impl SelectorService {
         target: &str,
         budget: Option<MemoryBudget>,
     ) -> Result<(), ServiceError> {
-        let entry = self.entry(target)?;
+        let entry = self.registry.entry(target)?;
         *entry.budget.lock().expect("budget lock") = Some(budget);
         Ok(())
     }
 
-    /// The budget `drain` enforces for `entry`: its override when set,
-    /// the service default otherwise.
-    fn effective_budget(&self, entry: &TargetEntry) -> Option<MemoryBudget> {
-        entry
-            .budget
-            .lock()
-            .expect("budget lock")
-            .unwrap_or(self.config.memory_budget)
-    }
-
     /// The registered target names, sorted.
     pub fn targets(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .registry
-            .read()
-            .expect("registry lock")
-            .keys()
-            .cloned()
-            .collect();
-        names.sort();
-        names
-    }
-
-    fn entry(&self, target: &str) -> Result<Arc<TargetEntry>, ServiceError> {
-        self.registry
-            .read()
-            .expect("registry lock")
-            .get(target)
-            .cloned()
-            .ok_or_else(|| ServiceError::UnknownTarget {
-                target: target.to_owned(),
-            })
+        self.registry.names()
     }
 
     /// The normalized grammar a target labels against.
@@ -500,7 +1644,7 @@ impl SelectorService {
     ///
     /// [`ServiceError::UnknownTarget`] if the name is not registered.
     pub fn grammar(&self, target: &str) -> Result<Arc<NormalGrammar>, ServiceError> {
-        Ok(Arc::clone(&self.entry(target)?.grammar))
+        Ok(Arc::clone(&self.registry.entry(target)?.grammar))
     }
 
     /// The target's shared master, building (and warm-starting) it on
@@ -511,9 +1655,9 @@ impl SelectorService {
     ///
     /// [`ServiceError::UnknownTarget`] or [`ServiceError::Tables`].
     pub fn shared(&self, target: &str) -> Result<Arc<SharedOnDemand>, ServiceError> {
-        let entry = self.entry(target)?;
+        let entry = self.registry.entry(target)?;
         entry
-            .master(self.config.tables_dir.as_deref())
+            .master(self.registry.tables_dir.as_deref())
             .map(|(m, _)| m)
     }
 
@@ -525,10 +1669,10 @@ impl SelectorService {
     ///
     /// [`ServiceError::UnknownTarget`] or [`ServiceError::Tables`].
     pub fn submit(&self, target: &str, forest: Forest) -> Result<Ticket, ServiceError> {
-        let entry = self.entry(target)?;
-        let (master, warm) = entry.master(self.config.tables_dir.as_deref())?;
-        let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
-        self.queue.lock().expect("queue lock").push(Job {
+        let entry = self.registry.entry(target)?;
+        let (master, warm) = entry.master(self.registry.tables_dir.as_deref())?;
+        let ticket = self.registry.allocate_ticket();
+        self.queue.lock().expect("queue lock").push(PendingJob {
             ticket,
             entry,
             master,
@@ -543,14 +1687,33 @@ impl SelectorService {
         self.queue.lock().expect("queue lock").len()
     }
 
-    /// Takes every queued job, shards the batch across the worker pool,
-    /// and labels each job against its target's master with the snapshot
-    /// epoch pinned per job. Concurrent `drain` calls are allowed; each
-    /// job is handed to exactly one of them.
+    /// The batch server, started on first drain.
+    fn server(&self) -> Arc<SelectorServer> {
+        let mut slot = self.server.lock().expect("server slot lock");
+        if let Some(server) = &*slot {
+            return Arc::clone(server);
+        }
+        let server = Arc::new(SelectorServer::with_registry(
+            Arc::clone(&self.registry),
+            self.workers,
+            usize::MAX,
+            false,
+        ));
+        *slot = Some(Arc::clone(&server));
+        server
+    }
+
+    /// Takes every queued job, runs the batch through the server's
+    /// persistent worker pool, and blocks for the per-job results.
+    /// Budget enforcement happens in the maintenance quanta the batch's
+    /// jobs schedule; the drain waits for those quanta before sampling
+    /// table sizes, so the report reflects post-enforcement tables.
+    /// Concurrent `drain` calls are allowed; each job is handed to
+    /// exactly one of them.
     pub fn drain(&self) -> BatchReport {
-        let jobs: Vec<Job> = std::mem::take(&mut *self.queue.lock().expect("queue lock"));
+        let jobs: Vec<PendingJob> = std::mem::take(&mut *self.queue.lock().expect("queue lock"));
         if jobs.is_empty() {
-            // Nothing queued: no worker threads, an empty report. Keeps
+            // Nothing queued: no server start, an empty report. Keeps
             // serve-style polling loops cheap.
             return BatchReport {
                 results: Vec::new(),
@@ -561,10 +1724,11 @@ impl SelectorService {
             };
         }
         let started = Instant::now();
+        let server = self.server();
 
         // Per-target bookkeeping, in first-submission order: the entry
-        // and master handles plus the master's cumulative counters
-        // before the batch runs.
+        // and master handles plus the cumulative counters before the
+        // batch runs (master work + service events).
         let mut involved: Vec<(Arc<TargetEntry>, Arc<SharedOnDemand>, bool, WorkCounters)> =
             Vec::new();
         for job in &jobs {
@@ -572,75 +1736,69 @@ impl SelectorService {
                 .iter()
                 .any(|(entry, ..)| entry.name == job.entry.name)
             {
+                job.entry
+                    .last_pressure
+                    .lock()
+                    .expect("pressure lock")
+                    .take();
                 involved.push((
                     Arc::clone(&job.entry),
                     Arc::clone(&job.master),
                     job.warm,
-                    job.master.counters(),
+                    job.entry.counters(),
                 ));
             }
         }
 
-        let workers = match self.config.workers {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(8),
-            n => n,
+        let mut handles: Vec<JobHandle> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let handle = server
+                .enqueue(
+                    Some(job.ticket),
+                    job.entry,
+                    job.master,
+                    job.forest,
+                    JobOptions::default(),
+                    false,
+                )
+                .expect("uncapped batch submission cannot be rejected");
+            handles.push(handle);
         }
-        .clamp(1, jobs.len().max(1));
-
-        // Shard: workers claim jobs off a shared cursor, so a slow job
-        // never head-of-line-blocks the rest of the batch.
-        let slots: Vec<Mutex<Option<Job>>> =
-            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-        let cursor = AtomicUsize::new(0);
-        let done: Mutex<Vec<JobResult>> = Mutex::new(Vec::with_capacity(slots.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut local: Vec<JobResult> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= slots.len() {
-                            break;
+        let mut results: Vec<JobResult> = handles
+            .into_iter()
+            .map(|handle| {
+                let done = handle.wait();
+                JobResult {
+                    ticket: done.ticket,
+                    target: done.target,
+                    forest: done.forest,
+                    outcome: match done.outcome {
+                        Ok(pinned) => Ok(pinned),
+                        Err(JobError::Label(e)) => Err(e),
+                        Err(JobError::DeadlineExceeded { .. }) => {
+                            unreachable!("batch jobs are submitted without deadlines")
                         }
-                        let job = slots[i]
-                            .lock()
-                            .expect("slot lock")
-                            .take()
-                            .expect("each slot is claimed exactly once");
-                        let t = Instant::now();
-                        let outcome = job.master.label_forest_pinned(&job.forest);
-                        local.push(JobResult {
-                            ticket: job.ticket,
-                            target: job.entry.name.clone(),
-                            forest: job.forest,
-                            outcome,
-                            latency: t.elapsed(),
-                        });
-                    }
-                    done.lock().expect("results lock").append(&mut local);
-                });
-            }
-        });
-
-        let wall = started.elapsed();
-        let mut results = done.into_inner().expect("results lock");
+                        // The server contains worker panics; the batch
+                        // API predates that and always re-panicked the
+                        // drain caller (scoped threads) — keep doing so.
+                        Err(JobError::Panicked { message }) => {
+                            panic!("batch labeling panicked: {message}")
+                        }
+                    },
+                    latency: done.latency,
+                }
+            })
+            .collect();
         results.sort_unstable_by_key(|r| r.ticket);
+
+        // Wait for the maintenance quanta this batch scheduled, so the
+        // per-target table sizes below are post-enforcement.
+        server.wait_idle();
 
         let per_target = involved
             .into_iter()
             .map(|(entry, master, warm_started, before)| {
-                // The compaction trigger: once the batch's growth is in,
-                // enforce the target's memory budget so the tables are
-                // back under the ceiling before the next batch (and
-                // before this report samples their size). Pinned
-                // labelings in `results` are unaffected — they keep
-                // their snapshots alive.
-                let pressure = self
-                    .effective_budget(&entry)
-                    .and_then(|budget| master.enforce_budget(&budget));
+                let pressure = entry.last_pressure.lock().expect("pressure lock").take();
                 let target = entry.name.clone();
                 let mine = results.iter().filter(|r| r.target == target);
                 let mut jobs = 0;
@@ -665,7 +1823,7 @@ impl SelectorService {
                     jobs,
                     nodes,
                     failed,
-                    counters: master.counters().since(&before),
+                    counters: entry.counters().since(&before),
                     epochs,
                     warm_started,
                     table_bytes: master.accounted_bytes().total(),
@@ -679,8 +1837,8 @@ impl SelectorService {
             results,
             per_target,
             latency,
-            wall,
-            workers,
+            wall: started.elapsed(),
+            workers: server.worker_count(),
         }
     }
 }
@@ -948,10 +2106,12 @@ mod tests {
             }
         }
         assert!(pressured > 0, "churn must trip the budget");
-        // The governance activity is visible in the ordinary counters.
+        // The governance activity is visible in the ordinary counters —
+        // and the maintenance quanta that performed it are accounted.
         let master = svc.shared("churn").unwrap();
         assert!(master.counters().compactions > 0);
         assert!(master.counters().states_evicted > 0);
+        assert!(master.counters().maintenance_runs > 0);
     }
 
     #[test]
@@ -1000,5 +2160,343 @@ mod tests {
         assert!(report.results.is_empty());
         assert!(report.per_target.is_empty());
         assert_eq!(report.latency.p99, Duration::ZERO);
+    }
+
+    // -----------------------------------------------------------------
+    // Server tests. The heavyweight stress/differential suites live in
+    // `tests/server.rs`; these cover the basic contracts.
+    // -----------------------------------------------------------------
+
+    fn small_server() -> SelectorServer {
+        SelectorServer::with_builtin_targets(ServerConfig {
+            workers: 2,
+            queue_cap: 16,
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn server_submits_and_waits_per_job() {
+        let server = small_server();
+        let h0 = server
+            .try_submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        let h1 = server
+            .try_submit("x86ish", forest("(AddI4 (ConstI4 1) (ConstI4 2))"))
+            .unwrap();
+        assert_eq!(h0.target(), "demo");
+        let d1 = h1.wait();
+        let d0 = h0.wait();
+        assert!(d0.outcome.is_ok());
+        assert_eq!(d1.target, "x86ish");
+        assert!(!d1.reduce().unwrap().instructions.is_empty());
+        let report = server.shutdown();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.deadline_missed + report.rejected, 0);
+        // Maintenance ran in worker quanta, off the submit path.
+        assert!(report.counters().maintenance_runs > 0);
+    }
+
+    #[test]
+    fn server_unknown_target_is_a_typed_service_error() {
+        let server = small_server();
+        match server.try_submit("z80", Forest::new()) {
+            Err(SubmitError::Service(ServiceError::UnknownTarget { target })) => {
+                assert_eq!(target, "z80")
+            }
+            other => panic!("wrong outcome: {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_try_wait_polls_without_blocking() {
+        let server = small_server();
+        let mut handle = server
+            .try_submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        let done = loop {
+            if let Some(done) = handle.try_wait() {
+                break done;
+            }
+            std::thread::yield_now();
+        };
+        assert!(done.outcome.is_ok());
+        assert!(handle.try_wait().is_none(), "handle is spent");
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_zero_deadline_expires_without_labeling() {
+        let server = small_server();
+        let handle = server
+            .try_submit_with(
+                "demo",
+                forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"),
+                JobOptions {
+                    deadline: Some(Duration::ZERO),
+                    ..JobOptions::default()
+                },
+            )
+            .unwrap();
+        let done = handle.wait();
+        match &done.outcome {
+            Err(JobError::DeadlineExceeded { .. }) => {}
+            other => panic!("zero deadline must expire, got {other:?}"),
+        }
+        assert!(matches!(done.reduce(), Err(ServeError::Job(_))));
+        let report = server.shutdown();
+        assert_eq!(report.deadline_missed, 1);
+        assert_eq!(report.completed, 0);
+        let demo = report
+            .per_target
+            .iter()
+            .find(|t| t.target == "demo")
+            .unwrap();
+        assert_eq!(demo.counters.deadline_misses, 1);
+    }
+
+    #[test]
+    fn saturated_job_lanes_cannot_starve_maintenance() {
+        // One worker wedged on a gated job while 199 more pile up: the
+        // job lanes stay non-empty from the first pop to the last, the
+        // exact regime where jobs-first scheduling would defer budget
+        // enforcement until the burst ends. The starvation bound must
+        // interleave quanta anyway — roughly one per
+        // MAINTENANCE_STARVATION_BOUND pops, not a single one at the
+        // end.
+        const JOBS: usize = 200;
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let server = SelectorServer::new(ServerConfig {
+            workers: 1,
+            queue_cap: JOBS,
+            ..ServerConfig::default()
+        });
+        server
+            .register_normal("gated", gated_grammar(&gate))
+            .unwrap();
+        let mut handles = vec![server.try_submit("gated", forest("(ConstI8 0)")).unwrap()];
+        // Wait for the worker to wedge in the gate, then fill the lanes.
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        for i in 1..JOBS {
+            handles.push(
+                server
+                    .try_submit("gated", forest(&format!("(ConstI8 {i})")))
+                    .unwrap(),
+            );
+        }
+        open_gate(&gate);
+        for h in handles {
+            assert!(h.wait().outcome.is_ok());
+        }
+        let report = server.shutdown();
+        assert_eq!(report.completed, JOBS as u64);
+        let quanta = report.counters().maintenance_runs;
+        let expected = (JOBS / (MAINTENANCE_STARVATION_BOUND + 1)) as u64;
+        assert!(
+            quanta >= expected,
+            "saturation starved maintenance: {quanta} quanta over {JOBS} jobs \
+             (bound {MAINTENANCE_STARVATION_BOUND} implies >= {expected})"
+        );
+    }
+
+    #[test]
+    fn server_contains_labeling_panics_as_typed_job_errors() {
+        // A user-bound dyncost closure that panics on a poison value
+        // must not take the worker down: the job completes with
+        // JobError::Panicked, every other job (before and after) is
+        // unaffected, and shutdown still conserves the tallies.
+        let mut g = odburg_grammar::parse_grammar(
+            "%grammar trap\n%start reg\n%dyncost trap\nreg: ConstI8 [trap]\n",
+        )
+        .unwrap();
+        g.bind_dyncost(
+            "trap",
+            Arc::new(|forest: &odburg_ir::Forest, node| {
+                let v = forest.node(node).payload().as_int().unwrap_or(0);
+                assert_ne!(v, 13, "poison constant");
+                odburg_grammar::RuleCost::Finite(1)
+            }),
+        )
+        .unwrap();
+        let server = SelectorServer::new(ServerConfig {
+            workers: 1,
+            queue_cap: 16,
+            ..ServerConfig::default()
+        });
+        server
+            .register_normal("trap", Arc::new(g.normalize()))
+            .unwrap();
+        let good_before = server.try_submit("trap", forest("(ConstI8 1)")).unwrap();
+        let poisoned = server.try_submit("trap", forest("(ConstI8 13)")).unwrap();
+        let good_after = server.try_submit("trap", forest("(ConstI8 2)")).unwrap();
+        assert!(good_before.wait().outcome.is_ok());
+        match poisoned.wait().outcome {
+            Err(JobError::Panicked { message }) => {
+                assert!(message.contains("poison"), "{message}")
+            }
+            other => panic!("panic must surface typed, got {other:?}"),
+        }
+        assert!(
+            good_after.wait().outcome.is_ok(),
+            "the worker must survive the panic"
+        );
+        let report = server.shutdown();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.completed + report.deadline_missed, report.accepted);
+    }
+
+    #[test]
+    fn server_shutdown_rejects_new_submits_but_finishes_accepted_work() {
+        let server = small_server();
+        let handle = server
+            .try_submit("demo", forest("(StoreI8 (AddrLocalP @x) (ConstI8 1))"))
+            .unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.completed, 1);
+        // The handle still resolves after shutdown.
+        assert!(handle.wait().outcome.is_ok());
+        match server.try_submit("demo", forest("(ConstI8 1)")) {
+            Err(SubmitError::Shutdown) => {}
+            other => panic!("wrong outcome: {other:?}"),
+        }
+        // A second shutdown is a harmless snapshot.
+        let again = server.shutdown();
+        assert_eq!(again.completed, 1);
+        assert_eq!(again.rejected, 1);
+    }
+
+    #[test]
+    fn server_queue_full_is_a_typed_rejection() {
+        // One worker deterministically wedged on a gated job, capacity
+        // 1: the next submission fills the queue and the one after must
+        // be rejected as QueueFull, visible in the tallies and the
+        // target's counters.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let server = SelectorServer::new(ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        });
+        server
+            .register_normal("gated", gated_grammar(&gate))
+            .unwrap();
+        let h_plug = server.try_submit("gated", forest("(ConstI8 0)")).unwrap();
+        // Wait for the worker to pop the plug (a waiting plug occupies
+        // the only queue slot itself); it then wedges in the gate.
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        let h_queued = server
+            .try_submit("gated", forest("(ConstI8 1)"))
+            .expect("capacity 1 admits one waiting job");
+        match server.try_submit("gated", forest("(ConstI8 2)")) {
+            Err(SubmitError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("a full 1-slot queue must reject, got {other:?}"),
+        }
+        open_gate(&gate);
+        assert!(h_plug.wait().outcome.is_ok());
+        assert!(
+            h_queued.wait().outcome.is_ok(),
+            "accepted jobs are never lost"
+        );
+        let report = server.shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.accepted, report.completed);
+        let gated = report
+            .per_target
+            .iter()
+            .find(|t| t.target == "gated")
+            .unwrap();
+        assert_eq!(gated.counters.rejected_submits, 1);
+    }
+
+    /// A grammar whose dynamic cost blocks until `gate` opens — the
+    /// deterministic way to wedge a worker mid-labeling.
+    fn gated_grammar(gate: &Arc<(Mutex<bool>, Condvar)>) -> Arc<NormalGrammar> {
+        let mut g = odburg_grammar::parse_grammar(
+            "%grammar gated\n%start reg\n%dyncost gate\nreg: ConstI8 [gate]\n",
+        )
+        .unwrap();
+        let gate = Arc::clone(gate);
+        g.bind_dyncost(
+            "gate",
+            Arc::new(move |_f: &odburg_ir::Forest, _n| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().expect("gate lock");
+                while !*open {
+                    open = cv.wait(open).expect("gate lock");
+                }
+                odburg_grammar::RuleCost::Finite(1)
+            }),
+        )
+        .unwrap();
+        Arc::new(g.normalize())
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**gate;
+        *lock.lock().expect("gate lock") = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn server_high_priority_jumps_the_normal_lane() {
+        // Wedge the single worker on a gated job, queue normals, then
+        // one High: the high-priority job must be popped (and
+        // completed) before any queued normal job.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let server = SelectorServer::new(ServerConfig {
+            workers: 1,
+            queue_cap: 64,
+            ..ServerConfig::default()
+        });
+        server
+            .register_normal("gated", gated_grammar(&gate))
+            .unwrap();
+        let h_plug = server.try_submit("gated", forest("(ConstI8 0)")).unwrap();
+        let normals: Vec<JobHandle> = (0..3)
+            .map(|i| {
+                server
+                    .try_submit("gated", forest(&format!("(ConstI8 {i})")))
+                    .unwrap()
+            })
+            .collect();
+        let high = server
+            .try_submit_with(
+                "gated",
+                forest("(ConstI8 99)"),
+                JobOptions {
+                    priority: Priority::High,
+                    ..JobOptions::default()
+                },
+            )
+            .unwrap();
+        // Everything is queued (or wedged in the gate); release.
+        open_gate(&gate);
+        let done = high.wait();
+        assert!(done.outcome.is_ok());
+        assert!(h_plug.wait().outcome.is_ok());
+        // The high job was *submitted after* every normal but must be
+        // *popped before* them: accepted later + started earlier means
+        // its queued time is strictly below every normal's. This holds
+        // regardless of scheduling jitter.
+        for h in normals {
+            let normal = h.wait();
+            assert!(normal.outcome.is_ok());
+            assert!(
+                done.queued < normal.queued,
+                "high priority must jump the normal lane: high queued {:?}, normal queued {:?}",
+                done.queued,
+                normal.queued
+            );
+        }
+        server.shutdown();
     }
 }

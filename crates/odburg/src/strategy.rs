@@ -92,6 +92,18 @@ impl Strategy {
         }
     }
 
+    /// Whether this is the strategy the service front ends
+    /// ([`SelectorServer`](crate::service::SelectorServer) and the
+    /// batch-compatible
+    /// [`SelectorService`](crate::service::SelectorService)) label
+    /// with. They always run the shared snapshot core — its lock-free
+    /// readers are what lets a persistent worker pool label
+    /// concurrently — so the CLI rejects any other `--labeler` value
+    /// on `batch`/`serve`.
+    pub fn serves_concurrently(self) -> bool {
+        matches!(self, Strategy::Shared)
+    }
+
     /// The flag/display name.
     pub fn name(self) -> &'static str {
         match self {

@@ -11,6 +11,8 @@
 //! which is what lets the `service_throughput` bench train warm tables
 //! on exactly the traffic it then measures.
 
+use std::time::Duration;
+
 use odburg_grammar::NormalGrammar;
 use odburg_ir::Forest;
 use rand::rngs::StdRng;
@@ -64,6 +66,52 @@ pub fn mixed_traffic(
         .collect()
 }
 
+/// One job of an open-loop arrival-paced stream: the offset from the
+/// stream's start at which the job "arrives", plus the job itself.
+#[derive(Debug, Clone)]
+pub struct PacedJob {
+    /// Arrival time, relative to the first submission.
+    pub at: Duration,
+    /// The traffic job to submit at that instant.
+    pub job: TrafficJob,
+}
+
+/// Generates `jobs` deterministic mixed-target jobs with **open-loop**
+/// arrival times: inter-arrival gaps are sampled from an exponential
+/// distribution with the given mean (a Poisson arrival process — the
+/// canonical open-loop load model, where arrivals do not wait for
+/// completions), capped at `10 × mean_gap` so a single long gap cannot
+/// stall a replay. The job sequence is exactly
+/// [`mixed_traffic`]`(targets, seed, jobs)`; the same seed always
+/// produces the same jobs *and* the same schedule, which is what lets
+/// the `serve_latency` bench compare runs.
+///
+/// # Panics
+///
+/// Panics if `targets` is empty.
+pub fn paced_traffic(
+    targets: &[(&str, &NormalGrammar)],
+    seed: u64,
+    jobs: usize,
+    mean_gap: Duration,
+) -> Vec<PacedJob> {
+    let stream = mixed_traffic(targets, seed, jobs);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_6365_6474_7266); // "pacedtrf"
+    let mean = mean_gap.as_secs_f64();
+    let mut at = Duration::ZERO;
+    stream
+        .into_iter()
+        .map(|job| {
+            // Inverse-transform sampling; 1 - u keeps the argument of
+            // ln strictly positive for u in [0, 1).
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let gap = (-mean * (1.0 - u).ln()).min(mean * 10.0);
+            at += Duration::from_secs_f64(gap);
+            PacedJob { at, job }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +148,42 @@ mod tests {
                 .any(|(x, y)| x.forest.len() != y.forest.len()),
             "different seeds must produce different traffic"
         );
+    }
+
+    #[test]
+    fn paced_traffic_is_deterministic_monotonic_and_open_loop() {
+        let gs = grammars();
+        let refs: Vec<(&str, &NormalGrammar)> = gs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        let mean = Duration::from_micros(500);
+        let a = paced_traffic(&refs, 0xC0FFEE, 64, mean);
+        let b = paced_traffic(&refs, 0xC0FFEE, 64, mean);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at, "same seed, same schedule");
+            assert_eq!(x.job.target, y.job.target);
+            assert_eq!(x.job.forest.len(), y.job.forest.len());
+        }
+        // Arrival times are non-decreasing, gaps are bounded, and the
+        // job sequence is exactly the mixed_traffic stream.
+        let mut last = Duration::ZERO;
+        for p in &a {
+            assert!(p.at >= last);
+            assert!(p.at - last <= mean * 10 + Duration::from_nanos(1));
+            last = p.at;
+        }
+        let plain = mixed_traffic(&refs, 0xC0FFEE, 64);
+        for (p, j) in a.iter().zip(&plain) {
+            assert_eq!(p.job.target, j.target);
+            assert_eq!(p.job.forest.len(), j.forest.len());
+        }
+        // The schedule averages out near the requested mean (loose 4x
+        // band: 64 exponential samples are noisy).
+        let total = a.last().unwrap().at;
+        assert!(total >= mean * 64 / 4, "{total:?} too bunched");
+        assert!(total <= mean * 64 * 4, "{total:?} too sparse");
+        // Different seeds, different schedule.
+        let c = paced_traffic(&refs, 0xDECAF, 64, mean);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.at != y.at));
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! The new failure surface of the long-running [`SelectorServer`]:
+//! queue-full backpressure, deadline expiry racing completion, and
+//! graceful shutdown with pinned labelings straddling a compaction —
+//! every successful labeling cross-checked **bit-identically** (full
+//! instruction sequence + total cost) against a fresh [`DpLabeler`]
+//! oracle, exactly as `tests/service_fuzz.rs` does for the batch path.
+//!
+//! The conservation law under test everywhere: every submitted job is
+//! either completed, typed-rejected (`QueueFull`), or deadline-expired
+//! — never silently lost, including across `shutdown()`.
+
+mod common;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use odburg::prelude::*;
+use odburg::service::{JobError, JobHandle, JobOptions, SelectorServer, ServerConfig, SubmitError};
+use odburg::workloads::TreeSampler;
+
+use common::random_grammar;
+
+/// The oracle: a fresh iburg-style dynamic-programming labeler, built
+/// from scratch for one forest, reduced to instructions.
+fn dp_reduction(forest: &Forest, normal: &Arc<NormalGrammar>) -> Reduction {
+    let mut dp = DpLabeler::new(Arc::clone(normal));
+    let labeling = dp.label_forest(forest).expect("dp labels sampled trees");
+    odburg::codegen::reduce_forest(forest, normal, &labeling).expect("dp reduces")
+}
+
+/// A grammar whose dynamic cost depends on the constant's value, so
+/// distinct constants keep minting signatures — the compaction churn
+/// driver.
+fn churn_grammar() -> Arc<NormalGrammar> {
+    let mut g = odburg::grammar::parse_grammar(
+        r#"
+        %grammar churn
+        %start stmt
+        %dyncost val
+        reg: ConstI8 [val]
+        reg: AddI8(reg, reg) (1)
+        stmt: StoreI8(reg, reg) (1)
+        "#,
+    )
+    .unwrap();
+    g.bind_dyncost(
+        "val",
+        Arc::new(|forest: &Forest, node: odburg::ir::NodeId| {
+            let v = forest.node(node).payload().as_int().unwrap_or(0);
+            RuleCost::Finite((v.unsigned_abs() % 911) as u16)
+        }),
+    )
+    .unwrap();
+    Arc::new(g.normalize())
+}
+
+fn churn_forest(k: i64) -> Forest {
+    let mut f = Forest::new();
+    let root = odburg::ir::parse_sexpr(
+        &mut f,
+        &format!(
+            "(StoreI8 (ConstI8 {k}) (AddI8 (ConstI8 {}) (ConstI8 1)))",
+            k + 13
+        ),
+    )
+    .unwrap();
+    f.add_root(root);
+    f
+}
+
+/// Multi-threaded backpressure stress: four submitters flood a tiny
+/// queue served by one worker. Every `try_submit` outcome is either an
+/// accepted handle (which must resolve with a correct labeling) or a
+/// typed `QueueFull` — and the final report's conservation must account
+/// for every single attempt.
+#[test]
+fn queue_full_backpressure_never_loses_a_job() {
+    const SUBMITTERS: usize = 4;
+    const PER_THREAD: usize = 200;
+
+    let normal = churn_grammar();
+    let server = Arc::new(SelectorServer::new(ServerConfig {
+        workers: 1,
+        queue_cap: 4,
+        ..ServerConfig::default()
+    }));
+    server
+        .register_normal("churn", Arc::clone(&normal))
+        .unwrap();
+
+    let accepted = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..SUBMITTERS {
+            let server = Arc::clone(&server);
+            let normal = Arc::clone(&normal);
+            let accepted = &accepted;
+            let rejected = &rejected;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut handles: Vec<(JobHandle, Forest)> = Vec::new();
+                for i in 0..PER_THREAD {
+                    let k = (t * PER_THREAD + i) as i64;
+                    let forest = churn_forest(k);
+                    match server.try_submit("churn", forest.clone()) {
+                        Ok(handle) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                            handles.push((handle, forest));
+                        }
+                        Err(SubmitError::QueueFull { capacity }) => {
+                            assert_eq!(capacity, 4);
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+                // Every accepted job resolves, and resolves *correctly*.
+                for (handle, forest) in handles {
+                    let done = handle.wait();
+                    let got = done.reduce().expect("accepted jobs label");
+                    let want = dp_reduction(&forest, &normal);
+                    assert_eq!(got.instructions, want.instructions);
+                    assert_eq!(got.total_cost, want.total_cost);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let accepted = accepted.load(Ordering::Relaxed);
+    let rejected = rejected.load(Ordering::Relaxed);
+    let completed = completed.load(Ordering::Relaxed);
+    assert_eq!(
+        accepted + rejected,
+        (SUBMITTERS * PER_THREAD) as u64,
+        "every try_submit outcome is typed"
+    );
+    assert_eq!(completed, accepted, "no accepted job may be lost");
+    assert!(
+        rejected > 0,
+        "a 4-slot queue under 4 flooding submitters must exert backpressure"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.accepted, accepted);
+    assert_eq!(report.rejected, rejected);
+    assert_eq!(report.completed + report.deadline_missed, report.accepted);
+    assert_eq!(report.deadline_missed, 0, "no deadlines were set");
+    let churn = &report.per_target[0];
+    assert_eq!(churn.counters.rejected_submits, rejected);
+    assert!(
+        churn.counters.maintenance_runs > 0,
+        "quanta ran between jobs"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Deadline expiry racing completion: jobs with tiny random
+    /// deadlines race the worker. Whatever the interleaving, each
+    /// outcome is either a bit-identical-to-DP labeling or a typed
+    /// `DeadlineExceeded` — and the tallies conserve all of them.
+    #[test]
+    fn deadline_expiry_races_completion_without_losing_jobs(seed in 0u64..1_000_000) {
+        // Derive the racing deadline from the seed: 0..400us spans
+        // "always expired" through "usually labeled".
+        let deadline_us = seed % 400;
+        let normal = Arc::new(random_grammar(seed).normalize());
+        let server = SelectorServer::new(ServerConfig {
+            workers: 1,
+            queue_cap: 64,
+            ..ServerConfig::default()
+        });
+        server.register_normal("race", Arc::clone(&normal)).unwrap();
+
+        let mut handles: Vec<(JobHandle, Forest)> = Vec::new();
+        for salt in 0..6u64 {
+            let mut sampler = TreeSampler::new(&normal, seed ^ (salt << 8));
+            let forest = sampler.sample_forest(4);
+            let handle = server
+                .try_submit_with(
+                    "race",
+                    forest.clone(),
+                    JobOptions {
+                        deadline: Some(Duration::from_micros(deadline_us)),
+                        ..JobOptions::default()
+                    },
+                )
+                .expect("a 64-slot queue accepts 6 jobs");
+            handles.push((handle, forest));
+        }
+
+        let mut labeled = 0u64;
+        let mut expired = 0u64;
+        for (handle, forest) in handles {
+            let done = handle.wait();
+            match &done.outcome {
+                Ok(_) => {
+                    labeled += 1;
+                    let got = done.reduce().expect("labeled jobs reduce");
+                    let want = dp_reduction(&forest, &normal);
+                    prop_assert_eq!(
+                        &got.instructions, &want.instructions,
+                        "seed {}: racing deadline corrupted a labeling", seed
+                    );
+                    prop_assert_eq!(got.total_cost, want.total_cost);
+                }
+                Err(JobError::DeadlineExceeded { .. }) => {
+                    expired += 1;
+                    prop_assert!(done.latency.is_zero(), "expired jobs are never labeled");
+                }
+                Err(e @ (JobError::Label(_) | JobError::Panicked { .. })) => {
+                    return Err(TestCaseError::fail(format!("sampled trees must label: {e}")));
+                }
+            }
+        }
+        let report = server.shutdown();
+        prop_assert_eq!(report.accepted, 6);
+        prop_assert_eq!(report.completed, labeled);
+        prop_assert_eq!(report.deadline_missed, expired);
+        prop_assert_eq!(labeled + expired, 6, "conservation across the race");
+        let race = &report.per_target[0];
+        prop_assert_eq!(race.counters.deadline_misses, expired);
+    }
+}
+
+/// Graceful shutdown with pinned labelings straddling compactions: a
+/// compacting budget churns the target's tables while completed jobs
+/// are *held* across epochs and across `shutdown()` itself. Every held
+/// pin must keep reducing bit-identically to the oracle no matter how
+/// many compactions replaced the tables underneath it.
+#[test]
+fn shutdown_with_pins_straddling_compaction_is_bit_identical() {
+    let normal = churn_grammar();
+    let server = SelectorServer::new(ServerConfig {
+        workers: 2,
+        queue_cap: 512,
+        memory_budget: Some(MemoryBudget::compact(10 * 1024, 0.5)),
+        ..ServerConfig::default()
+    });
+    server
+        .register_normal("churn", Arc::clone(&normal))
+        .unwrap();
+
+    // Enough distinct constants to trip the 10 KiB budget repeatedly.
+    let mut held: Vec<(odburg::service::CompletedJob, Reduction)> = Vec::new();
+    let mut handles: Vec<(JobHandle, Forest)> = Vec::new();
+    for k in 0..160 {
+        let forest = churn_forest(k * 7);
+        let handle = server
+            .try_submit("churn", forest.clone())
+            .expect("roomy queue");
+        handles.push((handle, forest));
+    }
+    for (handle, forest) in handles {
+        let done = handle.wait();
+        let want = dp_reduction(&forest, &normal);
+        let got = done.reduce().expect("churn jobs label");
+        assert_eq!(got.instructions, want.instructions);
+        assert_eq!(got.total_cost, want.total_cost);
+        if held.len() < 12 {
+            // Keep early pins alive across all later compactions.
+            held.push((done, want));
+        }
+    }
+
+    // The budget must actually have tripped (otherwise this test pins
+    // nothing across anything).
+    let master = server.shared("churn").unwrap();
+    let counters = master.counters();
+    assert!(counters.compactions > 0, "churn must compact: {counters}");
+    assert!(counters.maintenance_runs > 0);
+    assert!(
+        master.accounted_bytes().total() <= 10 * 1024,
+        "maintenance quanta keep the budget"
+    );
+
+    // Shutdown while the pins are still alive…
+    let report = server.shutdown();
+    assert_eq!(report.completed, 160);
+    assert_eq!(report.completed + report.deadline_missed, report.accepted);
+    assert!(report.per_target[0].pressure.is_some(), "pressure recorded");
+
+    // …and the pinned labelings still reduce identically afterwards:
+    // their snapshots outlive the server, the compactions, everything.
+    for (done, want) in &held {
+        let again = done.reduce().expect("pins survive shutdown");
+        assert_eq!(&again.instructions, &want.instructions);
+        assert_eq!(again.total_cost, want.total_cost);
+    }
+}
+
+/// Governed persistence at the API level: `shutdown()` re-exports each
+/// built master's tables into the tables directory, and a fresh server
+/// warm-starts from them, answering the seen traffic with zero misses.
+#[test]
+fn shutdown_reexports_tables_and_heat_survives_restart() {
+    let dir = std::env::temp_dir().join("odburg-server-reexport");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let traffic: Vec<Forest> = (0..8).map(|k| churn_forest(k * 3)).collect();
+
+    // First life: cold, learns the traffic, exports at shutdown.
+    let server = SelectorServer::new(ServerConfig {
+        workers: 1,
+        tables_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    server.register_normal("churn", churn_grammar()).unwrap();
+    let handles: Vec<JobHandle> = traffic
+        .iter()
+        .map(|f| server.try_submit("churn", f.clone()).unwrap())
+        .collect();
+    for h in handles {
+        assert!(h.wait().outcome.is_ok());
+    }
+    let report = server.shutdown();
+    assert_eq!(report.exported_tables, vec!["churn".to_owned()]);
+    assert!(
+        report.export_errors.is_empty(),
+        "{:?}",
+        report.export_errors
+    );
+    assert!(dir.join("churn.odbt").exists());
+
+    // Second life: warm-starts from the export; the same traffic never
+    // enters the grow path.
+    let server = SelectorServer::new(ServerConfig {
+        workers: 1,
+        tables_dir: Some(dir),
+        ..ServerConfig::default()
+    });
+    server.register_normal("churn", churn_grammar()).unwrap();
+    let handles: Vec<JobHandle> = traffic
+        .iter()
+        .map(|f| server.try_submit("churn", f.clone()).unwrap())
+        .collect();
+    for h in handles {
+        assert!(h.wait().outcome.is_ok());
+    }
+    let report = server.shutdown();
+    let churn = &report.per_target[0];
+    assert!(churn.warm_started, "second life must be warm");
+    assert_eq!(churn.counters.memo_misses, 0, "{}", churn.counters);
+    assert_eq!(churn.counters.states_built, 0);
+}
