@@ -36,8 +36,8 @@ struct Run {
     warm: bool,
     batch_ns: u128,
     jobs_per_s: f64,
-    p50_ns: u128,
-    p99_ns: u128,
+    p50_us: f64,
+    p99_us: f64,
     misses: u64,
     nodes: u64,
 }
@@ -121,8 +121,8 @@ fn main() {
                 warm,
                 batch_ns,
                 jobs_per_s: JOBS as f64 / (batch_ns as f64 / 1e9),
-                p50_ns: report.latency.p50.as_nanos(),
-                p99_ns: report.latency.p99.as_nanos(),
+                p50_us: report.latency.p50.as_nanos() as f64 / 1e3,
+                p99_us: report.latency.p99.as_nanos() as f64 / 1e3,
                 misses,
                 nodes: total_nodes as u64,
             };
@@ -132,8 +132,8 @@ fn main() {
                     if warm { "warm" } else { "cold" }.to_owned(),
                     f(batch_ns as f64 / 1e6, 2),
                     f(run.jobs_per_s, 0),
-                    f(run.p50_ns as f64 / 1e3, 1),
-                    f(run.p99_ns as f64 / 1e3, 1),
+                    f(run.p50_us, 1),
+                    f(run.p99_us, 1),
                     misses.to_string(),
                 ],
                 &widths,
@@ -168,13 +168,13 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"workers\": {}, \"mode\": \"{}\", \"batch_ns\": {}, \"jobs_per_s\": {:.1}, \
-             \"p50_ns\": {}, \"p99_ns\": {}, \"misses\": {}, \"nodes\": {}}}{}",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"misses\": {}, \"nodes\": {}}}{}",
             r.workers,
             if r.warm { "warm" } else { "cold" },
             r.batch_ns,
             r.jobs_per_s,
-            r.p50_ns,
-            r.p99_ns,
+            r.p50_us,
+            r.p99_us,
             r.misses,
             r.nodes,
             if i + 1 == runs.len() { "" } else { "," },

@@ -12,7 +12,8 @@
 //!
 //! * **Accounting** — [`ComponentBytes`] breaks an automaton's footprint
 //!   down per component (state arena, projection arena, transition
-//!   table, projection cache, signature interner), computed identically
+//!   table, projection cache, signature interner, plus the derived
+//!   dense warm-path index a publication builds), computed identically
 //!   for live masters, published snapshots and persisted table files, so
 //!   a budget means the same thing everywhere.
 //! * **Heat** — the labeling hot paths keep cheap per-state touch
@@ -43,6 +44,7 @@
 
 use std::sync::Arc;
 
+use crate::dense;
 use crate::fxhash::FxHashMap;
 use crate::signature::{SigId, SignatureInterner};
 use crate::snapshot::{TransKey, MAX_ARITY, NO_CHILD};
@@ -80,12 +82,28 @@ pub struct ComponentBytes {
     pub projection_cache: usize,
     /// The dynamic-cost signature interner.
     pub signatures: usize,
+    /// The dense warm-path index a published snapshot carries (see
+    /// [`crate::dense`](crate) module docs in `dense.rs`): grouped
+    /// transition slots, the flat projection table, and the
+    /// structure-of-arrays state facts. The index is *derived* — built
+    /// at publication or import, never serialized — but its footprint
+    /// is a deterministic function of the table entry counts, so it is
+    /// accounted identically for live masters (as the index the next
+    /// publication will carry), published snapshots (the index actually
+    /// built) and persisted files (the index an import will build).
+    /// Budgets therefore see the true snapshot footprint.
+    pub dense_index: usize,
 }
 
 impl ComponentBytes {
     /// Total accounted bytes across all components.
     pub fn total(&self) -> usize {
-        self.states + self.projections + self.transitions + self.projection_cache + self.signatures
+        self.states
+            + self.projections
+            + self.transitions
+            + self.projection_cache
+            + self.signatures
+            + self.dense_index
     }
 }
 
@@ -187,8 +205,17 @@ pub(crate) struct TableView<'a> {
     pub project_children: bool,
 }
 
-/// Accounted bytes of a full table set.
+/// Accounted bytes of a full table set, including the dense warm-path
+/// index these tables imply (a pure function of the entry counts — no
+/// index is materialized here).
 pub(crate) fn account_tables(view: &TableView<'_>) -> ComponentBytes {
+    let dense_shape = dense::shape_of(
+        view.transitions.keys().map(|k| k.op),
+        view.projection_cache.len(),
+        view.states.iter(),
+        view.signatures.len(),
+        view.signatures.iter().map(|s| s.len()).sum(),
+    );
     ComponentBytes {
         states: view
             .states
@@ -207,6 +234,7 @@ pub(crate) fn account_tables(view: &TableView<'_>) -> ComponentBytes {
             .iter()
             .map(|sig| std::mem::size_of_val(sig) + SIG_ENTRY_OVERHEAD)
             .sum(),
+        dense_index: dense_shape.bytes(),
     }
 }
 
@@ -259,12 +287,37 @@ fn plan_retention(view: &TableView<'_>, keep_state: &[bool]) -> RetentionPlan {
     let mut keep_sig = vec![false; view.signatures.len()];
     keep_sig[SigId::EMPTY.0 as usize] = true;
     let mut trans_kept = 0usize;
+    // Per-operator retained counts: the dense index's slot regions are
+    // sized per operator, so predicting its post-compaction footprint
+    // needs the retained key set broken down by op.
+    let mut kept_ops: FxHashMap<u16, usize> = FxHashMap::default();
     for (key, &target) in view.transitions.iter() {
         if keep_state[target.0 as usize] && key.kids.iter().all(|&k| kid_kept(k)) {
             keep_sig[key.sig.0 as usize] = true;
             trans_kept += 1;
+            *kept_ops.entry(key.op).or_insert(0) += 1;
         }
     }
+    let states_kept = keep_state.iter().filter(|&&k| k).count();
+    let dense_shape = dense::IndexShape {
+        groups: kept_ops.keys().max().map_or(0, |&m| m as usize + 1),
+        trans_slots: kept_ops.values().map(|&n| dense::slots_for(n)).sum(),
+        proj_slots: dense::slots_for(cache_kept),
+        states: states_kept,
+        num_nts: if states_kept == 0 {
+            0
+        } else {
+            view.states.first().map_or(0, |s| s.len())
+        },
+        sigs: keep_sig.iter().filter(|&&k| k).count(),
+        sig_cost_words: view
+            .signatures
+            .iter()
+            .zip(&keep_sig)
+            .filter(|(_, &keep)| keep)
+            .map(|(sig, _)| sig.len())
+            .sum(),
+    };
     let bytes = ComponentBytes {
         states: view
             .states
@@ -289,6 +342,7 @@ fn plan_retention(view: &TableView<'_>, keep_state: &[bool]) -> RetentionPlan {
             .filter(|(_, &keep)| keep)
             .map(|(sig, _)| std::mem::size_of_val(sig) + SIG_ENTRY_OVERHEAD)
             .sum(),
+        dense_index: dense_shape.bytes(),
     };
     RetentionPlan {
         keep_proj,
@@ -472,8 +526,9 @@ mod tests {
             transitions: 3,
             projection_cache: 4,
             signatures: 5,
+            dense_index: 6,
         };
-        assert_eq!(b.total(), 15);
+        assert_eq!(b.total(), 21);
     }
 
     #[test]

@@ -65,6 +65,7 @@
 
 pub mod compute;
 mod counters;
+mod dense;
 pub mod fxhash;
 mod generate;
 pub mod govern;
@@ -85,5 +86,5 @@ pub use offline::{DynCostMode, OfflineAutomaton, OfflineConfig, OfflineLabeler, 
 pub use ondemand::{BudgetPolicy, OnDemandAutomaton, OnDemandConfig, OnDemandStats};
 pub use persist::PersistError;
 pub use shared::{CoarseSharedOnDemand, PinnedLabeling, SharedOnDemand};
-pub use snapshot::{AutomatonSnapshot, SnapshotStats};
+pub use snapshot::{AutomatonSnapshot, RawProjection, RawTransition, SnapshotStats, WarmWalk};
 pub use state::{StateData, StateId, StateSet};

@@ -68,6 +68,15 @@
 //! numbering of the exporting process, so pre-export pinned labelings
 //! are not resurrected (state ids never cross process boundaries except
 //! through the snapshot itself).
+//!
+//! The dense warm-path index (see `dense.rs`) is **not** part of this
+//! format and never will be: it is a pure function of the canonical
+//! tables, rebuilt by [`AutomatonSnapshot`]'s constructor at import
+//! exactly as at publication — which is why [`FORMAT_VERSION`] stays at
+//! 2 even though snapshots now carry the index. Its accounted bytes
+//! ([`ComponentBytes::dense_index`]) *are* reported by
+//! [`inspect_tables`], computed from the entry counts, so `tables
+//! stats` shows the footprint an import will actually have.
 
 use std::io::{Read, Write};
 use std::path::Path;

@@ -198,32 +198,22 @@ impl SharedOnDemand {
         snap: &AutomatonSnapshot,
         forest: &Forest,
     ) -> Result<(Vec<StateId>, Option<Arc<AutomatonSnapshot>>), LabelError> {
-        let mut states: Vec<StateId> = Vec::with_capacity(forest.len());
         let mut local = WorkCounters::new();
 
-        // Fast path: immutable lookups against the snapshot, no locks.
-        for (id, node) in forest.iter() {
-            let mut kids = [StateId(0); MAX_ARITY];
-            for (i, &c) in node.children().iter().enumerate() {
-                kids[i] = states[c.index()];
-            }
-            local.nodes += 1;
-            local.hash_lookups += 1;
-            match peek(snap, forest, id, node.op(), &kids, &mut local) {
-                Some(sid) => {
-                    if snap.state(sid).is_dead() {
-                        self.counters.merge(&local);
-                        return Err(LabelError::NoCover {
-                            node: id,
-                            op: node.op(),
-                        });
-                    }
-                    local.memo_hits += 1;
-                    states.push(sid);
-                }
-                None => break,
-            }
+        // Fast path: level-batched walk over the snapshot's dense index
+        // — no locks, no hashing, one bounded probe per node (see
+        // [`AutomatonSnapshot::label_warm`]). A miss hands the longest
+        // resolved arena prefix to the grow path, exactly as the
+        // per-node walk did.
+        let walk = snap.label_warm(forest, &mut local);
+        if let Some(id) = walk.nocover {
+            self.counters.merge(&local);
+            return Err(LabelError::NoCover {
+                node: id,
+                op: forest.node(id).op(),
+            });
         }
+        let mut states = walk.states;
 
         // Heat: one relaxed add per fast-path-resolved state, merged
         // here once per forest so the hot loop itself stays write-free.
@@ -493,26 +483,16 @@ fn label_rest(
     Ok(())
 }
 
-/// Read-only view of an automaton's transition tables; the fast-path
-/// lookup [`peek`] is written against this so the snapshot core and the
-/// coarse-lock baseline share one signature/key construction (they must
-/// never drift apart, or the benchmark comparison stops being one).
+/// Read-only view of an automaton's transition tables; the coarse-lock
+/// baseline's fast-path lookup [`peek`] is written against this. (The
+/// snapshot core used to share it; it now walks the dense index via
+/// [`AutomatonSnapshot::label_warm`], whose hash-path twin
+/// `label_warm_hash` keeps the same key construction alive as the
+/// benchmark baseline.)
 trait TransitionView {
     fn view_grammar(&self) -> &odburg_grammar::NormalGrammar;
     fn view_signature(&self, costs: &[RuleCost]) -> Option<SigId>;
     fn view_lookup(&self, op: Op, kids: &[StateId], sig: SigId) -> Option<StateId>;
-}
-
-impl TransitionView for AutomatonSnapshot {
-    fn view_grammar(&self) -> &odburg_grammar::NormalGrammar {
-        self.grammar()
-    }
-    fn view_signature(&self, costs: &[RuleCost]) -> Option<SigId> {
-        self.find_signature(costs)
-    }
-    fn view_lookup(&self, op: Op, kids: &[StateId], sig: SigId) -> Option<StateId> {
-        self.lookup(op, kids, sig)
-    }
 }
 
 impl TransitionView for OnDemandAutomaton {

@@ -25,9 +25,11 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use odburg_grammar::{NormalGrammar, NormalRuleId, NtId, RuleCost};
-use odburg_ir::Op;
+use odburg_grammar::{CostExpr, DynCostFn, NormalGrammar, NormalRuleId, NtId, RuleCost};
+use odburg_ir::{Forest, NodeId, Op, OpId, NUM_OPS};
 
+use crate::counters::WorkCounters;
+use crate::dense::{self, DenseIndex};
 use crate::fxhash::FxHashMap;
 use crate::govern::{self, ComponentBytes};
 use crate::label::StateLookup;
@@ -104,11 +106,112 @@ pub struct AutomatonSnapshot {
     transitions: FxHashMap<TransKey, StateId>,
     projection_cache: FxHashMap<(StateId, u16, u8), StateId>,
     signatures: SignatureInterner,
+    /// The dense warm-path index (see [`crate::dense`]): flat
+    /// per-operator transition slots, a flat projection table, and
+    /// structure-of-arrays state facts, derived from the canonical
+    /// tables above at construction. Never serialized — rebuilt at
+    /// every publication and at [`persist`](crate::persist) import.
+    dense: DenseIndex,
     /// Per-state touch counters for this epoch, bumped (relaxed) by the
     /// lock-free fast path once per forest and folded into the writer's
     /// heat at compaction time. Not part of the persisted format and
     /// not compared by [`SnapshotStats`].
     heat: Box<[AtomicU32]>,
+    /// Flattened dynamic-cost dispatch (see [`DynEvalTable`]).
+    dyn_eval: DynEvalTable,
+}
+
+/// Flattened warm-path dispatch for dynamic-cost evaluation: the
+/// resolved cost function of every dynamic base rule, grouped by
+/// operator id, plus the dynamic chain rules' functions. Derived from
+/// the grammar at snapshot construction (a cold path) so a warm eval is
+/// one sequential slice read and the indirect call itself — the per-eval
+/// walk through the fat [`NormalRule`] and
+/// [`DynCost`](odburg_grammar::DynCost) tables (two dependent cache
+/// lines each) happens once per publication instead of once per node.
+/// Constant grammar-derived metadata, outside the byte accounting like
+/// the grammar `Arc` itself.
+struct DynEvalTable {
+    /// `base[op]` — cost functions of the op's dynamic base rules, in
+    /// the same order `dynamic_base_rules` reports them.
+    base: Box<[Box<[DynCostFn]>]>,
+    /// Cost functions of the dynamic chain rules, in order.
+    chains: Box<[DynCostFn]>,
+}
+
+impl std::fmt::Debug for DynEvalTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynEvalTable")
+            .field("ops", &self.base.iter().filter(|b| !b.is_empty()).count())
+            .field("chains", &self.chains.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DynEvalTable {
+    fn build(grammar: &NormalGrammar) -> Self {
+        let resolve = |&r: &NormalRuleId| -> DynCostFn {
+            match grammar.rule(r).cost {
+                CostExpr::Dynamic(id) => grammar.dyncosts()[id.0 as usize].func.clone(),
+                // Dynamic rule lists only hold `Dynamic`-cost rules, but
+                // degrade gracefully if that ever changes.
+                CostExpr::Fixed(c) => Arc::new(move |_: &Forest, _: NodeId| RuleCost::Finite(c)),
+            }
+        };
+        DynEvalTable {
+            base: (0..NUM_OPS as u16)
+                .map(|id| match Op::from_id(OpId(id)) {
+                    Some(op) => grammar.dynamic_base_rules(op).iter().map(resolve).collect(),
+                    None => Box::default(),
+                })
+                .collect(),
+            chains: grammar.dynamic_chain_rules().iter().map(resolve).collect(),
+        }
+    }
+}
+
+/// Outcome of a warm (snapshot-only) labeling walk: the arena-order
+/// prefix of nodes answered from the snapshot, and whether that prefix
+/// resolved a node to the dead state (`NoCover`).
+///
+/// `states.len() == forest.len()` with `nocover == None` means the
+/// whole forest was answered warm.
+#[derive(Debug)]
+pub struct WarmWalk {
+    /// Resolved states, indexed by node id, for a contiguous prefix of
+    /// the arena — exactly the prefix contract the grow path resumes
+    /// from.
+    pub states: Vec<StateId>,
+    /// The first prefix node whose state derives nothing, if any.
+    pub nocover: Option<NodeId>,
+}
+
+/// One memoized transition in raw `(op, kids, sig)` form, for
+/// diagnostics and differential tests against the dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawTransition {
+    /// Operator id (`Op::id`).
+    pub op: u16,
+    /// Child keys (full state ids, or projection ids in projection
+    /// mode); unused slots are `u32::MAX`.
+    pub kids: [u32; 2],
+    /// Dynamic-cost signature id.
+    pub sig: u32,
+    /// The memoized target state.
+    pub state: StateId,
+}
+
+/// One memoized projection-cache entry in raw form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawProjection {
+    /// The full child state being projected.
+    pub full: StateId,
+    /// Operator id of the parent.
+    pub op: u16,
+    /// Child position under the parent.
+    pub pos: u8,
+    /// The projected state.
+    pub projection: StateId,
 }
 
 impl AutomatonSnapshot {
@@ -124,6 +227,23 @@ impl AutomatonSnapshot {
         signatures: SignatureInterner,
     ) -> Self {
         let heat = (0..states.len()).map(|_| AtomicU32::new(0)).collect();
+        // The dense warm-path index is derived here — publication and
+        // import are the cold paths that pay the build. An operator's
+        // signature is statically empty exactly when the grammar has no
+        // dynamic chain rules and no dynamic base rules for the op.
+        let chains_empty = grammar.dynamic_chain_rules().is_empty();
+        let dense = DenseIndex::build(
+            &states,
+            &transitions,
+            &projection_cache,
+            &signatures,
+            |op| {
+                chains_empty
+                    && Op::from_id(OpId(op))
+                        .is_some_and(|o| grammar.dynamic_base_rules(o).is_empty())
+            },
+        );
+        let dyn_eval = DynEvalTable::build(&grammar);
         AutomatonSnapshot {
             epoch,
             grammar,
@@ -133,7 +253,9 @@ impl AutomatonSnapshot {
             transitions,
             projection_cache,
             signatures,
+            dense,
             heat,
+            dyn_eval,
         }
     }
 
@@ -218,6 +340,11 @@ impl AutomatonSnapshot {
             signatures: &self.signatures,
             project_children: self.config.project_children,
         });
+        debug_assert_eq!(
+            bytes.dense_index,
+            self.dense.byte_size(),
+            "accounted dense-index bytes must equal the built index"
+        );
         SnapshotStats {
             epoch: self.epoch,
             states: self.states.len(),
@@ -273,15 +400,262 @@ impl AutomatonSnapshot {
         }
         self.transitions.get(&key).copied()
     }
+
+    /// Evaluates the dynamic-cost rules applicable at `node` into
+    /// `scratch`, returning `false` when there are none — the node's
+    /// signature is statically [`SigId::EMPTY`]. Shared by both warm
+    /// walks (the dyncost evaluation is identical work); each walk then
+    /// resolves the filled scratch through its own signature structure
+    /// — the dense probe or the interner's hash map. `scratch` is a
+    /// caller-owned buffer reused across nodes so the warm loops never
+    /// allocate per node, and dispatch goes through the flattened
+    /// [`DynEvalTable`]: per eval, one sequential function-pointer read
+    /// and the cost function itself.
+    #[inline]
+    fn node_dyn_costs(
+        &self,
+        forest: &Forest,
+        node: NodeId,
+        op: Op,
+        counters: &mut WorkCounters,
+        scratch: &mut Vec<RuleCost>,
+    ) -> bool {
+        let base = &*self.dyn_eval.base[op.id().0 as usize];
+        let chains = &*self.dyn_eval.chains;
+        if base.is_empty() && chains.is_empty() {
+            return false;
+        }
+        scratch.clear();
+        for f in base {
+            scratch.push(f(forest, node));
+        }
+        for f in chains {
+            scratch.push(f(forest, node));
+        }
+        counters.dyncost_evals += (base.len() + chains.len()) as u64;
+        true
+    }
+
+    /// Labels as much of `forest` as this snapshot can answer, using
+    /// the dense index and a **level-batched** walk over the arena.
+    /// The arena order is itself a level schedule — every child is
+    /// created (and therefore resolved) strictly before its parent — so
+    /// the walk consumes the forest as one in-place run of ascending
+    /// levels: sequential, prefetch-friendly reads of the node arena
+    /// and of the growing state buffer, with the whole previous level's
+    /// states already sitting contiguously when a parent is reached.
+    /// (An explicit counting-sort into per-level runs was measured and
+    /// rejected: the scatter pass plus the reordered — i.e. random —
+    /// arena reads cost more than the batching saved, since the slot
+    /// regions it tried to keep hot already fit in cache.)
+    ///
+    /// Per node the walk is exactly the dense probes: a bounded
+    /// flat-slot probe per transition (plus one per child in projection
+    /// mode) and a flat dead-flag read — no hashing, no `Arc` chase.
+    /// Misses stop the walk (the grow path recomputes from the returned
+    /// arena prefix, exactly as with the hash walk); dense probes are
+    /// counted as [`WorkCounters::table_lookups`].
+    pub fn label_warm(&self, forest: &Forest, counters: &mut WorkCounters) -> WarmWalk {
+        if self.config.project_children {
+            self.label_warm_impl::<true>(forest, counters)
+        } else {
+            self.label_warm_impl::<false>(forest, counters)
+        }
+    }
+
+    /// The warm walk, monomorphized per projection mode so the
+    /// non-projection loop carries no projection code at all.
+    fn label_warm_impl<const PROJECT: bool>(
+        &self,
+        forest: &Forest,
+        counters: &mut WorkCounters,
+    ) -> WarmWalk {
+        let dense = &self.dense;
+        let mut states: Vec<StateId> = Vec::with_capacity(forest.len());
+        let mut scratch: Vec<RuleCost> = Vec::new();
+        // Per-node tallies accumulate in locals and flush once — the
+        // loop writes no memory but the states vector.
+        let mut nodes = 0u64;
+        let mut hits = 0u64;
+        let mut nocover = None;
+        'walk: for (id, node) in forest.iter() {
+            let op = node.op();
+            let opid = op.id().0;
+            nodes += 1;
+            // One group-header load per node serves both the
+            // statically-empty-signature bit and the probe below.
+            let g = dense.group(opid);
+            // Child-state gather with a compile-time trip count
+            // (`MAX_ARITY == 2`), fully unrolled by the optimizer.
+            let mut kids = [NO_CHILD; MAX_ARITY];
+            let ch = node.children();
+            for (i, kid) in kids.iter_mut().enumerate() {
+                let Some(&c) = ch.get(i) else { break };
+                let s = states[c.index()].0;
+                *kid = if PROJECT {
+                    match dense.project(s, opid, i as u8) {
+                        Some(p) => p.0,
+                        None => break 'walk,
+                    }
+                } else {
+                    s
+                };
+            }
+            // A node of an all-fixed-cost operator never touches the
+            // grammar's dynamic-rule tables; dynamic nodes resolve
+            // their cost vector through the dense signature probe
+            // instead of the interner's hash map.
+            let sig =
+                if g.sig_static() || !self.node_dyn_costs(forest, id, op, counters, &mut scratch) {
+                    SigId::EMPTY
+                } else {
+                    match dense.find_sig(&scratch) {
+                        Some(s) => s,
+                        None => break 'walk,
+                    }
+                };
+            // The probe result carries the dead flag in its top bit, so
+            // the `NoCover` check costs no extra load.
+            match dense.lookup_enc(g, kids[0], kids[1], sig.0) {
+                Some(enc) => {
+                    if enc & dense::DEAD_BIT != 0 {
+                        nocover = Some(id);
+                        break 'walk;
+                    }
+                    hits += 1;
+                    states.push(StateId(enc));
+                }
+                None => break 'walk,
+            }
+        }
+        counters.nodes += nodes;
+        counters.table_lookups += nodes;
+        counters.memo_hits += hits;
+        WarmWalk { states, nocover }
+    }
+
+    /// The retained `FxHashMap` warm walk: arena order, one hash-map
+    /// probe per node (plus a hashed projection resolution per child in
+    /// projection mode), dead check through the `Arc` state arena. This
+    /// is the pre-dense-index fast path, kept as the `label_hot`
+    /// benchmark baseline and as the differential oracle for the dense
+    /// index.
+    pub fn label_warm_hash(&self, forest: &Forest, counters: &mut WorkCounters) -> WarmWalk {
+        let mut states: Vec<StateId> = Vec::with_capacity(forest.len());
+        let mut scratch: Vec<RuleCost> = Vec::new();
+        for (id, node) in forest.iter() {
+            let mut kids = [StateId(0); MAX_ARITY];
+            for (i, &c) in node.children().iter().enumerate() {
+                kids[i] = states[c.index()];
+            }
+            counters.nodes += 1;
+            counters.hash_lookups += 1;
+            let sig = if !self.node_dyn_costs(forest, id, node.op(), counters, &mut scratch) {
+                SigId::EMPTY
+            } else {
+                match self.find_signature(&scratch) {
+                    Some(s) => s,
+                    None => break,
+                }
+            };
+            match self.lookup(node.op(), &kids[..node.op().arity()], sig) {
+                Some(sid) => {
+                    if self.state(sid).is_dead() {
+                        return WarmWalk {
+                            states,
+                            nocover: Some(id),
+                        };
+                    }
+                    counters.memo_hits += 1;
+                    states.push(sid);
+                }
+                None => break,
+            }
+        }
+        WarmWalk {
+            states,
+            nocover: None,
+        }
+    }
+
+    /// Every memoized transition in raw form (unspecified order), for
+    /// diagnostics and the dense-index differential tests.
+    pub fn raw_transitions(&self) -> Vec<RawTransition> {
+        self.transitions
+            .iter()
+            .map(|(k, &v)| RawTransition {
+                op: k.op,
+                kids: k.kids,
+                sig: k.sig.0,
+                state: v,
+            })
+            .collect()
+    }
+
+    /// Every projection-cache entry in raw form (unspecified order).
+    pub fn raw_projections(&self) -> Vec<RawProjection> {
+        self.projection_cache
+            .iter()
+            .map(|(&(full, op, pos), &proj)| RawProjection {
+                full,
+                op,
+                pos,
+                projection: proj,
+            })
+            .collect()
+    }
+
+    /// Raw transition probe through the canonical `FxHashMap` (no
+    /// projection resolution — `kids` are the key's own child ids).
+    pub fn lookup_raw_hash(&self, op: u16, kids: [u32; 2], sig: u32) -> Option<StateId> {
+        self.transitions
+            .get(&TransKey {
+                op,
+                kids,
+                sig: SigId(sig),
+            })
+            .copied()
+    }
+
+    /// Raw transition probe through the dense index; must agree with
+    /// [`lookup_raw_hash`](Self::lookup_raw_hash) on every key, seen or
+    /// unseen.
+    pub fn lookup_raw_dense(&self, op: u16, kids: [u32; 2], sig: u32) -> Option<StateId> {
+        self.dense.lookup(op, kids[0], kids[1], sig)
+    }
+
+    /// Raw projection-cache probe through the canonical `FxHashMap`.
+    pub fn project_raw_hash(&self, full: StateId, op: u16, pos: u8) -> Option<StateId> {
+        self.projection_cache.get(&(full, op, pos)).copied()
+    }
+
+    /// Raw projection-cache probe through the dense index; must agree
+    /// with [`project_raw_hash`](Self::project_raw_hash) everywhere.
+    pub fn project_raw_dense(&self, full: StateId, op: u16, pos: u8) -> Option<StateId> {
+        self.dense.project(full.0, op, pos)
+    }
+
+    /// Signature probe through the dense table; must agree with
+    /// [`find_signature`](Self::find_signature) (the interner's hash
+    /// map) on every cost vector, interned or not.
+    pub fn find_signature_dense(&self, costs: &[RuleCost]) -> Option<SigId> {
+        self.dense.find_sig(costs)
+    }
 }
 
 impl StateLookup for AutomatonSnapshot {
-    /// Bounds-checked: a stale id from an earlier flush epoch can exceed
-    /// this snapshot's arena; it must degrade to "no rule" (the reducer
-    /// reports `MissingRule`), never panic. Ids valid for this snapshot's
-    /// epoch are unaffected.
+    /// Answered from the dense index's flat rule array (no `Arc`
+    /// chase). Bounds-checked: a stale id from an earlier flush epoch
+    /// can exceed this snapshot's arena; it must degrade to "no rule"
+    /// (the reducer reports `MissingRule`), never panic. Ids valid for
+    /// this snapshot's epoch are unaffected.
     fn rule_in_state(&self, state: StateId, nt: NtId) -> Option<NormalRuleId> {
-        self.states.get(state.0 as usize)?.rule(nt)
+        debug_assert_eq!(
+            self.dense.rule(state, nt),
+            self.states.get(state.0 as usize).and_then(|s| s.rule(nt)),
+            "dense rule array must mirror the state arena"
+        );
+        self.dense.rule(state, nt)
     }
 }
 
