@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! odburg stats   <grammar>             grammar statistics and lints
+//! odburg lint    <grammar>             run the grammar verifier: typed
+//!                                      diagnostics (G0001...), witness trees,
+//!                                      --format=text|json, --deny=warning|error
 //! odburg normal  <grammar>             print the normal form
 //! odburg automaton <grammar>           build the offline automaton, print sizes
 //! odburg generate  <grammar>           emit a hard-coded Rust labeler (burg style)
@@ -56,6 +59,19 @@
 //! `--labeler` values — the service always labels through the shared
 //! snapshot core.
 //!
+//! `lint` runs the grammar verifier
+//! ([`odburg::grammar::analysis::analyze_full`]) and prints every
+//! finding with its stable code (`G0001`…`G0008`) and severity, witness
+//! trees as s-expressions, and — when the achievable-state exploration
+//! converges — the static automaton table-size bound. `--format=json`
+//! emits a machine-readable report (used by the CI `analysis-smoke`
+//! job); `--deny=<severity>` picks the exit-code threshold: the default
+//! `--deny=error` fails only on error-severity findings, while
+//! `--deny=warning` also fails on warnings. `batch` and `serve` always
+//! register manifest grammars under the `Deny` policy: a grammar with
+//! error-severity findings is rejected with one stderr line per
+//! diagnostic instead of failing jobs with `NoCover` at runtime.
+//!
 //! Memory governance: `--memory-budget=<bytes>` (suffixes `k`, `m`, `g`
 //! accepted) caps an on-demand automaton's accounted table bytes and
 //! `--budget-policy=<error|flush|compact>` picks the pressure response
@@ -85,11 +101,39 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: odburg <stats|normal|automaton|generate|label|emit|compile|bench|tables|batch|serve> \
+    "usage: odburg <stats|lint|normal|automaton|generate|label|emit|compile|bench|tables|batch|serve> \
      <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
      [--workers=<n>] [--tables-dir=<dir>] [--memory-budget=<bytes>] \
      [--budget-policy=<error|flush|compact>] [--queue-cap=<n>] [--deadline-ms=<n>] \
-     [--compact-to=<bytes>]";
+     [--compact-to=<bytes>] [--format=<text|json>] [--deny=<warning|error>]";
+
+/// The `--format` flag values (lint only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum FormatFlag {
+    #[default]
+    Text,
+    Json,
+}
+
+fn parse_format(value: &str) -> Result<FormatFlag, String> {
+    match value {
+        "text" => Ok(FormatFlag::Text),
+        "json" => Ok(FormatFlag::Json),
+        other => Err(format!(
+            "unknown format `{other}` (expected one of: text, json)"
+        )),
+    }
+}
+
+fn parse_deny(value: &str) -> Result<Severity, String> {
+    match value {
+        "warning" => Ok(Severity::Warning),
+        "error" => Ok(Severity::Error),
+        other => Err(format!(
+            "unknown deny level `{other}` (expected one of: warning, error)"
+        )),
+    }
+}
 
 /// The `--budget-policy` flag values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +190,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut queue_cap: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut compact_to: Option<usize> = None;
+    let mut format: Option<FormatFlag> = None;
+    let mut deny: Option<Severity> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: &str| -> Result<usize, String> {
@@ -205,6 +251,16 @@ fn run(args: &[String]) -> Result<(), String> {
         } else if arg == "--budget-policy" {
             let value = iter.next().ok_or("--budget-policy needs a value")?;
             budget_policy = Some(parse_policy(value)?);
+        } else if let Some(value) = arg.strip_prefix("--format=") {
+            format = Some(parse_format(value)?);
+        } else if arg == "--format" {
+            let value = iter.next().ok_or("--format needs a value")?;
+            format = Some(parse_format(value)?);
+        } else if let Some(value) = arg.strip_prefix("--deny=") {
+            deny = Some(parse_deny(value)?);
+        } else if arg == "--deny" {
+            let value = iter.next().ok_or("--deny needs a severity")?;
+            deny = Some(parse_deny(value)?);
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`\n{USAGE}"));
         } else {
@@ -214,6 +270,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let tables = tables.as_deref();
 
     let command = positional.first().ok_or(USAGE)?;
+    if (format.is_some() || deny.is_some()) && command.as_str() != "lint" {
+        return Err("--format/--deny only apply to the lint subcommand".into());
+    }
     if compact_to.is_some()
         && !(command.as_str() == "tables"
             && positional.get(1).map(|a| a.as_str()) == Some("export"))
@@ -322,6 +381,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     match command.as_str() {
         "stats" => stats(&grammar),
+        "lint" => lint_cmd(
+            &grammar,
+            format.unwrap_or_default(),
+            deny.unwrap_or(Severity::Error),
+        ),
         "normal" => normal(&grammar),
         "automaton" => automaton(&grammar),
         "generate" => generate(&grammar),
@@ -583,6 +647,22 @@ fn tables_stats(path: &str) -> Result<(), String> {
 /// the selection service. Each manifest line is `<target> <sexpr-file>`
 /// (blank lines and `#` comments are skipped); the file's s-expressions
 /// (one per line, `#` comments allowed) form one forest = one job.
+/// Formats a manifest registration failure. When the grammar was rejected
+/// by the static verifier, first prints one stderr line per diagnostic so
+/// the offending findings are visible, not just the count.
+fn registration_error(manifest: &str, lineno: usize, e: ServiceError) -> String {
+    if let ServiceError::Analysis {
+        target,
+        diagnostics,
+    } = &e
+    {
+        for d in diagnostics {
+            eprintln!("odburg: {manifest}:{lineno}: target `{target}`: {d}");
+        }
+    }
+    format!("{manifest}:{lineno}: {e}")
+}
+
 fn batch(
     manifest: &str,
     workers: Option<usize>,
@@ -597,6 +677,7 @@ fn batch(
         workers: workers.unwrap_or(0),
         tables_dir: tables_dir.map(Into::into),
         memory_budget,
+        analysis_policy: AnalysisPolicy::Deny,
     });
 
     let mut jobs: Vec<(Ticket, String, String)> = Vec::new(); // ticket, target, file
@@ -619,7 +700,7 @@ fn batch(
         if svc.grammar(target).is_err() {
             let grammar = load_grammar(target).map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
             svc.register_normal(target, Arc::new(grammar.normalize()))
-                .map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+                .map_err(|e| registration_error(manifest, lineno, e))?;
         }
 
         let trees = std::fs::read_to_string(file)
@@ -740,6 +821,7 @@ fn serve(
         queue_cap: queue_cap.unwrap_or(0),
         tables_dir: tables_dir.map(Into::into),
         memory_budget,
+        analysis_policy: AnalysisPolicy::Deny,
     });
     let options = JobOptions {
         deadline: deadline_ms.map(Duration::from_millis),
@@ -842,7 +924,7 @@ fn serve(
             let grammar = load_grammar(target).map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
             server
                 .register_normal(target, Arc::new(grammar.normalize()))
-                .map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+                .map_err(|e| registration_error(manifest, lineno, e))?;
         }
 
         let trees = std::fs::read_to_string(file)
@@ -951,15 +1033,181 @@ fn stats(grammar: &Grammar) -> Result<(), String> {
     println!("nonterminals:   {}", s.nonterminals);
     println!("normal rules:   {}", s.normal_rules);
     println!("normal nts:     {}", s.normal_nonterminals);
-    let normal = grammar.normalize();
-    let issues = analysis::lint(&normal);
-    if issues.is_empty() {
+    let full = analysis::analyze_full(&grammar.normalize());
+    if full.diagnostics.is_empty() {
         println!("lint:           clean");
     }
-    for issue in issues {
-        println!("lint:           {}", issue.message);
+    for d in &full.diagnostics {
+        println!("lint:           {d}");
+    }
+    if let Some(bound) = &full.state_bound {
+        println!(
+            "state bound:    {} achievable states (fixed-cost rules)",
+            bound.states
+        );
     }
     Ok(())
+}
+
+fn lint_cmd(grammar: &Grammar, format: FormatFlag, deny: Severity) -> Result<(), String> {
+    let name = grammar.name().to_owned();
+    let normal = grammar.normalize();
+    let full = analysis::analyze_full(&normal);
+    match format {
+        FormatFlag::Text => print_lint_text(&name, &full),
+        FormatFlag::Json => print_lint_json(&name, &normal, &full),
+    }
+    let denied = full
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity >= deny)
+        .count();
+    if denied > 0 {
+        Err(format!(
+            "{name}: {denied} finding(s) at {deny} severity or above (--deny={deny})"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn print_lint_text(name: &str, full: &analysis::Analysis) {
+    if full.diagnostics.is_empty() {
+        println!("{name}: clean");
+    }
+    for d in &full.diagnostics {
+        println!("{name}: {d}");
+        match &d.witness {
+            Some(analysis::Witness::NoCover { forest, root }) => {
+                println!("  witness: {}", to_sexpr(forest, *root));
+            }
+            Some(analysis::Witness::Divergence {
+                forest,
+                roots,
+                deltas,
+                ..
+            }) => {
+                println!(
+                    "  witness: delta {} on {}",
+                    deltas.0,
+                    to_sexpr(forest, roots.0)
+                );
+                println!(
+                    "  witness: delta {} on {}",
+                    deltas.1,
+                    to_sexpr(forest, roots.1)
+                );
+            }
+            None => {}
+        }
+    }
+    match &full.state_bound {
+        Some(b) => {
+            let per_op: Vec<String> = b.per_op.iter().map(|(op, n)| format!("{op}:{n}")).collect();
+            println!("{name}: state bound {} ({})", b.states, per_op.join(", "));
+        }
+        None => println!("{name}: no state bound (exploration did not converge)"),
+    }
+}
+
+/// Minimal JSON string escaping (the report uses no nested user text
+/// beyond messages, names and s-exprs).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_lint_json(name: &str, normal: &NormalGrammar, full: &analysis::Analysis) {
+    let count = |s: Severity| full.diagnostics.iter().filter(|d| d.severity == s).count();
+    let quote_nt = |n: &odburg::grammar::NtId| format!("\"{}\"", json_escape(normal.nt_name(*n)));
+    let mut findings = Vec::new();
+    for d in &full.diagnostics {
+        let nts: Vec<String> = d.nonterminals.iter().map(&quote_nt).collect();
+        let rules: Vec<String> = d.rules.iter().map(|r| r.0.to_string()).collect();
+        let ops: Vec<String> = d
+            .operators
+            .iter()
+            .map(|op| format!("\"{}\"", json_escape(&op.to_string())))
+            .collect();
+        let cycle: Vec<String> = d.cycle.iter().map(&quote_nt).collect();
+        let witness = match &d.witness {
+            Some(analysis::Witness::NoCover { forest, root }) => format!(
+                "{{\"kind\":\"no_cover\",\"tree\":\"{}\"}}",
+                json_escape(&to_sexpr(forest, *root))
+            ),
+            Some(analysis::Witness::Divergence {
+                forest,
+                roots,
+                nonterminals,
+                deltas,
+            }) => format!(
+                "{{\"kind\":\"divergence\",\"nonterminals\":[\"{}\",\"{}\"],\
+                 \"trees\":[{{\"delta\":{},\"tree\":\"{}\"}},{{\"delta\":{},\"tree\":\"{}\"}}]}}",
+                json_escape(normal.nt_name(nonterminals.0)),
+                json_escape(normal.nt_name(nonterminals.1)),
+                deltas.0,
+                json_escape(&to_sexpr(forest, roots.0)),
+                deltas.1,
+                json_escape(&to_sexpr(forest, roots.1))
+            ),
+            None => "null".to_owned(),
+        };
+        findings.push(format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\
+             \"nonterminals\":[{}],\"rules\":[{}],\"operators\":[{}],\
+             \"cycle\":[{}],\"witness\":{}}}",
+            d.code,
+            d.severity,
+            json_escape(&d.message),
+            nts.join(","),
+            rules.join(","),
+            ops.join(","),
+            cycle.join(","),
+            witness
+        ));
+    }
+    let bound = match &full.state_bound {
+        Some(b) => {
+            let per_op: Vec<String> = b
+                .per_op
+                .iter()
+                .map(|(op, n)| {
+                    format!(
+                        "{{\"op\":\"{}\",\"states\":{}}}",
+                        json_escape(&op.to_string()),
+                        n
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"states\":{},\"per_op\":[{}]}}",
+                b.states,
+                per_op.join(",")
+            )
+        }
+        None => "null".to_owned(),
+    };
+    println!(
+        "{{\"grammar\":\"{}\",\"counts\":{{\"error\":{},\"warning\":{},\"info\":{}}},\
+         \"findings\":[{}],\"state_bound\":{}}}",
+        json_escape(name),
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info),
+        findings.join(","),
+        bound
+    );
 }
 
 fn normal(grammar: &Grammar) -> Result<(), String> {

@@ -961,6 +961,125 @@ fn service_flags_and_labeler_flags_do_not_mix() {
     }
 }
 
+/// The intentionally-defective grammar checked into the repo for lint
+/// tests and the CI analysis-smoke job.
+fn broken_fixture() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../fixtures/broken.burg")
+}
+
+#[test]
+fn lint_passes_builtins_with_a_state_bound() {
+    for target in [
+        "demo", "x86ish", "riscish", "sparcish", "alphaish", "jvmish",
+    ] {
+        let (ok, stdout, stderr) = odburg(&["lint", target, "--deny=warning"]);
+        assert!(ok, "{target}: {stderr}");
+        assert!(stdout.contains(&format!("{target}: clean")), "{stdout}");
+        assert!(stdout.contains("state bound"), "{stdout}");
+    }
+}
+
+#[test]
+fn lint_flags_the_broken_fixture_with_codes_and_witness() {
+    let (ok, stdout, stderr) = odburg(&["lint", broken_fixture()]);
+    assert!(!ok, "broken fixture must fail the default --deny=error");
+    for code in ["G0001", "G0002", "G0003", "G0004", "G0005"] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+    // The completeness error carries an executable witness, printed as
+    // an s-expression.
+    assert!(stdout.contains("witness: (StoreI8"), "{stdout}");
+    assert!(stderr.contains("--deny=error"), "{stderr}");
+}
+
+#[test]
+fn lint_json_reports_counts_findings_and_witnesses() {
+    let (ok, stdout, _) = odburg(&["lint", broken_fixture(), "--format=json"]);
+    assert!(!ok);
+    assert!(stdout.contains("\"grammar\":\"broken\""), "{stdout}");
+    assert!(stdout.contains("\"counts\":{\"error\":1"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"G0003\""), "{stdout}");
+    assert!(
+        stdout.contains("\"witness\":{\"kind\":\"no_cover\",\"tree\":\"(StoreI8"),
+        "{stdout}"
+    );
+
+    let (ok, stdout, stderr) = odburg(&["lint", "demo", "--format=json"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains("\"counts\":{\"error\":0,\"warning\":0,\"info\":0}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"state_bound\":{\"states\":"), "{stdout}");
+}
+
+#[test]
+fn lint_deny_warning_tightens_the_gate() {
+    let dir = std::env::temp_dir().join("odburg-cli-lint");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Complete but with a shadowed rule: a warning, not an error.
+    let path = dir.join("shadow.burg");
+    std::fs::write(
+        &path,
+        "%start reg\nreg: ConstI8 (1) \"li {imm}\"\nreg: ConstI8 (3) \"li.slow {imm}\"\n",
+    )
+    .unwrap();
+    let path = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = odburg(&["lint", path]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("G0004 warning"), "{stdout}");
+
+    let (ok, _, stderr) = odburg(&["lint", path, "--deny=warning"]);
+    assert!(!ok, "--deny=warning must fail on a G0004 warning");
+    assert!(stderr.contains("--deny=warning"), "{stderr}");
+}
+
+#[test]
+fn lint_flags_are_lint_only_and_validated() {
+    let (ok, _, stderr) = odburg(&["stats", "demo", "--format=json"]);
+    assert!(!ok);
+    assert!(stderr.contains("lint subcommand"), "{stderr}");
+    let (ok, _, stderr) = odburg(&["emit", "demo", "(ConstI8 1)", "--deny=warning"]);
+    assert!(!ok);
+    assert!(stderr.contains("lint subcommand"), "{stderr}");
+    let (ok, _, stderr) = odburg(&["lint", "demo", "--format=xml"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown format"), "{stderr}");
+    let (ok, _, stderr) = odburg(&["lint", "demo", "--deny=info"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown deny level"), "{stderr}");
+}
+
+#[test]
+fn batch_and_serve_reject_analysis_gated_grammars() {
+    let dir = std::env::temp_dir().join("odburg-cli-gated");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tree = dir.join("store.sx");
+    std::fs::write(&tree, "(StoreI8 (ConstI8 1) (ConstI4 2))\n").unwrap();
+    let manifest = dir.join("jobs.txt");
+    std::fs::write(
+        &manifest,
+        format!("{} {}\n", broken_fixture(), tree.display()),
+    )
+    .unwrap();
+    let manifest = manifest.to_str().unwrap();
+
+    // The service registers manifest grammars under the Deny policy:
+    // the defective grammar is rejected at registration with one stderr
+    // line per diagnostic, instead of failing jobs with NoCover later.
+    for command in ["batch", "serve"] {
+        let (ok, _, stderr) = odburg(&[command, manifest]);
+        assert!(!ok, "{command} must reject the gated grammar");
+        assert!(stderr.contains("G0003 error"), "{command}: {stderr}");
+        assert!(
+            stderr.contains("rejected by static analysis (1 error of 7 findings)"),
+            "{command}: {stderr}"
+        );
+        assert!(stderr.contains("jobs.txt:1"), "{command}: {stderr}");
+    }
+}
+
 #[test]
 fn errors_exit_nonzero_with_messages() {
     let (ok, _, stderr) = odburg(&["stats", "z80"]);

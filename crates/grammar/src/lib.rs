@@ -47,6 +47,7 @@
 //! ```
 
 pub mod analysis;
+pub use analysis::{Analysis, Code, Diagnostic, Severity, StateBound, Witness};
 mod cost;
 mod dsl;
 mod grammar;

@@ -172,9 +172,9 @@ pub use service::SelectorServer;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::service::{
-        BatchReport, CompletedJob, JobError, JobHandle, JobOptions, Priority, SelectorServer,
-        SelectorService, ServeError, ServerConfig, ServerReport, ServerTallies, ServiceConfig,
-        ServiceError, SubmitError, TargetServerStats, Ticket,
+        AnalysisPolicy, BatchReport, CompletedJob, JobError, JobHandle, JobOptions, Priority,
+        SelectorServer, SelectorService, ServeError, ServerConfig, ServerReport, ServerTallies,
+        ServiceConfig, ServiceError, SubmitError, TargetServerStats, Ticket,
     };
     pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};
@@ -185,7 +185,9 @@ pub mod prelude {
         PressureEvent, RuleChooser, SharedOnDemand, WorkCounters,
     };
     pub use odburg_dp::{DpLabeler, MacroExpander};
-    pub use odburg_grammar::{parse_grammar, Cost, Grammar, NormalGrammar, RuleCost};
+    pub use odburg_grammar::{
+        parse_grammar, Cost, Diagnostic, Grammar, NormalGrammar, RuleCost, Severity,
+    };
     pub use odburg_ir::{
         parse_sexpr, to_sexpr, Forest, Node, NodeId, Op, OpKind, Payload, TypeTag,
     };

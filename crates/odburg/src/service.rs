@@ -115,13 +115,33 @@ use odburg_core::{
     persist, AtomicWorkCounters, LabelError, MemoryBudget, OnDemandAutomaton, OnDemandConfig,
     PersistError, PinnedLabeling, PressureEvent, SharedOnDemand, WorkCounters,
 };
-use odburg_grammar::{Grammar, NormalGrammar};
+use odburg_grammar::{analysis, Diagnostic, Grammar, NormalGrammar, Severity};
 use odburg_ir::Forest;
 
 use crate::SelectError;
 
 /// Queue capacity a [`ServerConfig`] of `queue_cap: 0` resolves to.
 pub const DEFAULT_QUEUE_CAP: usize = 256;
+
+/// What registration does with the grammar verifier's findings
+/// ([`odburg_grammar::analysis::analyze`]).
+///
+/// The verifier runs once per registration, before the target becomes
+/// visible; its findings stay queryable afterwards via
+/// [`SelectorService::diagnostics`] / [`SelectorServer::diagnostics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisPolicy {
+    /// Reject grammars with error-severity findings (`NoCover` provably
+    /// reachable, underivable start symbol) with
+    /// [`ServiceError::Analysis`]. Warnings register fine.
+    Deny,
+    /// Run the verifier and record its findings, but register
+    /// everything. The default: a grammar with warnings still works.
+    #[default]
+    WarnOnly,
+    /// Skip analysis entirely (registration-latency-sensitive callers).
+    Off,
+}
 
 /// Configuration of the batch-compatible [`SelectorService`].
 #[derive(Debug, Clone, Default)]
@@ -139,6 +159,8 @@ pub struct ServiceConfig {
     /// this with [`SelectorService::set_memory_budget`]; `None` (the
     /// default) leaves growth unbounded.
     pub memory_budget: Option<MemoryBudget>,
+    /// What registration does with grammar-verifier findings.
+    pub analysis_policy: AnalysisPolicy,
 }
 
 /// Configuration of a [`SelectorServer`].
@@ -160,6 +182,8 @@ pub struct ServerConfig {
     /// Default per-target memory budget, enforced in the maintenance
     /// quanta workers run between jobs — never on the submit path.
     pub memory_budget: Option<MemoryBudget>,
+    /// What registration does with grammar-verifier findings.
+    pub analysis_policy: AnalysisPolicy,
 }
 
 impl Default for ServerConfig {
@@ -169,6 +193,7 @@ impl Default for ServerConfig {
             queue_cap: DEFAULT_QUEUE_CAP,
             tables_dir: None,
             memory_budget: None,
+            analysis_policy: AnalysisPolicy::default(),
         }
     }
 }
@@ -196,6 +221,15 @@ pub enum ServiceError {
         /// Why the tables were rejected.
         error: PersistError,
     },
+    /// The grammar verifier found error-severity defects and the
+    /// registration policy is [`AnalysisPolicy::Deny`]. Every finding
+    /// (including warnings) travels with the error.
+    Analysis {
+        /// The target whose grammar was rejected.
+        target: String,
+        /// The verifier's findings, most severe first.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -209,6 +243,23 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Tables { target, error } => {
                 write!(f, "target `{target}`: cannot load tables: {error}")
+            }
+            ServiceError::Analysis {
+                target,
+                diagnostics,
+            } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity >= Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "target `{target}`: grammar rejected by static analysis \
+                     ({errors} error{} of {} finding{})",
+                    if errors == 1 { "" } else { "s" },
+                    diagnostics.len(),
+                    if diagnostics.len() == 1 { "" } else { "s" },
+                )
             }
         }
     }
@@ -383,6 +434,9 @@ struct TargetEntry {
     name: String,
     grammar: Arc<NormalGrammar>,
     mode: OnDemandConfig,
+    /// The grammar verifier's findings at registration time (empty when
+    /// the policy was [`AnalysisPolicy::Off`]).
+    diagnostics: Vec<Diagnostic>,
     /// Per-target memory budget: `Some(Some(_))` overrides the service
     /// default, `Some(None)` opts the target out, `None` inherits.
     budget: Mutex<Option<Option<MemoryBudget>>>,
@@ -459,15 +513,21 @@ impl TargetEntry {
 struct Registry {
     tables_dir: Option<PathBuf>,
     default_budget: Option<MemoryBudget>,
+    analysis_policy: AnalysisPolicy,
     targets: RwLock<HashMap<String, Arc<TargetEntry>>>,
     next_ticket: AtomicU64,
 }
 
 impl Registry {
-    fn new(tables_dir: Option<PathBuf>, default_budget: Option<MemoryBudget>) -> Self {
+    fn new(
+        tables_dir: Option<PathBuf>,
+        default_budget: Option<MemoryBudget>,
+        analysis_policy: AnalysisPolicy,
+    ) -> Self {
         Registry {
             tables_dir,
             default_budget,
+            analysis_policy,
             targets: RwLock::new(HashMap::new()),
             next_ticket: AtomicU64::new(0),
         }
@@ -479,6 +539,20 @@ impl Registry {
         grammar: Arc<NormalGrammar>,
         mode: OnDemandConfig,
     ) -> Result<(), ServiceError> {
+        // Run the verifier outside the registry lock: analysis is pure
+        // and the duplicate check below stays authoritative.
+        let diagnostics = match self.analysis_policy {
+            AnalysisPolicy::Off => Vec::new(),
+            AnalysisPolicy::WarnOnly | AnalysisPolicy::Deny => analysis::analyze(&grammar),
+        };
+        if self.analysis_policy == AnalysisPolicy::Deny
+            && diagnostics.iter().any(|d| d.severity >= Severity::Error)
+        {
+            return Err(ServiceError::Analysis {
+                target: name.to_owned(),
+                diagnostics,
+            });
+        }
         let mut targets = self.targets.write().expect("registry lock");
         if targets.contains_key(name) {
             return Err(ServiceError::DuplicateTarget {
@@ -491,6 +565,7 @@ impl Registry {
                 name: name.to_owned(),
                 grammar,
                 mode,
+                diagnostics,
                 budget: Mutex::new(None),
                 master: Mutex::new(None),
                 events: AtomicWorkCounters::new(),
@@ -1002,6 +1077,7 @@ impl SelectorServer {
         let registry = Arc::new(Registry::new(
             config.tables_dir.clone(),
             config.memory_budget,
+            config.analysis_policy,
         ));
         let queue_cap = match config.queue_cap {
             0 => DEFAULT_QUEUE_CAP,
@@ -1140,6 +1216,16 @@ impl SelectorServer {
     /// [`ServiceError::UnknownTarget`] if the name is not registered.
     pub fn grammar(&self, target: &str) -> Result<Arc<NormalGrammar>, ServiceError> {
         Ok(Arc::clone(&self.shared.registry.entry(target)?.grammar))
+    }
+
+    /// The grammar verifier's findings for a registered target, recorded
+    /// at registration time (empty under [`AnalysisPolicy::Off`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] if the name is not registered.
+    pub fn diagnostics(&self, target: &str) -> Result<Vec<Diagnostic>, ServiceError> {
+        Ok(self.shared.registry.entry(target)?.diagnostics.clone())
     }
 
     /// The target's shared master, building (and warm-starting) it on
@@ -1560,7 +1646,11 @@ pub struct SelectorService {
 impl SelectorService {
     /// An empty service: no targets registered, nothing queued.
     pub fn new(config: ServiceConfig) -> Self {
-        let registry = Arc::new(Registry::new(config.tables_dir, config.memory_budget));
+        let registry = Arc::new(Registry::new(
+            config.tables_dir,
+            config.memory_budget,
+            config.analysis_policy,
+        ));
         SelectorService {
             workers: config.workers,
             registry,
@@ -1651,6 +1741,16 @@ impl SelectorService {
     /// [`ServiceError::UnknownTarget`] if the name is not registered.
     pub fn grammar(&self, target: &str) -> Result<Arc<NormalGrammar>, ServiceError> {
         Ok(Arc::clone(&self.registry.entry(target)?.grammar))
+    }
+
+    /// The grammar verifier's findings for a registered target, recorded
+    /// at registration time (empty under [`AnalysisPolicy::Off`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownTarget`] if the name is not registered.
+    pub fn diagnostics(&self, target: &str) -> Result<Vec<Diagnostic>, ServiceError> {
+        Ok(self.registry.entry(target)?.diagnostics.clone())
     }
 
     /// The target's shared master, building (and warm-starting) it on
@@ -1934,6 +2034,67 @@ mod tests {
         assert_eq!(report.results[1].target, "custom");
         let red = report.results[1].reduce().unwrap();
         assert_eq!(red.instructions, vec!["li 7".to_owned()]);
+    }
+
+    #[test]
+    fn analysis_policy_gates_registration() {
+        // A grammar with a selection-completeness hole: StoreI8 covers
+        // (a, b) and (b, a) but not (a, a) — a G0003 error.
+        let broken = || {
+            let g = odburg_grammar::parse_grammar(
+                "%start stmt\na: ConstI8 (1)\nb: ConstI4 (1)\n\
+                 stmt: StoreI8(a, b) (1)\nstmt: StoreI8(b, a) (1)\n",
+            )
+            .unwrap();
+            Arc::new(g.normalize())
+        };
+
+        // Deny: registration fails with the findings attached, and the
+        // target never becomes visible.
+        let svc = SelectorService::new(ServiceConfig {
+            analysis_policy: AnalysisPolicy::Deny,
+            ..ServiceConfig::default()
+        });
+        match svc.register_normal("broken", broken()) {
+            Err(ServiceError::Analysis {
+                target,
+                diagnostics,
+            }) => {
+                assert_eq!(target, "broken");
+                assert!(diagnostics
+                    .iter()
+                    .any(|d| d.severity == Severity::Error && d.code.as_str() == "G0003"));
+            }
+            other => panic!("expected an analysis rejection, got {other:?}"),
+        }
+        assert!(svc.grammar("broken").is_err());
+
+        // WarnOnly (the default): everything registers; the findings
+        // stay queryable.
+        let svc = SelectorService::new(ServiceConfig::default());
+        svc.register_normal("broken", broken()).unwrap();
+        let diags = svc.diagnostics("broken").unwrap();
+        assert!(diags.iter().any(|d| d.code.as_str() == "G0003"));
+
+        // Off: no analysis, no recorded findings.
+        let svc = SelectorService::new(ServiceConfig {
+            analysis_policy: AnalysisPolicy::Off,
+            ..ServiceConfig::default()
+        });
+        svc.register_normal("broken", broken()).unwrap();
+        assert!(svc.diagnostics("broken").unwrap().is_empty());
+
+        // The server front end enforces the same gate.
+        let server = SelectorServer::new(ServerConfig {
+            workers: 1,
+            analysis_policy: AnalysisPolicy::Deny,
+            ..ServerConfig::default()
+        });
+        assert!(matches!(
+            server.register_normal("broken", broken()),
+            Err(ServiceError::Analysis { .. })
+        ));
+        server.shutdown();
     }
 
     #[test]

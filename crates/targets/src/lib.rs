@@ -165,34 +165,36 @@ mod tests {
     use odburg_grammar::analysis;
 
     #[test]
-    fn all_targets_parse_and_validate() {
+    fn all_targets_analyze_clean() {
+        // The shipped grammars must pass the verifier at `--deny=warning`
+        // strength: no findings at warning severity or above (this backs
+        // the CI analysis-smoke job).
         for g in all() {
-            let n = g.normalize();
-            // No grammar-level lint findings beyond unreachable helper
-            // warnings (there must be none at all for the shipped
-            // grammars).
-            let issues = analysis::check(&n);
-            assert!(
-                issues.is_empty(),
-                "grammar {}: {:?}",
-                g.name(),
-                issues.iter().map(|i| &i.message).collect::<Vec<_>>()
-            );
+            let diags = analysis::analyze(&g.normalize());
+            let bad: Vec<String> = diags
+                .iter()
+                .filter(|d| d.severity >= analysis::Severity::Warning)
+                .map(|d| d.to_string())
+                .collect();
+            assert!(bad.is_empty(), "grammar {}: {:?}", g.name(), bad);
         }
     }
 
     #[test]
-    fn all_targets_lint_clean() {
-        // The deeper lints too: no shadowed rules, no disconnected
-        // operand classes (i.e. every target is BURS-finite by the
-        // heuristic).
+    fn all_targets_have_a_state_bound() {
+        // Every shipped grammar is BURS-finite: the achievable-state
+        // exploration converges and yields a table-size bound.
         for g in all() {
-            let issues = analysis::lint(&g.normalize());
+            let full = analysis::analyze_full(&g.normalize());
+            let bound = full
+                .state_bound
+                .unwrap_or_else(|| panic!("grammar {} did not converge", g.name()));
+            assert!(bound.states > 0, "grammar {}", g.name());
             assert!(
-                issues.is_empty(),
+                bound.per_op.iter().all(|&(_, n)| n >= 1),
                 "grammar {}: {:?}",
                 g.name(),
-                issues.iter().map(|i| &i.message).collect::<Vec<_>>()
+                bound.per_op
             );
         }
     }

@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  normal nts:        {}", stats.normal_nonterminals);
 
     let normal = Arc::new(grammar.normalize());
-    for issue in analysis::check(&normal) {
-        println!("  lint: {}", issue.message);
+    for diagnostic in analysis::analyze(&normal) {
+        println!("  lint: {diagnostic}");
     }
 
     println!("\n== normal form (first 15 rules) ========================");
