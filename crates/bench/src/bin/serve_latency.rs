@@ -12,18 +12,28 @@
 //!   submit→complete latency, rejection and deadline rates.
 //! * **burst** — an adversarial overload: one large plug job wedges the
 //!   single worker, then a burst of zero-deadline jobs slams the 8-slot
-//!   queue. Deterministically exercises both typed failure modes:
-//!   `QueueFull` rejections (queue bound) and `DeadlineExceeded`
-//!   completions (expired while queued).
+//!   queue. Deterministically exercises deadline expiry — and, since
+//!   admission purges expired queued jobs before rejecting, asserts
+//!   that dead work never converts into spurious `QueueFull`.
+//! * **overload_fifo / overload_edf** — goodput under deadline
+//!   overload: one worker, a wedging plug, then a flood of loose,
+//!   doomed, and tight-deadline jobs submitted in FIFO-worst order.
+//!   The FIFO baseline serves arrival order and misses every tight
+//!   job; EDF serves deadline order and meets them, while feasibility
+//!   shedding refuses the doomed jobs at admission
+//!   (`SubmitError::Infeasible`) instead of queueing work that cannot
+//!   make its deadline.
 //!
 //! The shape checks this bench exists for, asserted on every run:
 //!
 //! * **conservation** — every submitted job is accounted as completed,
-//!   typed-rejected, or deadline-expired; zero are lost, including
-//!   across the graceful shutdown that ends each phase;
+//!   typed-rejected, shed, or deadline-expired; zero are lost,
+//!   including across the graceful shutdown that ends each phase;
 //! * **off-path maintenance** — the budget work shows up in
 //!   `maintenance_runs` (worker quanta), proving no compaction ran on
-//!   the submit path.
+//!   the submit path;
+//! * **goodput** — `overload_edf` completes at least as many jobs as
+//!   `overload_fifo` and sheds the infeasible ones.
 //!
 //! Results go to stdout and, as JSON, to `target/serve_latency.json`
 //! (CI uploads the artifact and re-asserts the fields).
@@ -34,13 +44,20 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use odburg::service::{JobError, JobHandle, JobOptions, SelectorServer, ServerConfig, SubmitError};
+use odburg::service::{
+    JobError, JobHandle, JobOptions, SchedPolicy, SelectorServer, ServerConfig, SubmitError,
+};
 use odburg_bench::f;
 use odburg_core::MemoryBudget;
-use odburg_grammar::NormalGrammar;
+use odburg_grammar::{NormalGrammar, RuleCost};
 use odburg_workloads::paced_traffic;
 
 const SEED: u64 = 0x5E12_7E4C;
+
+/// Deterministic per-job service time of the overload phases' `work`
+/// grammar: its dynamic cost sleeps this long once per distinct
+/// constant.
+const SERVICE_SLICE: Duration = Duration::from_millis(2);
 
 struct PhaseStats {
     phase: &'static str,
@@ -52,6 +69,7 @@ struct PhaseStats {
     completed: u64,
     failed: u64,
     rejected: u64,
+    shed: u64,
     deadline_missed: u64,
     lost: i64,
     p50_us: u128,
@@ -100,6 +118,7 @@ fn settle(
         completed: report.completed,
         failed: report.failed,
         rejected: report.rejected,
+        shed: report.shed,
         deadline_missed: report.deadline_missed,
         lost,
         p50_us: percentile(&latencies, 0.50),
@@ -155,7 +174,11 @@ fn paced_phase(grammars: &[(String, Arc<NormalGrammar>)]) -> PhaseStats {
 }
 
 /// Adversarial overload: a plug job wedges the single worker, then a
-/// zero-deadline burst slams the tiny queue.
+/// zero-deadline burst slams the tiny queue. Admission purges expired
+/// queued jobs before rejecting, so the already-dead burst jobs are
+/// delivered as `DeadlineExceeded` and never convert into spurious
+/// `QueueFull` — the whole burst is accepted and expires, none of it
+/// is rejected.
 fn burst_phase() -> PhaseStats {
     const BURST: usize = 200;
     let server = SelectorServer::with_builtin_targets(ServerConfig {
@@ -195,13 +218,139 @@ fn burst_phase() -> PhaseStats {
     settle("burst", &server, handles, submitted, started, Some(0))
 }
 
+/// A grammar whose dynamic cost sleeps [`SERVICE_SLICE`] once per
+/// distinct constant, so every job with a fresh constant has a known,
+/// deterministic service time — the per-target EWMA converges to it
+/// within the warmup jobs.
+fn work_grammar() -> Arc<NormalGrammar> {
+    let mut g = odburg::grammar::parse_grammar(
+        r#"
+        %grammar work
+        %start stmt
+        %dyncost sleep
+        reg: ConstI8 [sleep]
+        reg: AddI8(reg, reg) (1)
+        stmt: StoreI8(reg, reg) (1)
+        "#,
+    )
+    .expect("work grammar parses");
+    g.bind_dyncost(
+        "sleep",
+        Arc::new(|forest: &odburg_ir::Forest, node: odburg_ir::NodeId| {
+            std::thread::sleep(SERVICE_SLICE);
+            let v = forest.node(node).payload().as_int().unwrap_or(0);
+            RuleCost::Finite((v.unsigned_abs() % 911) as u16)
+        }),
+    )
+    .expect("dyncost binds");
+    Arc::new(g.normalize())
+}
+
+/// One `work` job: a fresh constant per call keeps minting signatures,
+/// so its dyncost (and sleep) is evaluated once per job.
+fn work_forest(k: i64) -> odburg_ir::Forest {
+    let mut f = odburg_ir::Forest::new();
+    let root = odburg_ir::parse_sexpr(
+        &mut f,
+        &format!("(StoreI8 (ConstI8 {k}) (ConstI8 {}))", k + 1),
+    )
+    .expect("work tree parses");
+    f.add_root(root);
+    f
+}
+
+/// Goodput under deadline overload, run once per scheduling policy.
+///
+/// One worker; a five-constant plug (~5 × [`SERVICE_SLICE`]) wedges it
+/// while the flood is submitted in FIFO-worst order: 60 *loose* jobs
+/// (2 s deadlines), then 40 *doomed* jobs (8 ms deadlines the plug
+/// alone outlasts), then 16 *tight* jobs (250 ms deadlines). FIFO
+/// serves arrival order, so every tight job waits behind ~400 ms of
+/// loose work and misses. EDF serves deadline order and meets every
+/// tight job; with shedding on, the doomed jobs behind other doomed
+/// work are refused at admission (`Infeasible`) once the per-target
+/// EWMA says the earlier-deadline queue already blows their 8 ms.
+fn overload_phase(phase: &'static str, sched: SchedPolicy, shed_infeasible: bool) -> PhaseStats {
+    const LOOSE: usize = 60;
+    const DOOMED: usize = 40;
+    const TIGHT: usize = 16;
+    let server = SelectorServer::new(ServerConfig {
+        workers: 1,
+        queue_cap: 512,
+        sched,
+        shed_infeasible,
+        ..ServerConfig::default()
+    });
+    server
+        .register_normal("work", work_grammar())
+        .expect("work grammar registers");
+
+    let started = Instant::now();
+    let mut submitted = 0u64;
+    // Prime the per-target service-time EWMA with undeadlined jobs,
+    // fully drained before the overload starts.
+    for i in 0..4 {
+        submitted += 1;
+        let handle = server
+            .try_submit("work", work_forest(9_000_000 + 2 * i))
+            .expect("an idle server accepts warmup");
+        let done = handle.wait();
+        assert!(done.outcome.is_ok(), "{phase}: warmup must label");
+    }
+
+    // The plug: five fresh constants wedge the worker long enough that
+    // the whole flood is submitted (and the doomed deadlines expire)
+    // while it labels.
+    let mut handles = Vec::with_capacity(1 + LOOSE + DOOMED + TIGHT);
+    let mut plug = odburg_ir::Forest::new();
+    let root = odburg_ir::parse_sexpr(
+        &mut plug,
+        "(StoreI8 (AddI8 (AddI8 (ConstI8 9100000) (ConstI8 9100001)) \
+         (AddI8 (ConstI8 9100002) (ConstI8 9100003))) (ConstI8 9100004))",
+    )
+    .expect("plug tree parses");
+    plug.add_root(root);
+    submitted += 1;
+    handles.push(
+        server
+            .try_submit("work", plug)
+            .expect("an empty queue accepts the plug"),
+    );
+
+    let classes: [(usize, i64, Duration); 3] = [
+        (LOOSE, 1_000_000, Duration::from_secs(2)),
+        (DOOMED, 2_000_000, Duration::from_millis(8)),
+        (TIGHT, 3_000_000, Duration::from_millis(250)),
+    ];
+    for (count, base, deadline) in classes {
+        let options = JobOptions {
+            deadline: Some(deadline),
+            ..JobOptions::default()
+        };
+        for i in 0..count {
+            submitted += 1;
+            match server.try_submit_with("work", work_forest(base + 2 * i as i64), options) {
+                Ok(handle) => handles.push(handle),
+                Err(SubmitError::Infeasible { .. }) => {} // shed, tallied by the server
+                Err(e) => panic!("{phase}: unexpected rejection: {e}"),
+            }
+        }
+    }
+    settle(phase, &server, handles, submitted, started, None)
+}
+
 fn main() {
     let grammars: Vec<(String, Arc<NormalGrammar>)> = odburg::targets::all()
         .into_iter()
         .map(|g| (g.name().to_owned(), Arc::new(g.normalize())))
         .collect();
 
-    let phases = [paced_phase(&grammars), burst_phase()];
+    let phases = [
+        paced_phase(&grammars),
+        burst_phase(),
+        overload_phase("overload_fifo", SchedPolicy::Fifo, false),
+        overload_phase("overload_edf", SchedPolicy::Edf, true),
+    ];
 
     println!("Serve latency: bounded queue, deadlines, backpressure\n");
     for p in &phases {
@@ -213,8 +362,8 @@ fn main() {
             }
         };
         println!(
-            "{:<6} workers={} cap={} deadline={:?}ms: {} submitted = {} completed \
-             ({} failed) + {} rejected + {} deadline-missed (lost {}), \
+            "{:<13} workers={} cap={} deadline={:?}ms: {} submitted = {} completed \
+             ({} failed) + {} rejected + {} shed + {} deadline-missed (lost {}), \
              p50 {}us p99 {}us, {} maintenance quanta, {} ms",
             p.phase,
             p.workers,
@@ -224,6 +373,7 @@ fn main() {
             p.completed,
             p.failed,
             p.rejected,
+            p.shed,
             p.deadline_missed,
             p.lost,
             p.p50_us,
@@ -244,7 +394,7 @@ fn main() {
         json.push_str(&format!(
             "    {{\"phase\": \"{}\", \"workers\": {}, \"queue_cap\": {}, \
              \"deadline_ms\": {}, \"submitted\": {}, \"accepted\": {}, \
-             \"completed\": {}, \"failed\": {}, \"rejected\": {}, \
+             \"completed\": {}, \"failed\": {}, \"rejected\": {}, \"shed\": {}, \
              \"deadline_missed\": {}, \"lost\": {}, \"p50_us\": {}, \
              \"p99_us\": {}, \"rejection_rate\": {:.4}, \"deadline_rate\": {:.4}, \
              \"maintenance_runs\": {}, \"wall_ms\": {}}}{}\n",
@@ -257,6 +407,7 @@ fn main() {
             p.completed,
             p.failed,
             p.rejected,
+            p.shed,
             p.deadline_missed,
             p.lost,
             p.p50_us,
@@ -280,7 +431,7 @@ fn main() {
         assert_eq!(p.lost, 0, "{}: jobs were lost", p.phase);
         assert_eq!(
             p.submitted,
-            p.accepted + p.rejected,
+            p.accepted + p.rejected + p.shed,
             "{}: submissions unaccounted",
             p.phase
         );
@@ -293,15 +444,35 @@ fn main() {
         "paced: budget enforcement must run in worker quanta"
     );
     let burst = &phases[1];
-    assert!(
-        burst.rejected > 0,
-        "burst: an 8-slot queue under a plug must reject"
+    assert_eq!(
+        burst.rejected, 0,
+        "burst: expired queued jobs must be purged at admission, not converted into QueueFull"
     );
     assert!(
         burst.deadline_missed > 0,
         "burst: zero-deadline jobs queued behind the plug must expire"
     );
+    let fifo = &phases[2];
+    let edf = &phases[3];
+    assert_eq!(fifo.shed, 0, "overload_fifo: the baseline must not shed");
+    assert!(
+        edf.shed > 0,
+        "overload_edf: doomed jobs must be shed at admission"
+    );
+    assert!(
+        edf.completed >= fifo.completed,
+        "overload: EDF+shedding goodput ({}) must be at least the FIFO baseline ({})",
+        edf.completed,
+        fifo.completed
+    );
+    assert!(
+        edf.deadline_missed <= fifo.deadline_missed,
+        "overload: EDF must not miss more deadlines ({}) than FIFO ({})",
+        edf.deadline_missed,
+        fifo.deadline_missed
+    );
     println!(
-        "ok: conservation holds in both phases; backpressure and deadlines are typed outcomes"
+        "ok: conservation holds in every phase; backpressure, shedding, and deadlines are \
+         typed outcomes, and EDF+shedding goodput >= FIFO under overload"
     );
 }

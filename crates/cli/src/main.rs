@@ -50,10 +50,15 @@
 //! deadlines (`--deadline-ms=<n>`). A full queue *rejects* the job —
 //! backpressure is reported, never silently dropped — and a job whose
 //! deadline passes while queued completes as deadline-missed instead of
-//! being labeled. Completed jobs print as they finish, a stats line
-//! appears every 16 submissions, and EOF triggers a graceful shutdown
-//! (which re-exports per-target tables into `--tables-dir`, so heat
-//! survives restarts). `--queue-cap`/`--deadline-ms` are serve-only;
+//! being labeled. `--sched=<fifo|edf>` picks the in-lane order (default
+//! EDF; an *explicit* `--sched=edf` additionally sheds submissions
+//! whose deadline the queue already blows, reported as `shed`), and
+//! `--fair` round-robins the queue across targets so one hot target
+//! cannot starve the rest. Completed jobs print as they finish, a stats
+//! line appears every 16 submissions, and EOF triggers a graceful
+//! shutdown (which re-exports per-target tables into `--tables-dir`, so
+//! heat survives restarts). `--queue-cap`/`--deadline-ms`/`--sched`/
+//! `--fair` are serve-only;
 //! both subcommands take `--workers=<n>` and `--tables-dir=<dir>`, and
 //! both reject the per-grammar `--tables=<path>` flag and non-`shared`
 //! `--labeler` values — the service always labels through the shared
@@ -105,7 +110,8 @@ const USAGE: &str =
      <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
      [--workers=<n>] [--tables-dir=<dir>] [--memory-budget=<bytes>] \
      [--budget-policy=<error|flush|compact>] [--queue-cap=<n>] [--deadline-ms=<n>] \
-     [--compact-to=<bytes>] [--format=<text|json>] [--deny=<warning|error>]";
+     [--sched=<fifo|edf>] [--fair] [--compact-to=<bytes>] [--format=<text|json>] \
+     [--deny=<warning|error>]";
 
 /// The `--format` flag values (lint only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,6 +147,18 @@ enum PolicyFlag {
     Error,
     Flush,
     Compact,
+}
+
+/// Parses `--sched`. `edf` also opts the server into feasibility
+/// shedding at admission; `fifo` is the pre-scheduler baseline.
+fn parse_sched(value: &str) -> Result<SchedPolicy, String> {
+    match value {
+        "fifo" => Ok(SchedPolicy::Fifo),
+        "edf" => Ok(SchedPolicy::Edf),
+        other => Err(format!(
+            "unknown scheduling policy `{other}` (expected one of: fifo, edf)"
+        )),
+    }
 }
 
 fn parse_policy(value: &str) -> Result<PolicyFlag, String> {
@@ -189,6 +207,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut budget_policy: Option<PolicyFlag> = None;
     let mut queue_cap: Option<usize> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut sched: Option<SchedPolicy> = None;
+    let mut fair = false;
     let mut compact_to: Option<usize> = None;
     let mut format: Option<FormatFlag> = None;
     let mut deny: Option<Severity> = None;
@@ -241,6 +261,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 .next()
                 .ok_or("--deadline-ms needs a millisecond count")?;
             deadline_ms = Some(parse_count("--deadline-ms", value)? as u64);
+        } else if let Some(value) = arg.strip_prefix("--sched=") {
+            sched = Some(parse_sched(value)?);
+        } else if arg == "--sched" {
+            let value = iter.next().ok_or("--sched needs a policy")?;
+            sched = Some(parse_sched(value)?);
+        } else if arg == "--fair" {
+            fair = true;
         } else if let Some(value) = arg.strip_prefix("--compact-to=") {
             compact_to = Some(parse_bytes("--compact-to", value)?);
         } else if arg == "--compact-to" {
@@ -323,6 +350,11 @@ fn run(args: &[String]) -> Result<(), String> {
                      deadline; they run to completion)"
                     .into());
             }
+            if sched.is_some() || fair {
+                return Err("--sched/--fair only apply to `serve` (batch drains every \
+                     job; there is no queue to schedule)"
+                    .into());
+            }
             let manifest = positional
                 .get(1)
                 .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
@@ -338,6 +370,8 @@ fn run(args: &[String]) -> Result<(), String> {
             budget,
             queue_cap,
             deadline_ms,
+            sched,
+            fair,
         );
     }
     if let Some(dir) = &tables_dir {
@@ -351,6 +385,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if queue_cap.is_some() || deadline_ms.is_some() {
         return Err("--queue-cap/--deadline-ms only apply to the serve subcommand".into());
+    }
+    if sched.is_some() || fair {
+        return Err("--sched/--fair only apply to the serve subcommand".into());
     }
     if !matches!(command.as_str(), "label" | "emit" | "compile")
         && (memory_budget.is_some() || budget_policy.is_some())
@@ -799,8 +836,11 @@ fn batch(
 /// with the configured deadline against the bounded queue, completions
 /// print as they finish, and EOF triggers a graceful shutdown whose
 /// report (including the table re-exports into `--tables-dir`) closes
-/// the run. A full queue rejects the job — counted and printed, never
-/// silently lost.
+/// the run. A full queue rejects the job, and under `--sched=edf` a
+/// deadline the queue already blows is shed at admission — both
+/// counted and printed, never silently lost. `--fair` adds per-target
+/// deficit-round-robin so one hot target cannot starve the rest.
+#[allow(clippy::too_many_arguments)]
 fn serve(
     manifest: &str,
     workers: Option<usize>,
@@ -808,6 +848,8 @@ fn serve(
     memory_budget: Option<MemoryBudget>,
     queue_cap: Option<usize>,
     deadline_ms: Option<u64>,
+    sched: Option<SchedPolicy>,
+    fair: bool,
 ) -> Result<(), String> {
     use std::io::BufRead;
     use std::time::Duration;
@@ -819,6 +861,12 @@ fn serve(
     let server = SelectorServer::with_builtin_targets(ServerConfig {
         workers: workers.unwrap_or(0),
         queue_cap: queue_cap.unwrap_or(0),
+        sched: sched.unwrap_or_default(),
+        // An explicit --sched=edf opts into admission shedding too; the
+        // default (EDF ordering, no shedding) keeps the submit contract
+        // of earlier releases.
+        shed_infeasible: sched == Some(SchedPolicy::Edf),
+        fair: fair.then(FairConfig::default),
         tables_dir: tables_dir.map(Into::into),
         memory_budget,
         analysis_policy: AnalysisPolicy::Deny,
@@ -842,6 +890,7 @@ fn serve(
     let mut completed = 0u64;
     let mut failed = 0u64;
     let mut rejected = 0u64;
+    let mut shed = 0u64;
     let mut missed = 0u64;
 
     /// Prints one finished job and tallies its outcome.
@@ -950,6 +999,16 @@ fn serve(
                 rejected += 1;
                 println!("-- {target} {file}: rejected (queue full at {capacity})");
             }
+            Err(SubmitError::Infeasible {
+                estimated_wait,
+                deadline,
+            }) => {
+                shed += 1;
+                println!(
+                    "-- {target} {file}: shed (estimated wait {estimated_wait:?} \
+                     exceeds the {deadline:?} deadline)"
+                );
+            }
             Err(e) => return Err(format!("{manifest}:{lineno}: {e}")),
         }
 
@@ -963,9 +1022,15 @@ fn serve(
         if submitted.is_multiple_of(16) {
             let t = server.tallies();
             println!(
-                "serve: submitted={} completed={} failed={} rejected={} \
+                "serve: submitted={} completed={} failed={} rejected={} shed={} \
                  deadline-missed={} queue-depth={}",
-                t.submitted, t.completed, t.failed, t.rejected, t.deadline_missed, t.queue_depth,
+                t.submitted,
+                t.completed,
+                t.failed,
+                t.rejected,
+                t.shed,
+                t.deadline_missed,
+                t.queue_depth,
             );
         }
     }
@@ -979,7 +1044,8 @@ fn serve(
     for t in &report.per_target {
         println!(
             "target {}: {} misses, {} states built, {}, {} table bytes \
-             ({} dense index), {} maintenance quanta, {} deadline misses, {} rejected{}",
+             ({} dense index), {} maintenance quanta, {} deadline misses, \
+             {} rejected, {} shed{}",
             t.target,
             t.counters.memo_misses,
             t.counters.states_built,
@@ -989,6 +1055,7 @@ fn serve(
             t.counters.maintenance_runs,
             t.counters.deadline_misses,
             t.counters.rejected_submits,
+            t.counters.shed_submits,
             match t.pressure {
                 Some(event) => format!(
                     ", {} {} -> {} bytes",
@@ -1011,11 +1078,15 @@ fn serve(
     }
     println!(
         "serve: submitted {submitted}, completed {completed}, failed {failed}, \
-         rejected {rejected}, deadline-missed {missed}, across {} workers \
+         rejected {rejected}, shed {shed}, deadline-missed {missed}, across {} workers \
          (queue cap {}) in {:?}",
         report.workers, report.queue_cap, report.uptime,
     );
     debug_assert_eq!(report.completed + report.deadline_missed, report.accepted);
+    debug_assert_eq!(
+        report.accepted + report.rejected + report.shed,
+        report.submitted
+    );
     if failed > 0 {
         Err(format!("{failed} jobs failed"))
     } else {

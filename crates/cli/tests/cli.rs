@@ -565,7 +565,9 @@ fn batch_runs_a_multi_target_manifest() {
     assert!(ok, "{stderr}");
     assert!(stdout.contains("#0 demo"), "{stdout}");
     assert!(
-        stdout.contains("serve: submitted 4, completed 4, failed 0, rejected 0, deadline-missed 0"),
+        stdout.contains(
+            "serve: submitted 4, completed 4, failed 0, rejected 0, shed 0, deadline-missed 0"
+        ),
         "{stdout}"
     );
     assert!(stdout.contains("maintenance quanta"), "{stdout}");

@@ -48,6 +48,11 @@ pub struct WorkCounters {
     /// Submissions rejected for backpressure (`QueueFull`) or shutdown
     /// (service counter).
     pub rejected_submits: u64,
+    /// Submissions shed at admission because the estimated queueing wait
+    /// already exceeded the job's deadline (`Infeasible`; service
+    /// counter — distinct from `rejected_submits`, which is capacity
+    /// backpressure).
+    pub shed_submits: u64,
     /// Maintenance quanta run between jobs (budget checks, compaction —
     /// see [`SharedOnDemand::run_maintenance`](crate::SharedOnDemand)).
     pub maintenance_runs: u64,
@@ -100,6 +105,7 @@ impl WorkCounters {
         self.states_evicted += other.states_evicted;
         self.deadline_misses += other.deadline_misses;
         self.rejected_submits += other.rejected_submits;
+        self.shed_submits += other.shed_submits;
         self.maintenance_runs += other.maintenance_runs;
     }
 
@@ -125,6 +131,7 @@ impl WorkCounters {
             rejected_submits: self
                 .rejected_submits
                 .saturating_sub(earlier.rejected_submits),
+            shed_submits: self.shed_submits.saturating_sub(earlier.shed_submits),
             maintenance_runs: self
                 .maintenance_runs
                 .saturating_sub(earlier.maintenance_runs),
@@ -160,6 +167,7 @@ pub struct AtomicWorkCounters {
     states_evicted: AtomicU64,
     deadline_misses: AtomicU64,
     rejected_submits: AtomicU64,
+    shed_submits: AtomicU64,
     maintenance_runs: AtomicU64,
 }
 
@@ -192,6 +200,7 @@ impl AtomicWorkCounters {
         add(&self.states_evicted, local.states_evicted);
         add(&self.deadline_misses, local.deadline_misses);
         add(&self.rejected_submits, local.rejected_submits);
+        add(&self.shed_submits, local.shed_submits);
         add(&self.maintenance_runs, local.maintenance_runs);
     }
 
@@ -212,6 +221,7 @@ impl AtomicWorkCounters {
             states_evicted: self.states_evicted.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             rejected_submits: self.rejected_submits.load(Ordering::Relaxed),
+            shed_submits: self.shed_submits.load(Ordering::Relaxed),
             maintenance_runs: self.maintenance_runs.load(Ordering::Relaxed),
         }
     }
@@ -233,6 +243,7 @@ impl AtomicWorkCounters {
             &self.states_evicted,
             &self.deadline_misses,
             &self.rejected_submits,
+            &self.shed_submits,
             &self.maintenance_runs,
         ] {
             cell.store(0, Ordering::Relaxed);
@@ -245,7 +256,7 @@ impl fmt::Display for WorkCounters {
         write!(
             f,
             "nodes={} work={} (rules={} chains={} hash={} table={} built={} hits={} misses={} dyn={} \
-             flushes={} compactions={} evicted={} deadline-missed={} rejected={} maintenance={})",
+             flushes={} compactions={} evicted={} deadline-missed={} rejected={} shed={} maintenance={})",
             self.nodes,
             self.work_units(),
             self.rule_checks,
@@ -261,6 +272,7 @@ impl fmt::Display for WorkCounters {
             self.states_evicted,
             self.deadline_misses,
             self.rejected_submits,
+            self.shed_submits,
             self.maintenance_runs,
         )
     }
@@ -333,6 +345,7 @@ mod tests {
         let mut a = WorkCounters {
             deadline_misses: 2,
             rejected_submits: 5,
+            shed_submits: 4,
             maintenance_runs: 3,
             ..WorkCounters::default()
         };
@@ -341,32 +354,42 @@ mod tests {
         let b = WorkCounters {
             deadline_misses: 1,
             rejected_submits: 1,
+            shed_submits: 1,
             maintenance_runs: 1,
             ..WorkCounters::default()
         };
         a.merge(&b);
         assert_eq!(
-            (a.deadline_misses, a.rejected_submits, a.maintenance_runs),
-            (3, 6, 4)
+            (
+                a.deadline_misses,
+                a.rejected_submits,
+                a.shed_submits,
+                a.maintenance_runs
+            ),
+            (3, 6, 5, 4)
         );
         let delta = a.since(&b);
         assert_eq!(
             (
                 delta.deadline_misses,
                 delta.rejected_submits,
+                delta.shed_submits,
                 delta.maintenance_runs
             ),
-            (2, 5, 3)
+            (2, 5, 4, 3)
         );
         let atomics = AtomicWorkCounters::new();
         atomics.merge(&a);
         assert_eq!(atomics.snapshot().maintenance_runs, 4);
+        assert_eq!(atomics.snapshot().shed_submits, 5);
         let shown = format!("{a}");
         assert!(shown.contains("deadline-missed=3"), "{shown}");
         assert!(shown.contains("rejected=6"), "{shown}");
+        assert!(shown.contains("shed=5"), "{shown}");
         assert!(shown.contains("maintenance=4"), "{shown}");
         atomics.reset();
         assert_eq!(atomics.snapshot().rejected_submits, 0);
+        assert_eq!(atomics.snapshot().shed_submits, 0);
     }
 
     #[test]

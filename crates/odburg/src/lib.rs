@@ -172,9 +172,10 @@ pub use service::SelectorServer;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::service::{
-        AnalysisPolicy, BatchReport, CompletedJob, JobError, JobHandle, JobOptions, Priority,
-        SelectorServer, SelectorService, ServeError, ServerConfig, ServerReport, ServerTallies,
-        ServiceConfig, ServiceError, SubmitError, TargetServerStats, Ticket,
+        AnalysisPolicy, BatchReport, CompletedJob, FairConfig, JobError, JobHandle, JobOptions,
+        Priority, SchedPolicy, SelectorServer, SelectorService, ServeError, ServerConfig,
+        ServerReport, ServerTallies, ServiceConfig, ServiceError, SubmitError, TargetServerStats,
+        Ticket,
     };
     pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};

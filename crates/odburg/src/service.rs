@@ -28,6 +28,18 @@
 //!   [`JobError::DeadlineExceeded`] instead of being labeled.
 //!   Completion is delivered through [`JobHandle::wait`] /
 //!   [`JobHandle::try_wait`] — no global drain barrier.
+//! * **Overload-grade scheduling** — within each lane jobs are ordered
+//!   by [`SchedPolicy`]: arrival order (`Fifo`) or earliest deadline
+//!   first (`Edf`, the default — no-deadline jobs keep arrival order
+//!   behind every deadline). Admission control completes the picture:
+//!   a full queue first **purges already-expired jobs** (completing
+//!   them as `DeadlineExceeded`) before `QueueFull` rejects, and with
+//!   [`ServerConfig::shed_infeasible`] set the server **sheds** jobs
+//!   whose deadline the queue ahead of them already blows
+//!   ([`SubmitError::Infeasible`], estimated from a per-target EWMA of
+//!   observed service time). Optional [`FairConfig`] adds weighted
+//!   per-target fair queueing (deficit round-robin) so one hot target
+//!   cannot starve the registry.
 //! * **Off-path maintenance** — per-target [`MemoryBudget`]
 //!   enforcement (compaction, flushes) never runs on the submit or
 //!   complete path. Workers run **maintenance quanta** between jobs
@@ -53,9 +65,12 @@
 //!
 //! ```text
 //! try_submit(target, forest)
-//!     │            ┌──────────────── QueueFull/Shutdown (typed reject)
+//!     │            ┌──────────────── Shutdown (typed reject)
 //!     ▼            │
-//!  [bounded queue: high │ normal]
+//!  admission: full? → purge expired ─► still full? ── QueueFull
+//!     │       infeasible? (EWMA × jobs-ahead > deadline) ── Infeasible (shed)
+//!     ▼
+//!  [bounded queue: high │ normal; Fifo/Edf order, optional per-target DRR]
 //!     │ pop (priority first)
 //!     ▼
 //!  worker: deadline passed? ──yes──► JobError::DeadlineExceeded ─┐
@@ -102,7 +117,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -163,6 +179,44 @@ pub struct ServiceConfig {
     pub analysis_policy: AnalysisPolicy,
 }
 
+/// How each priority lane orders its waiting jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict arrival order within the lane, deadlines ignored until
+    /// pop. The PR-5 behavior; kept as the bench baseline.
+    Fifo,
+    /// Earliest deadline first: the job whose absolute deadline is
+    /// nearest pops next. No-deadline jobs sort after every deadline
+    /// and keep arrival order among themselves; equal deadlines break
+    /// ties by arrival. With no deadlines in play this degenerates to
+    /// exactly `Fifo`, which is why it can be the default.
+    #[default]
+    Edf,
+}
+
+/// Weighted per-target fair queueing (deficit round-robin). Each lane
+/// splits into per-target sub-queues; a round visits every target with
+/// waiting work and lets it pop up to `weight` jobs (its quantum)
+/// before yielding, so a hot target can no longer starve the registry.
+/// Within a sub-queue the [`SchedPolicy`] order still applies.
+#[derive(Debug, Clone, Default)]
+pub struct FairConfig {
+    /// Per-target weights — jobs a target may pop per round. Unlisted
+    /// targets weigh 1; configured weights of 0 are clamped to 1.
+    pub weights: Vec<(String, u32)>,
+}
+
+impl FairConfig {
+    fn weight_of(&self, target: &str) -> u32 {
+        self.weights
+            .iter()
+            .find(|(name, _)| name == target)
+            .map(|(_, w)| *w)
+            .unwrap_or(1)
+            .max(1)
+    }
+}
+
 /// Configuration of a [`SelectorServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -171,9 +225,23 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Capacity of the bounded job queue (waiting jobs, both priority
     /// lanes together; jobs being labeled do not count). Submissions
-    /// beyond it are rejected with [`SubmitError::QueueFull`]. `0`
-    /// resolves to [`DEFAULT_QUEUE_CAP`].
+    /// beyond it are rejected with [`SubmitError::QueueFull`] — after
+    /// already-expired queued jobs have been purged, so dead work never
+    /// holds capacity against live work. `0` resolves to
+    /// [`DEFAULT_QUEUE_CAP`].
     pub queue_cap: usize,
+    /// How each lane orders its waiting jobs.
+    pub sched: SchedPolicy,
+    /// Shed infeasible submissions at admission: when the submitting
+    /// job carries a deadline and the per-target service-time EWMA says
+    /// the queue ahead of it already takes longer than that deadline,
+    /// reject with [`SubmitError::Infeasible`] instead of queueing work
+    /// that is doomed to expire. Off by default (it changes the submit
+    /// contract); the batch path never sheds regardless.
+    pub shed_infeasible: bool,
+    /// Weighted per-target fair queueing; `None` (the default) keeps
+    /// one sub-queue per lane.
+    pub fair: Option<FairConfig>,
     /// Directory of persisted tables: masters warm-start from
     /// `<dir>/<target>.odbt`, and [`SelectorServer::shutdown`]
     /// re-exports each built master's tables back into it so the hot
@@ -191,6 +259,9 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 0,
             queue_cap: DEFAULT_QUEUE_CAP,
+            sched: SchedPolicy::default(),
+            shed_infeasible: false,
+            fair: None,
             tables_dir: None,
             memory_budget: None,
             analysis_policy: AnalysisPolicy::default(),
@@ -285,6 +356,19 @@ pub enum SubmitError {
         /// The configured queue capacity that was hit.
         capacity: usize,
     },
+    /// The server estimated the job cannot meet its deadline and shed
+    /// it at admission ([`ServerConfig::shed_infeasible`]); it was
+    /// **not** enqueued. Queue slots stay available for feasible work —
+    /// goodput over throughput. Resubmit with a looser deadline, or
+    /// when the queue drains.
+    Infeasible {
+        /// The estimated queueing wait at admission: per-target
+        /// service-time EWMA × jobs the scheduler would serve first
+        /// ÷ workers. Under EDF only earlier-deadline jobs count.
+        estimated_wait: Duration,
+        /// The deadline the job asked for.
+        deadline: Duration,
+    },
     /// The server is shutting down and accepts no new jobs.
     Shutdown,
     /// The job never reached the queue: unknown target, or its
@@ -299,6 +383,16 @@ impl fmt::Display for SubmitError {
                 write!(
                     f,
                     "job queue is full ({capacity} jobs); backpressure applies"
+                )
+            }
+            SubmitError::Infeasible {
+                estimated_wait,
+                deadline,
+            } => {
+                write!(
+                    f,
+                    "infeasible: estimated queueing wait {estimated_wait:?} already exceeds \
+                     the {deadline:?} deadline; job shed at admission"
                 )
             }
             SubmitError::Shutdown => write!(f, "server is shutting down; submissions rejected"),
@@ -407,7 +501,7 @@ impl fmt::Display for Ticket {
 /// bounded queue's capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Priority {
-    /// Popped in arrival order after every queued `High` job.
+    /// Popped in [`SchedPolicy`] order after every queued `High` job.
     #[default]
     Normal,
     /// Jumps the normal lane.
@@ -421,7 +515,10 @@ pub struct JobOptions {
     /// queued past it is completed with [`JobError::DeadlineExceeded`]
     /// instead of being labeled. A job *already being labeled* when the
     /// deadline passes finishes normally — deadlines bound queueing,
-    /// not preemption. `None` means no deadline.
+    /// not preemption. `None` means no deadline. Under
+    /// [`SchedPolicy::Edf`] the deadline also orders the queue, and
+    /// with [`ServerConfig::shed_infeasible`] a deadline the queue
+    /// already blows is shed at submit ([`SubmitError::Infeasible`]).
     pub deadline: Option<Duration>,
     /// Scheduling class.
     pub priority: Priority,
@@ -443,9 +540,14 @@ struct TargetEntry {
     /// Built on first use; the flag records whether persisted tables
     /// seeded it (for the reports).
     master: Mutex<Option<(Arc<SharedOnDemand>, bool)>>,
-    /// Service-level events attributed to this target (rejected
-    /// submits, deadline misses) — merged into its reported counters.
+    /// Service-level events attributed to this target (rejected and
+    /// shed submits, deadline misses) — merged into its reported
+    /// counters.
     events: AtomicWorkCounters,
+    /// EWMA of observed labeling latency in nanoseconds (alpha = 1/4);
+    /// `0` means no observation yet. Feasibility shedding multiplies
+    /// the jobs ahead of a candidate by this estimate at admission.
+    service_ewma_ns: AtomicU64,
     /// The most recent pressure event a maintenance quantum produced.
     last_pressure: Mutex<Option<PressureEvent>>,
     /// Whether a maintenance quantum for this target is already queued.
@@ -494,6 +596,30 @@ impl TargetEntry {
             .expect("registry lock")
             .as_ref()
             .map(|(m, w)| (Arc::clone(m), *w))
+    }
+
+    /// Feeds one observed labeling latency into the target's
+    /// service-time EWMA. The read-modify-write is racy across workers;
+    /// the estimate is a statistic, not an invariant.
+    fn observe_service(&self, latency: Duration) {
+        let sample = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let old = self.service_ewma_ns.load(Ordering::Relaxed);
+        // max(1): a sub-nanosecond sample must not land on the
+        // `0 == no observation` sentinel.
+        let new = if old == 0 {
+            sample.max(1)
+        } else {
+            (old - old / 4 + sample / 4).max(1)
+        };
+        self.service_ewma_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// The current service-time estimate, if any job has been observed.
+    fn estimated_service(&self) -> Option<Duration> {
+        match self.service_ewma_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
     }
 
     /// The target's cumulative counters: labeling work on the master
@@ -569,6 +695,7 @@ impl Registry {
                 budget: Mutex::new(None),
                 master: Mutex::new(None),
                 events: AtomicWorkCounters::new(),
+                service_ewma_ns: AtomicU64::new(0),
                 last_pressure: Mutex::new(None),
                 maintenance_queued: AtomicBool::new(false),
             }),
@@ -777,6 +904,370 @@ struct QueuedJob {
     slot: Arc<Slot>,
 }
 
+// ---------------------------------------------------------------------
+// The scheduler: Fifo/Edf sub-queues, optional per-target DRR lanes.
+// ---------------------------------------------------------------------
+
+/// One queued job with its scheduling key: the absolute deadline and a
+/// monotone admission sequence number for the FIFO tiebreak.
+#[derive(Debug)]
+struct SchedEntry {
+    deadline: Option<Instant>,
+    seq: u64,
+    job: QueuedJob,
+}
+
+impl PartialEq for SchedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for SchedEntry {}
+
+impl PartialOrd for SchedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SchedEntry {
+    /// Earliest deadline first; `None` sorts after every deadline; the
+    /// admission sequence breaks ties and orders the no-deadline tail —
+    /// `seq` is unique, so this is a total order.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => a.cmp(&b).then(self.seq.cmp(&other.seq)),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => self.seq.cmp(&other.seq),
+        }
+    }
+}
+
+/// One ordered queue of waiting jobs.
+#[derive(Debug)]
+enum SubQueue {
+    /// Arrival order (entries arrive with increasing `seq`).
+    Fifo(VecDeque<SchedEntry>),
+    /// Earliest deadline first (min-heap via `Reverse`).
+    Edf(BinaryHeap<Reverse<SchedEntry>>),
+}
+
+impl SubQueue {
+    fn new(policy: SchedPolicy) -> Self {
+        match policy {
+            SchedPolicy::Fifo => SubQueue::Fifo(VecDeque::new()),
+            SchedPolicy::Edf => SubQueue::Edf(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, entry: SchedEntry) {
+        match self {
+            SubQueue::Fifo(q) => q.push_back(entry),
+            SubQueue::Edf(h) => h.push(Reverse(entry)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<SchedEntry> {
+        match self {
+            SubQueue::Fifo(q) => q.pop_front(),
+            SubQueue::Edf(h) => h.pop().map(|r| r.0),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            SubQueue::Fifo(q) => q.is_empty(),
+            SubQueue::Edf(h) => h.is_empty(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SubQueue::Fifo(q) => q.len(),
+            SubQueue::Edf(h) => h.len(),
+        }
+    }
+
+    /// Jobs this queue serves before a hypothetical new entry with
+    /// absolute `deadline`: everything under arrival order, only
+    /// earlier-or-equal deadlines under EDF.
+    fn count_ahead(&self, deadline: Instant) -> usize {
+        match self {
+            SubQueue::Fifo(q) => q.len(),
+            SubQueue::Edf(h) => h
+                .iter()
+                .filter(|Reverse(e)| e.deadline.is_some_and(|d| d <= deadline))
+                .count(),
+        }
+    }
+
+    /// Removes every job whose deadline has already passed at `now`,
+    /// preserving the order of the survivors.
+    fn purge_expired(&mut self, now: Instant, out: &mut Vec<QueuedJob>) {
+        let expired = |e: &SchedEntry| e.deadline.is_some_and(|d| now >= d);
+        match self {
+            SubQueue::Fifo(q) => {
+                for entry in std::mem::take(q) {
+                    if expired(&entry) {
+                        out.push(entry.job);
+                    } else {
+                        q.push_back(entry);
+                    }
+                }
+            }
+            SubQueue::Edf(h) => {
+                for Reverse(entry) in std::mem::take(h).into_vec() {
+                    if expired(&entry) {
+                        out.push(entry.job);
+                    } else {
+                        h.push(Reverse(entry));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One target's flow in a fair ([`DrrLane`]) lane.
+#[derive(Debug)]
+struct Flow {
+    queue: SubQueue,
+    /// Jobs this flow may still pop in its current head visit.
+    deficit: u32,
+    /// The quantum granted per round ([`FairConfig`] weight).
+    weight: u32,
+    /// Whether the flow is enlisted in the round (in `active`, or the
+    /// current head). Guards against double insertion.
+    enlisted: bool,
+}
+
+/// Deficit round-robin across per-target flows: each flow with waiting
+/// work gets `weight` pops per round, so a hot target cannot starve a
+/// cold one — the cold target's first job waits at most one round.
+#[derive(Debug)]
+struct DrrLane {
+    policy: SchedPolicy,
+    fair: FairConfig,
+    flows: HashMap<String, Flow>,
+    /// Round-robin order of enlisted flows.
+    active: VecDeque<String>,
+    /// The flow currently at the head of the round (quantum not yet
+    /// exhausted), kept out of `active` between pops.
+    current: Option<String>,
+}
+
+impl DrrLane {
+    fn push(&mut self, entry: SchedEntry) {
+        let target = entry.job.entry.name.clone();
+        if !self.flows.contains_key(&target) {
+            self.flows.insert(
+                target.clone(),
+                Flow {
+                    queue: SubQueue::new(self.policy),
+                    deficit: 0,
+                    weight: self.fair.weight_of(&target),
+                    enlisted: false,
+                },
+            );
+        }
+        let flow = self.flows.get_mut(&target).expect("flow inserted above");
+        flow.queue.push(entry);
+        if !flow.enlisted {
+            flow.enlisted = true;
+            self.active.push_back(target);
+        }
+    }
+
+    fn pop(&mut self) -> Option<SchedEntry> {
+        loop {
+            let target = match self.current.take() {
+                Some(t) => t,
+                None => {
+                    let t = self.active.pop_front()?;
+                    // A fresh head visit grants the flow its quantum.
+                    let flow = self.flows.get_mut(&t).expect("enlisted flows exist");
+                    flow.deficit = flow.deficit.saturating_add(flow.weight);
+                    t
+                }
+            };
+            let flow = self.flows.get_mut(&target).expect("enlisted flows exist");
+            if flow.queue.is_empty() {
+                // Fully purged while enlisted: leave the round.
+                flow.deficit = 0;
+                flow.enlisted = false;
+                continue;
+            }
+            if flow.deficit == 0 {
+                // Quantum exhausted: rotate to the back of the round.
+                self.active.push_back(target);
+                continue;
+            }
+            flow.deficit -= 1;
+            let entry = flow.queue.pop().expect("checked non-empty");
+            if flow.queue.is_empty() {
+                flow.deficit = 0;
+                flow.enlisted = false;
+            } else {
+                self.current = Some(target);
+            }
+            return Some(entry);
+        }
+    }
+
+    fn purge_expired(&mut self, now: Instant, out: &mut Vec<QueuedJob>) {
+        for flow in self.flows.values_mut() {
+            flow.queue.purge_expired(now, out);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.flows.values().map(|f| f.queue.len()).sum()
+    }
+
+    fn count_ahead(&self, deadline: Instant) -> usize {
+        self.flows
+            .values()
+            .map(|f| f.queue.count_ahead(deadline))
+            .sum()
+    }
+}
+
+/// One priority lane: a single [`SubQueue`], or per-target DRR flows.
+#[derive(Debug)]
+enum Lane {
+    Single(SubQueue),
+    Fair(DrrLane),
+}
+
+impl Lane {
+    fn new(policy: SchedPolicy, fair: Option<&FairConfig>) -> Self {
+        match fair {
+            None => Lane::Single(SubQueue::new(policy)),
+            Some(fair) => Lane::Fair(DrrLane {
+                policy,
+                fair: fair.clone(),
+                flows: HashMap::new(),
+                active: VecDeque::new(),
+                current: None,
+            }),
+        }
+    }
+
+    fn push(&mut self, entry: SchedEntry) {
+        match self {
+            Lane::Single(q) => q.push(entry),
+            Lane::Fair(drr) => drr.push(entry),
+        }
+    }
+
+    fn pop(&mut self) -> Option<SchedEntry> {
+        match self {
+            Lane::Single(q) => q.pop(),
+            Lane::Fair(drr) => drr.pop(),
+        }
+    }
+
+    fn purge_expired(&mut self, now: Instant, out: &mut Vec<QueuedJob>) {
+        match self {
+            Lane::Single(q) => q.purge_expired(now, out),
+            Lane::Fair(drr) => drr.purge_expired(now, out),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Lane::Single(q) => q.len(),
+            Lane::Fair(drr) => drr.len(),
+        }
+    }
+
+    fn count_ahead(&self, deadline: Instant) -> usize {
+        match self {
+            Lane::Single(q) => q.count_ahead(deadline),
+            Lane::Fair(drr) => drr.count_ahead(deadline),
+        }
+    }
+}
+
+/// The two-lane scheduler behind the server's bounded queue. `High`
+/// still pops before `Normal`; within each lane the [`SchedPolicy`]
+/// (and optional fair queueing) decides the order.
+#[derive(Debug)]
+struct Scheduler {
+    high: Lane,
+    normal: Lane,
+    /// Waiting jobs across both lanes (maintained so capacity checks
+    /// never walk the fair lanes' flow maps).
+    queued: usize,
+    /// Admission sequence for the FIFO tiebreak.
+    next_seq: u64,
+}
+
+impl Scheduler {
+    fn new(policy: SchedPolicy, fair: Option<&FairConfig>) -> Self {
+        Scheduler {
+            high: Lane::new(policy, fair),
+            normal: Lane::new(policy, fair),
+            queued: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn push(&mut self, priority: Priority, job: QueuedJob) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = SchedEntry {
+            deadline: job.deadline,
+            seq,
+            job,
+        };
+        match priority {
+            Priority::High => self.high.push(entry),
+            Priority::Normal => self.normal.push(entry),
+        }
+        self.queued += 1;
+    }
+
+    fn pop(&mut self) -> Option<QueuedJob> {
+        let entry = self.high.pop().or_else(|| self.normal.pop())?;
+        self.queued -= 1;
+        Some(entry.job)
+    }
+
+    /// Extracts every queued job whose deadline has passed at `now`.
+    /// The caller delivers them as `DeadlineExceeded` *after* releasing
+    /// the state lock.
+    fn purge_expired(&mut self, now: Instant) -> Vec<QueuedJob> {
+        let mut out = Vec::new();
+        self.high.purge_expired(now, &mut out);
+        self.normal.purge_expired(now, &mut out);
+        self.queued -= out.len();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// Jobs the scheduler would serve before a new `priority` job with
+    /// absolute `deadline` — the depth that feasibility shedding
+    /// multiplies by the per-target service-time estimate. Under EDF
+    /// only earlier-or-equal deadlines count (later ones will be served
+    /// after the candidate); under FIFO everything queued counts. Exact
+    /// for single sub-queues; approximate under fair queueing, where
+    /// round-robin interleaving can reorder across flows. Costs one
+    /// queue scan, only paid on deadline submissions to a capped server
+    /// with shedding enabled.
+    fn ahead_of(&self, priority: Priority, deadline: Instant) -> usize {
+        match priority {
+            Priority::High => self.high.count_ahead(deadline),
+            Priority::Normal => self.high.len() + self.normal.count_ahead(deadline),
+        }
+    }
+}
+
 /// How many consecutive job pops may starve a pending maintenance
 /// quantum before it jumps the line. Under sustained saturation the job
 /// lanes never empty; without this bound a memory budget would go
@@ -786,8 +1277,7 @@ const MAINTENANCE_STARVATION_BOUND: usize = 32;
 
 #[derive(Debug)]
 struct ServerState {
-    high: VecDeque<QueuedJob>,
-    normal: VecDeque<QueuedJob>,
+    sched: Scheduler,
     /// Targets with a pending maintenance quantum. Jobs normally pop
     /// first, so quanta run in the gaps between jobs — but after
     /// [`MAINTENANCE_STARVATION_BOUND`] consecutive job pops a pending
@@ -803,14 +1293,11 @@ struct ServerState {
 
 impl ServerState {
     fn queued(&self) -> usize {
-        self.high.len() + self.normal.len()
+        self.sched.len()
     }
 
     fn is_idle(&self) -> bool {
-        self.high.is_empty()
-            && self.normal.is_empty()
-            && self.maintenance.is_empty()
-            && self.active == 0
+        self.sched.len() == 0 && self.maintenance.is_empty() && self.active == 0
     }
 }
 
@@ -829,6 +1316,7 @@ struct ServerShared {
     failed: AtomicU64,
     deadline_missed: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
 }
 
 enum Task {
@@ -845,7 +1333,7 @@ fn worker_loop(shared: Arc<ServerShared>) {
                 let overdue = st.jobs_since_maintenance >= MAINTENANCE_STARVATION_BOUND
                     && !st.maintenance.is_empty();
                 if !overdue {
-                    if let Some(job) = st.high.pop_front().or_else(|| st.normal.pop_front()) {
+                    if let Some(job) = st.sched.pop() {
                         st.jobs_since_maintenance += 1;
                         st.active += 1;
                         break Task::Job(job);
@@ -877,9 +1365,13 @@ fn worker_loop(shared: Arc<ServerShared>) {
 
 /// Labels one popped job (or expires it) and delivers the result.
 fn process_job(shared: &ServerShared, job: QueuedJob) {
-    let queued = job.accepted_at.elapsed();
+    // One timestamp decides both the expiry check and `missed_by`: a
+    // second read after the check would fold scheduler delay between
+    // the two reads into the reported miss.
+    let now = Instant::now();
+    let queued = now.saturating_duration_since(job.accepted_at);
     let (outcome, latency) = match job.deadline {
-        Some(deadline) if Instant::now() >= deadline => {
+        Some(deadline) if now >= deadline => {
             shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
             job.entry.events.merge(&WorkCounters {
                 deadline_misses: 1,
@@ -887,7 +1379,7 @@ fn process_job(shared: &ServerShared, job: QueuedJob) {
             });
             (
                 Err(JobError::DeadlineExceeded {
-                    missed_by: Instant::now().saturating_duration_since(deadline),
+                    missed_by: now.saturating_duration_since(deadline),
                 }),
                 Duration::ZERO,
             )
@@ -913,6 +1405,9 @@ fn process_job(shared: &ServerShared, job: QueuedJob) {
                 }
             };
             let latency = t.elapsed();
+            // Feed the admission estimator with what serving actually
+            // cost — shedding projects queue wait from this EWMA.
+            job.entry.observe_service(latency);
             shared.completed.fetch_add(1, Ordering::Relaxed);
             if outcome.is_err() {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
@@ -980,7 +1475,7 @@ fn resolve_workers(configured: usize) -> usize {
 /// lines; cheap, lock-free except the queue-depth sample).
 #[derive(Debug, Clone, Copy)]
 pub struct ServerTallies {
-    /// Jobs offered: accepted + rejected.
+    /// Jobs offered: accepted + rejected + shed.
     pub submitted: u64,
     /// Jobs accepted into the queue.
     pub accepted: u64,
@@ -992,6 +1487,8 @@ pub struct ServerTallies {
     pub deadline_missed: u64,
     /// Submissions rejected (queue full or shutdown).
     pub rejected: u64,
+    /// Submissions shed as infeasible ([`SubmitError::Infeasible`]).
+    pub shed: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
 }
@@ -1019,10 +1516,11 @@ pub struct TargetServerStats {
 /// What [`SelectorServer::shutdown`] learned over the server's
 /// lifetime. Conservation invariant once the queue has drained:
 /// `accepted == completed + deadline_missed` and
-/// `submitted == accepted + rejected` — no job is ever silently lost.
+/// `submitted == accepted + rejected + shed` — no job is ever silently
+/// lost.
 #[derive(Debug)]
 pub struct ServerReport {
-    /// Jobs offered: `accepted + rejected`.
+    /// Jobs offered: `accepted + rejected + shed`.
     pub submitted: u64,
     /// Jobs accepted into the queue.
     pub accepted: u64,
@@ -1032,8 +1530,11 @@ pub struct ServerReport {
     pub failed: u64,
     /// Jobs expired with [`JobError::DeadlineExceeded`].
     pub deadline_missed: u64,
-    /// Submissions rejected with a typed [`SubmitError`].
+    /// Submissions rejected with [`SubmitError::QueueFull`] /
+    /// [`SubmitError::Shutdown`].
     pub rejected: u64,
+    /// Submissions shed at admission as [`SubmitError::Infeasible`].
+    pub shed: u64,
     /// Per-target accounting, name-sorted, masters-built only.
     pub per_target: Vec<TargetServerStats>,
     /// Server lifetime.
@@ -1065,6 +1566,8 @@ impl ServerReport {
 pub struct SelectorServer {
     shared: Arc<ServerShared>,
     workers: usize,
+    /// Shed infeasible deadline submissions at admission.
+    shed_infeasible: bool,
     /// Export tables to the registry's directory at shutdown.
     export_on_shutdown: bool,
     handles: Mutex<Vec<JoinHandle<()>>>,
@@ -1083,12 +1586,8 @@ impl SelectorServer {
             0 => DEFAULT_QUEUE_CAP,
             n => n,
         };
-        SelectorServer::with_registry(
-            registry,
-            config.workers,
-            queue_cap,
-            config.tables_dir.is_some(),
-        )
+        let export = config.tables_dir.is_some();
+        SelectorServer::with_registry(registry, &config, queue_cap, export)
     }
 
     /// A server with all six built-in targets
@@ -1105,18 +1604,19 @@ impl SelectorServer {
 
     /// Spawns the pool over an existing registry (how the
     /// [`SelectorService`] compatibility layer shares its targets).
+    /// Only the scheduling fields of `config` are read here — registry
+    /// concerns (tables, budget, analysis) were consumed by the caller.
     fn with_registry(
         registry: Arc<Registry>,
-        workers: usize,
+        config: &ServerConfig,
         queue_cap: usize,
         export_on_shutdown: bool,
     ) -> Self {
-        let workers = resolve_workers(workers);
+        let workers = resolve_workers(config.workers);
         let shared = Arc::new(ServerShared {
             registry,
             state: Mutex::new(ServerState {
-                high: VecDeque::new(),
-                normal: VecDeque::new(),
+                sched: Scheduler::new(config.sched, config.fair.as_ref()),
                 maintenance: VecDeque::new(),
                 jobs_since_maintenance: 0,
                 active: 0,
@@ -1131,6 +1631,7 @@ impl SelectorServer {
             failed: AtomicU64::new(0),
             deadline_missed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -1144,6 +1645,7 @@ impl SelectorServer {
         SelectorServer {
             shared,
             workers,
+            shed_infeasible: config.shed_infeasible,
             export_on_shutdown,
             handles: Mutex::new(handles),
             down: AtomicBool::new(false),
@@ -1262,8 +1764,11 @@ impl SelectorServer {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`] (backpressure), [`SubmitError::Shutdown`],
-    /// or [`SubmitError::Service`] for registry/table problems.
+    /// [`SubmitError::QueueFull`] (backpressure),
+    /// [`SubmitError::Infeasible`] (admission shed, when
+    /// [`ServerConfig::shed_infeasible`] is set),
+    /// [`SubmitError::Shutdown`], or [`SubmitError::Service`] for
+    /// registry/table problems.
     pub fn try_submit_with(
         &self,
         target: &str,
@@ -1277,7 +1782,7 @@ impl SelectorServer {
 
     /// The single enqueue point. `enforce_cap: false` is the internal
     /// batch path ([`SelectorService::drain`]), which must never lose a
-    /// job to backpressure.
+    /// job to backpressure (and is never purged against or shed).
     fn enqueue(
         &self,
         ticket: Option<Ticket>,
@@ -1287,8 +1792,6 @@ impl SelectorServer {
         options: JobOptions,
         enforce_cap: bool,
     ) -> Result<JobHandle, SubmitError> {
-        let accepted_at = Instant::now();
-        let deadline = options.deadline.map(|d| accepted_at + d);
         let mut st = self.shared.state.lock().expect("server state lock");
         if st.shutdown {
             drop(st);
@@ -1299,8 +1802,23 @@ impl SelectorServer {
             });
             return Err(SubmitError::Shutdown);
         }
+        // Stamped *under* the lock: deadlines measure queueing (as
+        // documented), so contention on this lock must not silently eat
+        // into a job's deadline budget before it is even queued.
+        let accepted_at = Instant::now();
+        let deadline = options.deadline.map(|d| accepted_at + d);
+        // A full queue first sheds its dead weight: jobs whose deadline
+        // has already passed are completed as `DeadlineExceeded` (after
+        // the lock drops) instead of occupying bounded slots until a
+        // worker pops them — otherwise a queue full of expired work
+        // spuriously rejects fresh feasible submits.
+        let mut expired = Vec::new();
+        if enforce_cap && st.queued() >= self.shared.queue_cap {
+            expired = st.sched.purge_expired(accepted_at);
+        }
         if enforce_cap && st.queued() >= self.shared.queue_cap {
             drop(st);
+            self.deliver_expired(expired, accepted_at);
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             entry.events.merge(&WorkCounters {
                 rejected_submits: 1,
@@ -1309,6 +1827,29 @@ impl SelectorServer {
             return Err(SubmitError::QueueFull {
                 capacity: self.shared.queue_cap,
             });
+        }
+        if self.shed_infeasible && enforce_cap {
+            if let (Some(deadline), Some(abs_deadline), Some(est)) =
+                (options.deadline, deadline, entry.estimated_service())
+            {
+                let ahead = st.sched.ahead_of(options.priority, abs_deadline);
+                let depth = ahead.min(u32::MAX as usize) as u32;
+                let workers = self.workers.min(u32::MAX as usize).max(1) as u32;
+                let estimated_wait = est.saturating_mul(depth) / workers;
+                if estimated_wait > deadline {
+                    drop(st);
+                    self.deliver_expired(expired, accepted_at);
+                    self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                    entry.events.merge(&WorkCounters {
+                        shed_submits: 1,
+                        ..WorkCounters::default()
+                    });
+                    return Err(SubmitError::Infeasible {
+                        estimated_wait,
+                        deadline,
+                    });
+                }
+            }
         }
         let ticket = ticket.unwrap_or_else(|| self.shared.registry.allocate_ticket());
         let slot = Arc::new(Slot::new());
@@ -1326,13 +1867,38 @@ impl SelectorServer {
             accepted_at,
             slot,
         };
-        match options.priority {
-            Priority::High => st.high.push_back(job),
-            Priority::Normal => st.normal.push_back(job),
-        }
+        st.sched.push(options.priority, job);
+        drop(st);
+        self.deliver_expired(expired, accepted_at);
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
         self.shared.work.notify_one();
         Ok(handle)
+    }
+
+    /// Completes jobs the scheduler purged as already expired, exactly
+    /// as a worker pop would have: tallied as deadline misses and
+    /// delivered as [`JobError::DeadlineExceeded`]. Runs with the state
+    /// lock released — delivery takes per-job slot locks and the purged
+    /// jobs are already out of the queue.
+    fn deliver_expired(&self, expired: Vec<QueuedJob>, now: Instant) {
+        for job in expired {
+            let deadline = job.deadline.expect("only deadline jobs expire");
+            self.shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            job.entry.events.merge(&WorkCounters {
+                deadline_misses: 1,
+                ..WorkCounters::default()
+            });
+            job.slot.deliver(CompletedJob {
+                ticket: job.ticket,
+                target: job.entry.name.clone(),
+                forest: job.forest,
+                outcome: Err(JobError::DeadlineExceeded {
+                    missed_by: now.saturating_duration_since(deadline),
+                }),
+                latency: Duration::ZERO,
+                queued: now.saturating_duration_since(job.accepted_at),
+            });
+        }
     }
 
     /// Number of jobs currently waiting in the queue.
@@ -1353,13 +1919,15 @@ impl SelectorServer {
     pub fn tallies(&self) -> ServerTallies {
         let accepted = self.shared.accepted.load(Ordering::Relaxed);
         let rejected = self.shared.rejected.load(Ordering::Relaxed);
+        let shed = self.shared.shed.load(Ordering::Relaxed);
         ServerTallies {
-            submitted: accepted + rejected,
+            submitted: accepted + rejected + shed,
             accepted,
             completed: self.shared.completed.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
             deadline_missed: self.shared.deadline_missed.load(Ordering::Relaxed),
             rejected,
+            shed,
             queue_depth: self.queue_depth(),
         }
     }
@@ -1442,6 +2010,7 @@ impl SelectorServer {
     ) -> ServerReport {
         let accepted = self.shared.accepted.load(Ordering::Relaxed);
         let rejected = self.shared.rejected.load(Ordering::Relaxed);
+        let shed = self.shared.shed.load(Ordering::Relaxed);
         let per_target = self
             .shared
             .registry
@@ -1461,12 +2030,13 @@ impl SelectorServer {
             })
             .collect();
         ServerReport {
-            submitted: accepted + rejected,
+            submitted: accepted + rejected + shed,
             accepted,
             completed: self.shared.completed.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
             deadline_missed: self.shared.deadline_missed.load(Ordering::Relaxed),
             rejected,
+            shed,
             per_target,
             uptime: self.shared.started.elapsed(),
             workers: self.workers,
@@ -1799,9 +2369,15 @@ impl SelectorService {
         if let Some(server) = &*slot {
             return Arc::clone(server);
         }
+        // Default scheduling (Edf degenerates to arrival order for the
+        // deadline-less batch jobs), no shedding, no fair queueing: the
+        // batch contract is every submitted job labels.
         let server = Arc::new(SelectorServer::with_registry(
             Arc::clone(&self.registry),
-            self.workers,
+            &ServerConfig {
+                workers: self.workers,
+                ..ServerConfig::default()
+            },
             usize::MAX,
             false,
         ));
