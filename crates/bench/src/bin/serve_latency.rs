@@ -78,13 +78,6 @@ struct PhaseStats {
     wall_ms: u128,
 }
 
-fn percentile(sorted: &[Duration], q: f64) -> u128 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    sorted[((sorted.len() - 1) as f64 * q).round() as usize].as_micros()
-}
-
 /// Waits every handle out and folds the phase accounting together.
 fn settle(
     phase: &'static str,
@@ -104,8 +97,21 @@ fn settle(
         }
     }
     let wall_ms = started.elapsed().as_millis();
+    let telemetry = Arc::clone(server.telemetry());
     let report = server.shutdown();
-    latencies.sort_unstable();
+    // Conservation recomputed purely from the metrics registry must
+    // agree with the server's own report — telemetry is not allowed to
+    // be a parallel approximation.
+    let totals = telemetry.totals();
+    assert!(
+        totals.conserved(),
+        "{phase}: registry conservation broken: {totals:?}"
+    );
+    assert_eq!(
+        (totals.accepted, totals.rejected, totals.shed),
+        (report.accepted, report.rejected, report.shed),
+        "{phase}: metrics registry disagrees with the server report"
+    );
     let maintenance_runs = report.counters().maintenance_runs;
     let lost = report.accepted as i64 - report.completed as i64 - report.deadline_missed as i64;
     PhaseStats {
@@ -121,8 +127,8 @@ fn settle(
         shed: report.shed,
         deadline_missed: report.deadline_missed,
         lost,
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
+        p50_us: odburg_bench::quantile_us(&latencies, 0.50),
+        p99_us: odburg_bench::quantile_us(&latencies, 0.99),
         maintenance_runs,
         wall_ms,
     }

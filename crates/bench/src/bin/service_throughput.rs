@@ -108,6 +108,16 @@ fn main() {
             let batch_ns = t.elapsed().as_nanos();
             assert_eq!(report.failed(), 0, "sampled traffic always labels");
             assert_eq!(report.results.len(), JOBS);
+            // Conservation recomputed purely from the telemetry registry
+            // of the batch server: every submitted job was accepted
+            // (uncapped batch queue) and completed.
+            let totals = svc
+                .telemetry()
+                .expect("drain started the batch server")
+                .totals();
+            assert!(totals.conserved(), "registry conservation: {totals:?}");
+            assert_eq!(totals.accepted, JOBS as u64);
+            assert_eq!(totals.completed, JOBS as u64);
             let misses: u64 = report
                 .per_target
                 .iter()

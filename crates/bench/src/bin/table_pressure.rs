@@ -29,6 +29,7 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 use odburg::service::{SelectorService, ServiceConfig};
 use odburg_bench::{f, row, rule_line};
@@ -132,7 +133,7 @@ fn run_mode(mode: &'static str, action: PressureAction) -> ModeResult {
         pressure_events: 0,
         budget_errors: 0,
     };
-    let mut p99s: Vec<u128> = Vec::new();
+    let mut p99s: Vec<Duration> = Vec::new();
     let mut cold = 1_000_000u64; // never overlaps the hot pool
     for round in 0..ROUNDS {
         for target in TARGETS {
@@ -172,12 +173,12 @@ fn run_mode(mode: &'static str, action: PressureAction) -> ModeResult {
             }
         }
         if steady {
-            p99s.push(report.latency.p99.as_nanos());
+            p99s.push(report.latency.p99);
         }
     }
     result.steady_miss_rate = result.steady_misses as f64 / result.steady_nodes.max(1) as f64;
-    p99s.sort_unstable();
-    result.batch_p99_median_ns = p99s[p99s.len() / 2];
+    // Median through the shared histogram-backed quantile helper.
+    result.batch_p99_median_ns = odburg_bench::quantile(&p99s, 0.5).as_nanos();
     result
 }
 

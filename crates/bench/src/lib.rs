@@ -9,22 +9,35 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use odburg_core::telemetry::Histogram;
 use odburg_core::{Labeler, OnDemandAutomaton, OnDemandConfig};
 use odburg_grammar::NormalGrammar;
 use odburg_ir::Forest;
 
+/// The shared quantile helper every bench bin routes through, backed by
+/// the telemetry histogram (`odburg_core::telemetry::Histogram`):
+/// log-linear buckets with interpolated nearest-rank quantiles, within
+/// one sub-bucket width (~1.6% relative) of the exact order statistic.
+pub fn quantile(samples: &[Duration], q: f64) -> Duration {
+    Histogram::from_durations(samples).quantile_duration(q)
+}
+
+/// [`quantile`] in integer microseconds (the serve benches' JSON unit).
+pub fn quantile_us(samples: &[Duration], q: f64) -> u128 {
+    quantile(samples, q).as_micros()
+}
+
 /// Median wall-clock time of `reps` runs of `f` (with one warmup run).
 pub fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
     f();
-    let mut times: Vec<Duration> = (0..reps)
+    let times: Vec<Duration> = (0..reps)
         .map(|_| {
             let t = Instant::now();
             f();
             t.elapsed()
         })
         .collect();
-    times.sort();
-    times[times.len() / 2]
+    quantile(&times, 0.5)
 }
 
 /// Nanoseconds per node for labeling `forest` with `labeler`, median of

@@ -110,8 +110,8 @@ const USAGE: &str =
      <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
      [--workers=<n>] [--tables-dir=<dir>] [--memory-budget=<bytes>] \
      [--budget-policy=<error|flush|compact>] [--queue-cap=<n>] [--deadline-ms=<n>] \
-     [--sched=<fifo|edf>] [--fair] [--compact-to=<bytes>] [--format=<text|json>] \
-     [--deny=<warning|error>]";
+     [--sched=<fifo|edf>] [--fair] [--metrics-out=<path>] [--trace-out=<path>] \
+     [--compact-to=<bytes>] [--format=<text|json>] [--deny=<warning|error>]";
 
 /// The `--format` flag values (lint only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -209,6 +209,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut deadline_ms: Option<u64> = None;
     let mut sched: Option<SchedPolicy> = None;
     let mut fair = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut compact_to: Option<usize> = None;
     let mut format: Option<FormatFlag> = None;
     let mut deny: Option<Severity> = None;
@@ -268,6 +270,16 @@ fn run(args: &[String]) -> Result<(), String> {
             sched = Some(parse_sched(value)?);
         } else if arg == "--fair" {
             fair = true;
+        } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+            metrics_out = Some(path.to_owned());
+        } else if arg == "--metrics-out" {
+            let path = iter.next().ok_or("--metrics-out needs a path")?;
+            metrics_out = Some(path.clone());
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            trace_out = Some(path.to_owned());
+        } else if arg == "--trace-out" {
+            let path = iter.next().ok_or("--trace-out needs a path")?;
+            trace_out = Some(path.clone());
         } else if let Some(value) = arg.strip_prefix("--compact-to=") {
             compact_to = Some(parse_bytes("--compact-to", value)?);
         } else if arg == "--compact-to" {
@@ -355,6 +367,11 @@ fn run(args: &[String]) -> Result<(), String> {
                      job; there is no queue to schedule)"
                     .into());
             }
+            if metrics_out.is_some() || trace_out.is_some() {
+                return Err("--metrics-out/--trace-out only apply to `serve` (batch \
+                     prints its report inline)"
+                    .into());
+            }
             let manifest = positional
                 .get(1)
                 .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
@@ -372,6 +389,8 @@ fn run(args: &[String]) -> Result<(), String> {
             deadline_ms,
             sched,
             fair,
+            metrics_out.as_deref(),
+            trace_out.as_deref(),
         );
     }
     if let Some(dir) = &tables_dir {
@@ -388,6 +407,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if sched.is_some() || fair {
         return Err("--sched/--fair only apply to the serve subcommand".into());
+    }
+    if metrics_out.is_some() || trace_out.is_some() {
+        return Err("--metrics-out/--trace-out only apply to the serve subcommand".into());
     }
     if !matches!(command.as_str(), "label" | "emit" | "compile")
         && (memory_budget.is_some() || budget_policy.is_some())
@@ -840,6 +862,12 @@ fn batch(
 /// deadline the queue already blows is shed at admission — both
 /// counted and printed, never silently lost. `--fair` adds per-target
 /// deficit-round-robin so one hot target cannot starve the rest.
+///
+/// Observability: the periodic stats line and the post-shutdown
+/// conservation check are sourced from the server's telemetry registry
+/// (not the hand-rolled loop counters), `--metrics-out=<path>` dumps
+/// the registry and flight recorder as JSONL, and `--trace-out=<path>`
+/// writes a Chrome trace-event file (`chrome://tracing`).
 #[allow(clippy::too_many_arguments)]
 fn serve(
     manifest: &str,
@@ -850,10 +878,14 @@ fn serve(
     deadline_ms: Option<u64>,
     sched: Option<SchedPolicy>,
     fair: bool,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
 ) -> Result<(), String> {
+    use std::fmt::Write as _;
     use std::io::BufRead;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
+    use odburg::select::telemetry::{write_chrome_trace, write_jsonl, Telemetry};
     use odburg::service::{
         JobHandle, JobOptions, SelectorServer, ServeError, ServerConfig, SubmitError,
     };
@@ -893,15 +925,24 @@ fn serve(
     let mut shed = 0u64;
     let mut missed = 0u64;
 
-    /// Prints one finished job and tallies its outcome.
+    /// Prints one finished job and tallies its outcome. Reduction runs
+    /// on this thread, so its latency histogram is fed here rather than
+    /// in the worker pop path.
     fn print_outcome(
         done: &odburg::service::CompletedJob,
         file: &str,
+        telemetry: &Telemetry,
         completed: &mut u64,
         failed: &mut u64,
         missed: &mut u64,
     ) {
-        match done.reduce() {
+        let reduce_start = Instant::now();
+        let reduced = done.reduce();
+        telemetry
+            .target(&done.target)
+            .reduce
+            .record_duration(reduce_start.elapsed());
+        match reduced {
             Ok(red) => {
                 *completed += 1;
                 println!(
@@ -930,9 +971,11 @@ fn serve(
 
     /// Reaps finished handles: prints each completed job, keeps the
     /// rest. With `block`, waits every remaining handle out.
+    #[allow(clippy::too_many_arguments)]
     fn reap(
         handles: &mut Vec<(JobHandle, String)>,
         block: bool,
+        telemetry: &Telemetry,
         completed: &mut u64,
         failed: &mut u64,
         missed: &mut u64,
@@ -942,10 +985,10 @@ fn serve(
             if block {
                 let (handle, file) = handles.remove(i);
                 let done = handle.wait();
-                print_outcome(&done, &file, completed, failed, missed);
+                print_outcome(&done, &file, telemetry, completed, failed, missed);
             } else if let Some(done) = handles[i].0.try_wait() {
                 let (_, file) = handles.remove(i);
-                print_outcome(&done, &file, completed, failed, missed);
+                print_outcome(&done, &file, telemetry, completed, failed, missed);
             } else {
                 i += 1;
             }
@@ -1015,23 +1058,31 @@ fn serve(
         reap(
             &mut handles,
             false,
+            server.telemetry(),
             &mut completed,
             &mut failed,
             &mut missed,
         );
         if submitted.is_multiple_of(16) {
-            let t = server.tallies();
-            println!(
+            // Sourced from the telemetry registry (queue depth is a
+            // gauge the registry does not track, so it still comes from
+            // the server); each target's shedding EWMA rides along.
+            let totals = server.telemetry().totals();
+            let mut line = format!(
                 "serve: submitted={} completed={} failed={} rejected={} shed={} \
                  deadline-missed={} queue-depth={}",
-                t.submitted,
-                t.completed,
-                t.failed,
-                t.rejected,
-                t.shed,
-                t.deadline_missed,
-                t.queue_depth,
+                totals.submitted,
+                totals.completed,
+                totals.failed,
+                totals.rejected,
+                totals.shed,
+                totals.deadline_missed,
+                server.tallies().queue_depth,
             );
+            for (target, estimate, samples) in server.service_estimates() {
+                let _ = write!(line, " {target}.ewma={estimate:?}/{samples}");
+            }
+            println!("{line}");
         }
     }
     if submitted == 0 {
@@ -1039,13 +1090,21 @@ fn serve(
     }
 
     // EOF: finish every accepted job, then shut down gracefully.
-    reap(&mut handles, true, &mut completed, &mut failed, &mut missed);
+    reap(
+        &mut handles,
+        true,
+        server.telemetry(),
+        &mut completed,
+        &mut failed,
+        &mut missed,
+    );
+    let telemetry = Arc::clone(server.telemetry());
     let report = server.shutdown();
     for t in &report.per_target {
         println!(
             "target {}: {} misses, {} states built, {}, {} table bytes \
              ({} dense index), {} maintenance quanta, {} deadline misses, \
-             {} rejected, {} shed{}",
+             {} rejected, {} shed{}{}",
             t.target,
             t.counters.memo_misses,
             t.counters.states_built,
@@ -1056,6 +1115,10 @@ fn serve(
             t.counters.deadline_misses,
             t.counters.rejected_submits,
             t.counters.shed_submits,
+            match t.service_ewma {
+                Some(estimate) => format!(", ewma {estimate:?} over {} samples", t.service_samples),
+                None => String::new(),
+            },
             match t.pressure {
                 Some(event) => format!(
                     ", {} {} -> {} bytes",
@@ -1087,6 +1150,38 @@ fn serve(
         report.accepted + report.rejected + report.shed,
         report.submitted
     );
+
+    // Conservation recomputed purely from the metrics registry — no
+    // loop counter or server tally feeds this check.
+    let totals = telemetry.totals();
+    assert!(
+        totals.conserved(),
+        "telemetry registry must conserve jobs \
+         (submitted == accepted + rejected + shed): {totals:?}"
+    );
+    assert_eq!(
+        (totals.submitted, totals.rejected, totals.shed),
+        (report.submitted, report.rejected, report.shed),
+        "telemetry registry disagrees with the server report"
+    );
+
+    if let Some(path) = metrics_out {
+        let error = |e| format!("cannot write metrics `{path}`: {e}");
+        let file = std::fs::File::create(path).map_err(error)?;
+        let mut out = std::io::BufWriter::new(file);
+        write_jsonl(&mut out, &telemetry).map_err(error)?;
+        std::io::Write::flush(&mut out).map_err(error)?;
+        println!("wrote metrics: {path}");
+    }
+    if let Some(path) = trace_out {
+        let error = |e| format!("cannot write trace `{path}`: {e}");
+        let file = std::fs::File::create(path).map_err(error)?;
+        let mut out = std::io::BufWriter::new(file);
+        write_chrome_trace(&mut out, &telemetry).map_err(error)?;
+        std::io::Write::flush(&mut out).map_err(error)?;
+        println!("wrote trace: {path}");
+    }
+
     if failed > 0 {
         Err(format!("{failed} jobs failed"))
     } else {

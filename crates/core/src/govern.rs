@@ -123,6 +123,18 @@ pub enum PressureAction {
     },
 }
 
+impl PressureAction {
+    /// The flight-recorder event kind this action records when telemetry
+    /// is attached (see [`crate::telemetry`]).
+    #[must_use]
+    pub fn event_kind(&self) -> crate::telemetry::EventKind {
+        match self {
+            PressureAction::Flush => crate::telemetry::EventKind::Flush,
+            PressureAction::Compact { .. } => crate::telemetry::EventKind::Compact,
+        }
+    }
+}
+
 /// A byte ceiling for one automaton's tables plus the action that
 /// enforces it; see
 /// [`SharedOnDemand::enforce_budget`](crate::SharedOnDemand::enforce_budget)

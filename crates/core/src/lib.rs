@@ -77,6 +77,7 @@ mod shared;
 pub mod signature;
 mod snapshot;
 mod state;
+pub mod telemetry;
 
 pub use counters::{AtomicWorkCounters, WorkCounters};
 pub use generate::generate_rust;
@@ -88,3 +89,7 @@ pub use persist::PersistError;
 pub use shared::{CoarseSharedOnDemand, PinnedLabeling, SharedOnDemand};
 pub use snapshot::{AutomatonSnapshot, RawProjection, RawTransition, SnapshotStats, WarmWalk};
 pub use state::{StateData, StateId, StateSet};
+pub use telemetry::{
+    AtomicHistogram, AtomicJobCounts, Event, EventKind, EventScope, FlightRecorder, Histogram,
+    JobCounts, TargetMetrics, Telemetry,
+};

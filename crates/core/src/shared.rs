@@ -98,6 +98,11 @@ pub struct SharedOnDemand {
     /// Lock-free work counters (the coarse design kept these in a
     /// `Mutex`).
     counters: AtomicWorkCounters,
+    /// Optional telemetry emitter (see [`crate::telemetry`]): when
+    /// attached, epoch publications and governor actions leave
+    /// flight-recorder events. Off the labeling hot path — only the
+    /// writer-side publish/enforce paths touch it.
+    events: Mutex<Option<crate::telemetry::EventScope>>,
 }
 
 /// A labeling pinned to the exact snapshot its state ids refer to.
@@ -143,6 +148,7 @@ impl SharedOnDemand {
             current: ArcSwap::new(Arc::new(automaton.snapshot())),
             writer: Mutex::new(automaton),
             counters: AtomicWorkCounters::new(),
+            events: Mutex::new(None),
         }
     }
 
@@ -157,7 +163,16 @@ impl SharedOnDemand {
             current: ArcSwap::new(snapshot),
             writer: Mutex::new(master),
             counters: AtomicWorkCounters::new(),
+            events: Mutex::new(None),
         }
+    }
+
+    /// Attaches a telemetry emitter: from now on, snapshot publications
+    /// record [`crate::telemetry::EventKind::EpochPublish`] and governor
+    /// actions record `Compact`/`Flush` in the scope's flight-recorder
+    /// lane. Idempotent; replaces any previous scope.
+    pub fn attach_telemetry(&self, scope: crate::telemetry::EventScope) {
+        *self.events.lock() = Some(scope);
     }
 
     /// Labels a forest. On the warm path (every transition present in
@@ -315,6 +330,9 @@ impl SharedOnDemand {
         let snap = Arc::new(master.snapshot());
         snap.adopt_heat(&self.current.load());
         self.current.store(Arc::clone(&snap));
+        if let Some(scope) = self.events.lock().as_ref() {
+            scope.emit(crate::telemetry::EventKind::EpochPublish, snap.epoch());
+        }
         snap
     }
 
@@ -383,11 +401,15 @@ impl SharedOnDemand {
             }
         }
         self.publish(&master);
-        Some(PressureEvent {
+        let event = PressureEvent {
             action: budget.action,
             bytes_before,
             bytes_after: master.accounted_bytes().total(),
-        })
+        };
+        if let Some(scope) = self.events.lock().as_ref() {
+            scope.emit(event.action.event_kind(), event.bytes_after as u64);
+        }
+        Some(event)
     }
 
     /// Runs one **maintenance quantum**: the off-path slot a serving

@@ -179,6 +179,10 @@ pub mod prelude {
     };
     pub use crate::strategy::{AnyLabeler, AnyLabeling, Strategy};
     pub use odburg_codegen::{reduce_forest, reduce_tree, Reduction};
+    pub use odburg_core::telemetry::{
+        write_chrome_trace, write_jsonl, AtomicHistogram, Event, EventKind, FlightRecorder,
+        Histogram, JobCounts, TargetMetrics, Telemetry,
+    };
     pub use odburg_core::{
         AutomatonSnapshot, BudgetPolicy, CoarseSharedOnDemand, CompactionStats, ComponentBytes,
         DynCostMode, LabelError, Labeler, Labeling, MemoryBudget, OfflineAutomaton, OfflineConfig,

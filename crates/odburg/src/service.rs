@@ -127,6 +127,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use odburg_codegen::{reduce_forest, ReduceError, Reduction};
+use odburg_core::telemetry::{Event, EventKind, JobCounts, TargetMetrics, Telemetry};
 use odburg_core::{
     persist, AtomicWorkCounters, LabelError, MemoryBudget, OnDemandAutomaton, OnDemandConfig,
     PersistError, PinnedLabeling, PressureEvent, SharedOnDemand, WorkCounters,
@@ -548,6 +549,11 @@ struct TargetEntry {
     /// `0` means no observation yet. Feasibility shedding multiplies
     /// the jobs ahead of a candidate by this estimate at admission.
     service_ewma_ns: AtomicU64,
+    /// Number of latency samples folded into `service_ewma_ns`.
+    service_samples: AtomicU64,
+    /// Whether the master has had a telemetry scope attached (done once
+    /// by the first enqueue that touches this entry).
+    telemetry_attached: AtomicBool,
     /// The most recent pressure event a maintenance quantum produced.
     last_pressure: Mutex<Option<PressureEvent>>,
     /// Whether a maintenance quantum for this target is already queued.
@@ -612,6 +618,7 @@ impl TargetEntry {
             (old - old / 4 + sample / 4).max(1)
         };
         self.service_ewma_ns.store(new, Ordering::Relaxed);
+        self.service_samples.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The current service-time estimate, if any job has been observed.
@@ -696,6 +703,8 @@ impl Registry {
                 master: Mutex::new(None),
                 events: AtomicWorkCounters::new(),
                 service_ewma_ns: AtomicU64::new(0),
+                service_samples: AtomicU64::new(0),
+                telemetry_attached: AtomicBool::new(false),
                 last_pressure: Mutex::new(None),
                 maintenance_queued: AtomicBool::new(false),
             }),
@@ -898,6 +907,9 @@ struct QueuedJob {
     ticket: Ticket,
     entry: Arc<TargetEntry>,
     master: Arc<SharedOnDemand>,
+    /// The target's telemetry handle, resolved at admission so workers
+    /// never re-intern on the pop path.
+    metrics: Arc<TargetMetrics>,
     forest: Forest,
     deadline: Option<Instant>,
     accepted_at: Instant,
@@ -1301,9 +1313,17 @@ impl ServerState {
     }
 }
 
+/// Flight-recorder lane of the submit path (admission events).
+const SUBMIT_LANE: usize = 0;
+
 #[derive(Debug)]
 struct ServerShared {
     registry: Arc<Registry>,
+    /// The telemetry hub: per-target metrics registry plus the flight
+    /// recorder. Lane 0 is the submit path, lanes `1..=workers` the
+    /// workers, the last lane the shared core (epoch publications,
+    /// governor actions).
+    telemetry: Arc<Telemetry>,
     state: Mutex<ServerState>,
     /// Wakes workers: a job or quantum was queued, or shutdown began.
     work: Condvar,
@@ -1325,7 +1345,14 @@ enum Task {
     Exit,
 }
 
-fn worker_loop(shared: Arc<ServerShared>) {
+impl ServerShared {
+    /// The flight-recorder lane reserved for shared-core events.
+    fn core_lane(&self) -> usize {
+        self.telemetry.lane_names().len() - 1
+    }
+}
+
+fn worker_loop(shared: Arc<ServerShared>, lane: usize) {
     loop {
         let task = {
             let mut st = shared.state.lock().expect("server state lock");
@@ -1356,20 +1383,34 @@ fn worker_loop(shared: Arc<ServerShared>) {
             }
         };
         match task {
-            Task::Job(job) => process_job(&shared, job),
+            Task::Job(job) => process_job(&shared, job, lane),
             Task::Maintain(entry) => run_quantum(&shared, entry),
             Task::Exit => break,
         }
     }
 }
 
+/// Saturating nanoseconds of a duration, the unit of every telemetry
+/// histogram and event payload.
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Labels one popped job (or expires it) and delivers the result.
-fn process_job(shared: &ServerShared, job: QueuedJob) {
+fn process_job(shared: &ServerShared, job: QueuedJob, lane: usize) {
     // One timestamp decides both the expiry check and `missed_by`: a
     // second read after the check would fold scheduler delay between
     // the two reads into the reported miss.
     let now = Instant::now();
     let queued = now.saturating_duration_since(job.accepted_at);
+    job.metrics.queue_wait.record_duration(queued);
+    shared.telemetry.emit(
+        lane,
+        EventKind::Pop,
+        job.metrics.id(),
+        job.ticket.0,
+        duration_ns(queued),
+    );
     let (outcome, latency) = match job.deadline {
         Some(deadline) if now >= deadline => {
             shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
@@ -1377,14 +1418,27 @@ fn process_job(shared: &ServerShared, job: QueuedJob) {
                 deadline_misses: 1,
                 ..WorkCounters::default()
             });
+            let missed_by = now.saturating_duration_since(deadline);
+            job.metrics.counts.add(&JobCounts {
+                deadline_missed: 1,
+                ..JobCounts::default()
+            });
+            shared.telemetry.emit(
+                lane,
+                EventKind::Expire,
+                job.metrics.id(),
+                job.ticket.0,
+                duration_ns(missed_by),
+            );
             (
-                Err(JobError::DeadlineExceeded {
-                    missed_by: now.saturating_duration_since(deadline),
-                }),
+                Err(JobError::DeadlineExceeded { missed_by }),
                 Duration::ZERO,
             )
         }
         _ => {
+            // The estimate the shedder would have used for this job,
+            // read before the sample below folds into the EWMA.
+            let est_before = job.entry.service_ewma_ns.load(Ordering::Relaxed);
             let t = Instant::now();
             // Contain panics (user-bound dyncost closures run in here):
             // the worker must survive, and the job must still complete
@@ -1412,6 +1466,30 @@ fn process_job(shared: &ServerShared, job: QueuedJob) {
             if outcome.is_err() {
                 shared.failed.fetch_add(1, Ordering::Relaxed);
             }
+            let latency_ns = duration_ns(latency);
+            job.metrics.labeling.record(latency_ns);
+            if est_before != 0 {
+                // How wrong the shedder's estimate would have been for
+                // this job — the observability of `Infeasible` verdicts.
+                job.metrics
+                    .shed_error
+                    .record(est_before.abs_diff(latency_ns));
+            }
+            let panicked = matches!(outcome, Err(JobError::Panicked { .. }));
+            job.metrics.counts.add(&JobCounts {
+                completed: 1,
+                failed: u64::from(outcome.is_err()),
+                panics: u64::from(panicked),
+                ..JobCounts::default()
+            });
+            let kind = if panicked {
+                EventKind::Panic
+            } else {
+                EventKind::Complete
+            };
+            shared
+                .telemetry
+                .emit(lane, kind, job.metrics.id(), job.ticket.0, latency_ns);
             (outcome, latency)
         }
     };
@@ -1444,12 +1522,21 @@ fn process_job(shared: &ServerShared, job: QueuedJob) {
 fn run_quantum(shared: &ServerShared, entry: Arc<TargetEntry>) {
     if let Some((master, _)) = entry.built_master() {
         let budget = shared.registry.effective_budget(&entry);
+        let t = Instant::now();
         // Same containment as the labeling path: a panicking quantum
         // must not take the worker (and its `active` slot) with it.
         let event = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             master.run_maintenance(budget.as_ref())
         }))
         .unwrap_or(None);
+        // Any Compact/Flush the quantum triggered is recorded by the
+        // master's attached core scope; here we record how long the
+        // quantum itself took.
+        shared
+            .telemetry
+            .target(&entry.name)
+            .maintenance
+            .record_duration(t.elapsed());
         if let Some(event) = event {
             *entry.last_pressure.lock().expect("pressure lock") = Some(event);
         }
@@ -1511,6 +1598,11 @@ pub struct TargetServerStats {
     pub warm_started: bool,
     /// The most recent maintenance pressure event, if any fired.
     pub pressure: Option<PressureEvent>,
+    /// The shedding service-time EWMA at shutdown, if any job was
+    /// observed — the estimate `Infeasible` verdicts multiplied.
+    pub service_ewma: Option<Duration>,
+    /// Latency samples folded into that EWMA.
+    pub service_samples: u64,
 }
 
 /// What [`SelectorServer::shutdown`] learned over the server's
@@ -1613,8 +1705,14 @@ impl SelectorServer {
         export_on_shutdown: bool,
     ) -> Self {
         let workers = resolve_workers(config.workers);
+        // Recorder lanes: submit path, one per worker, shared core.
+        let mut lanes = Vec::with_capacity(workers + 2);
+        lanes.push("submit".to_string());
+        lanes.extend((0..workers).map(|i| format!("worker-{i}")));
+        lanes.push("core".to_string());
         let shared = Arc::new(ServerShared {
             registry,
+            telemetry: Arc::new(Telemetry::new(lanes)),
             state: Mutex::new(ServerState {
                 sched: Scheduler::new(config.sched, config.fair.as_ref()),
                 maintenance: VecDeque::new(),
@@ -1638,7 +1736,7 @@ impl SelectorServer {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("odburg-serve-{i}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, SUBMIT_LANE + 1 + i))
                     .expect("spawn server worker")
             })
             .collect();
@@ -1792,6 +1890,24 @@ impl SelectorServer {
         options: JobOptions,
         enforce_cap: bool,
     ) -> Result<JobHandle, SubmitError> {
+        let metrics = self.shared.telemetry.target(&entry.name);
+        if !entry.telemetry_attached.swap(true, Ordering::Relaxed) {
+            // First admission for this target: give its master a core-lane
+            // scope so epoch publications and governor actions are
+            // recorded too.
+            master.attach_telemetry(
+                self.shared
+                    .telemetry
+                    .scope(self.shared.core_lane(), metrics.id()),
+            );
+        }
+        self.shared.telemetry.emit(
+            SUBMIT_LANE,
+            EventKind::Submit,
+            metrics.id(),
+            Event::NO_TICKET,
+            0,
+        );
         let mut st = self.shared.state.lock().expect("server state lock");
         if st.shutdown {
             drop(st);
@@ -1800,6 +1916,18 @@ impl SelectorServer {
                 rejected_submits: 1,
                 ..WorkCounters::default()
             });
+            metrics.counts.add(&JobCounts {
+                submitted: 1,
+                rejected: 1,
+                ..JobCounts::default()
+            });
+            self.shared.telemetry.emit(
+                SUBMIT_LANE,
+                EventKind::Reject,
+                metrics.id(),
+                Event::NO_TICKET,
+                0,
+            );
             return Err(SubmitError::Shutdown);
         }
         // Stamped *under* the lock: deadlines measure queueing (as
@@ -1824,6 +1952,18 @@ impl SelectorServer {
                 rejected_submits: 1,
                 ..WorkCounters::default()
             });
+            metrics.counts.add(&JobCounts {
+                submitted: 1,
+                rejected: 1,
+                ..JobCounts::default()
+            });
+            self.shared.telemetry.emit(
+                SUBMIT_LANE,
+                EventKind::Reject,
+                metrics.id(),
+                Event::NO_TICKET,
+                self.shared.queue_cap.try_into().unwrap_or(u64::MAX),
+            );
             return Err(SubmitError::QueueFull {
                 capacity: self.shared.queue_cap,
             });
@@ -1844,6 +1984,18 @@ impl SelectorServer {
                         shed_submits: 1,
                         ..WorkCounters::default()
                     });
+                    metrics.counts.add(&JobCounts {
+                        submitted: 1,
+                        shed: 1,
+                        ..JobCounts::default()
+                    });
+                    self.shared.telemetry.emit(
+                        SUBMIT_LANE,
+                        EventKind::Shed,
+                        metrics.id(),
+                        Event::NO_TICKET,
+                        duration_ns(estimated_wait),
+                    );
                     return Err(SubmitError::Infeasible {
                         estimated_wait,
                         deadline,
@@ -1862,6 +2014,7 @@ impl SelectorServer {
             ticket,
             entry,
             master,
+            metrics: Arc::clone(&metrics),
             forest,
             deadline,
             accepted_at,
@@ -1871,6 +2024,18 @@ impl SelectorServer {
         drop(st);
         self.deliver_expired(expired, accepted_at);
         self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+        metrics.counts.add(&JobCounts {
+            submitted: 1,
+            accepted: 1,
+            ..JobCounts::default()
+        });
+        self.shared.telemetry.emit(
+            SUBMIT_LANE,
+            EventKind::Admit,
+            metrics.id(),
+            ticket.0,
+            options.deadline.map_or(0, duration_ns),
+        );
         self.shared.work.notify_one();
         Ok(handle)
     }
@@ -1888,6 +2053,17 @@ impl SelectorServer {
                 deadline_misses: 1,
                 ..WorkCounters::default()
             });
+            job.metrics.counts.add(&JobCounts {
+                deadline_missed: 1,
+                ..JobCounts::default()
+            });
+            self.shared.telemetry.emit(
+                SUBMIT_LANE,
+                EventKind::Expire,
+                job.metrics.id(),
+                job.ticket.0,
+                duration_ns(now.saturating_duration_since(deadline)),
+            );
             job.slot.deliver(CompletedJob {
                 ticket: job.ticket,
                 target: job.entry.name.clone(),
@@ -1930,6 +2106,35 @@ impl SelectorServer {
             shed,
             queue_depth: self.queue_depth(),
         }
+    }
+
+    /// The server's telemetry hub: per-target metrics registry (atomic
+    /// counters + latency histograms) and the job-lifecycle flight
+    /// recorder. Safe to snapshot and export while workers run; see
+    /// [`odburg_core::telemetry`].
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// The per-target shedding service-time estimates: `(target, EWMA,
+    /// samples)` for every target with at least one observed labeling —
+    /// the live view behind [`TargetServerStats::service_ewma`], for
+    /// periodic stats lines.
+    pub fn service_estimates(&self) -> Vec<(String, Duration, u64)> {
+        // `entries()` is name-sorted already.
+        self.shared
+            .registry
+            .entries()
+            .into_iter()
+            .filter_map(|entry| {
+                let est = entry.estimated_service()?;
+                Some((
+                    entry.name.clone(),
+                    est,
+                    entry.service_samples.load(Ordering::Relaxed),
+                ))
+            })
+            .collect()
     }
 
     /// Blocks until every accepted job *and* every queued maintenance
@@ -2011,6 +2216,25 @@ impl SelectorServer {
         let accepted = self.shared.accepted.load(Ordering::Relaxed);
         let rejected = self.shared.rejected.load(Ordering::Relaxed);
         let shed = self.shared.shed.load(Ordering::Relaxed);
+        // Telemetry is proven against the primary counters, not a
+        // parallel approximation: recomputed purely from the metrics
+        // registry, conservation must hold and must agree with the
+        // `ServerShared` atomics (workers have joined; submitters that
+        // raced shutdown have fully recorded their rejection).
+        let totals = self.shared.telemetry.totals();
+        debug_assert!(
+            totals.conserved(),
+            "registry conservation: submitted {} != accepted {} + rejected {} + shed {}",
+            totals.submitted,
+            totals.accepted,
+            totals.rejected,
+            totals.shed,
+        );
+        debug_assert_eq!(
+            (totals.accepted, totals.rejected, totals.shed),
+            (accepted, rejected, shed),
+            "metrics registry disagrees with server counters",
+        );
         let per_target = self
             .shared
             .registry
@@ -2026,6 +2250,8 @@ impl SelectorServer {
                     dense_index_bytes: bytes.dense_index,
                     warm_started,
                     pressure: *entry.last_pressure.lock().expect("pressure lock"),
+                    service_ewma: entry.estimated_service(),
+                    service_samples: entry.service_samples.load(Ordering::Relaxed),
                 })
             })
             .collect();
@@ -2156,16 +2382,19 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_durations(mut sorted: Vec<Duration>) -> LatencyStats {
-        if sorted.is_empty() {
+    /// Percentiles via the shared telemetry histogram (log-linear
+    /// buckets, interpolated nearest-rank quantiles — within one
+    /// sub-bucket width of the sort-based order statistics this used to
+    /// compute). `max` stays exact: the histogram tracks it aside.
+    fn from_durations(samples: Vec<Duration>) -> LatencyStats {
+        if samples.is_empty() {
             return LatencyStats::default();
         }
-        sorted.sort_unstable();
-        let at = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        let h = odburg_core::Histogram::from_durations(&samples);
         LatencyStats {
-            p50: at(0.50),
-            p99: at(0.99),
-            max: *sorted.last().expect("non-empty"),
+            p50: h.quantile_duration(0.50),
+            p99: h.quantile_duration(0.99),
+            max: Duration::from_nanos(h.max()),
         }
     }
 
@@ -2361,6 +2590,17 @@ impl SelectorService {
     /// Number of jobs currently queued.
     pub fn pending(&self) -> usize {
         self.queue.lock().expect("queue lock").len()
+    }
+
+    /// The telemetry hub of the batch server, once a drain has started
+    /// it (`None` before the first drain). See
+    /// [`SelectorServer::telemetry`].
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.server
+            .lock()
+            .expect("server slot lock")
+            .as_ref()
+            .map(|server| Arc::clone(server.telemetry()))
     }
 
     /// The batch server, started on first drain.
