@@ -23,6 +23,12 @@
 //! odburg serve   <manifest|->          stream a manifest (or stdin) through a
 //!                                      long-running SelectorServer with a
 //!                                      bounded queue, deadlines, backpressure
+//! odburg cluster serve <manifest|->    run a manifest through an N-shard
+//!                                      ShardCluster (--shards=<n>); after the
+//!                                      drain, --listen=<addr> ships every
+//!                                      target's tables to one joining process
+//!                                      and --join=<addr> warm-starts from a
+//!                                      listener before serving
 //! ```
 //!
 //! `<grammar>` is a built-in target name (demo, x86ish, riscish, sparcish,
@@ -77,6 +83,19 @@
 //! error-severity findings is rejected with one stderr line per
 //! diagnostic instead of failing jobs with `NoCover` at runtime.
 //!
+//! `cluster serve` drives the same manifest format through an in-process
+//! [`ShardCluster`](odburg::cluster::ShardCluster): `--shards=<n>`
+//! (default 3) shards behind consistent-hash routing with one writer
+//! lease per target. After the manifest drains, the writer's tables are
+//! shipped to every replica; `--listen=<addr>` then serves one joining
+//! process a shipment per target over the framed TCP transport, while
+//! `--join=<addr>` connects to such a listener first and installs every
+//! received shipment before serving — so the joining run's warm traffic
+//! labels entirely from shipped tables (the final report prints the
+//! grow-path counters to prove it). Conservation is re-checked from the
+//! telemetry registries alone at shutdown, and `--trace-out` renders
+//! every shard as its own Chrome-trace process with shipment spans.
+//!
 //! Memory governance: `--memory-budget=<bytes>` (suffixes `k`, `m`, `g`
 //! accepted) caps an on-demand automaton's accounted table bytes and
 //! `--budget-policy=<error|flush|compact>` picks the pressure response
@@ -106,12 +125,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: odburg <stats|lint|normal|automaton|generate|label|emit|compile|bench|tables|batch|serve> \
+    "usage: odburg <stats|lint|normal|automaton|generate|label|emit|compile|bench|tables|batch|serve|cluster> \
      <grammar|manifest> [input] [--labeler=<name>] [--tables=<path>] \
      [--workers=<n>] [--tables-dir=<dir>] [--memory-budget=<bytes>] \
      [--budget-policy=<error|flush|compact>] [--queue-cap=<n>] [--deadline-ms=<n>] \
      [--sched=<fifo|edf>] [--fair] [--metrics-out=<path>] [--trace-out=<path>] \
-     [--compact-to=<bytes>] [--format=<text|json>] [--deny=<warning|error>]";
+     [--compact-to=<bytes>] [--format=<text|json>] [--deny=<warning|error>] \
+     [--shards=<n>] [--listen=<addr>] [--join=<addr>]";
 
 /// The `--format` flag values (lint only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -214,6 +234,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut compact_to: Option<usize> = None;
     let mut format: Option<FormatFlag> = None;
     let mut deny: Option<Severity> = None;
+    let mut shards: Option<usize> = None;
+    let mut listen: Option<String> = None;
+    let mut join: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     let parse_count = |flag: &str, value: &str| -> Result<usize, String> {
@@ -300,6 +323,21 @@ fn run(args: &[String]) -> Result<(), String> {
         } else if arg == "--deny" {
             let value = iter.next().ok_or("--deny needs a severity")?;
             deny = Some(parse_deny(value)?);
+        } else if let Some(value) = arg.strip_prefix("--shards=") {
+            shards = Some(parse_count("--shards", value)?);
+        } else if arg == "--shards" {
+            let value = iter.next().ok_or("--shards needs a shard count")?;
+            shards = Some(parse_count("--shards", value)?);
+        } else if let Some(addr) = arg.strip_prefix("--listen=") {
+            listen = Some(addr.to_owned());
+        } else if arg == "--listen" {
+            let addr = iter.next().ok_or("--listen needs an address")?;
+            listen = Some(addr.clone());
+        } else if let Some(addr) = arg.strip_prefix("--join=") {
+            join = Some(addr.to_owned());
+        } else if arg == "--join" {
+            let addr = iter.next().ok_or("--join needs an address")?;
+            join = Some(addr.clone());
         } else if arg.starts_with("--") {
             return Err(format!("unknown flag `{arg}`\n{USAGE}"));
         } else {
@@ -312,6 +350,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if (format.is_some() || deny.is_some()) && command.as_str() != "lint" {
         return Err("--format/--deny only apply to the lint subcommand".into());
     }
+    if (shards.is_some() || listen.is_some() || join.is_some()) && command.as_str() != "cluster" {
+        return Err("--shards/--listen/--join only apply to the cluster subcommand".into());
+    }
     if compact_to.is_some()
         && !(command.as_str() == "tables"
             && positional.get(1).map(|a| a.as_str()) == Some("export"))
@@ -322,7 +363,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
-    if matches!(command.as_str(), "batch" | "serve") {
+    if matches!(command.as_str(), "batch" | "serve" | "cluster") {
         if tables.is_some() {
             return Err(format!(
                 "{command} warm-starts from --tables-dir=<dir> (one <target>.odbt per target), \
@@ -376,6 +417,41 @@ fn run(args: &[String]) -> Result<(), String> {
                 .get(1)
                 .ok_or("batch needs a manifest file of `<target> <sexpr-file>` lines")?;
             return batch(manifest, workers, tables_dir.as_deref(), budget);
+        }
+        if command.as_str() == "cluster" {
+            let action = positional
+                .get(1)
+                .ok_or("cluster needs an action: `cluster serve <manifest|->`")?;
+            if action.as_str() != "serve" {
+                return Err(format!(
+                    "unknown cluster action `{action}` (expected `serve`)"
+                ));
+            }
+            if listen.is_some() && join.is_some() {
+                return Err(
+                    "--listen and --join are mutually exclusive (a process either serves \
+                     shipments to a joiner or joins a listener, not both)"
+                        .into(),
+                );
+            }
+            let manifest = positional.get(2).ok_or(
+                "cluster serve needs a manifest of `<target> <sexpr-file>` lines (or `-` for stdin)",
+            )?;
+            return cluster_serve(
+                manifest,
+                shards.unwrap_or(3),
+                workers,
+                tables_dir.as_deref(),
+                budget,
+                queue_cap,
+                deadline_ms,
+                sched,
+                fair,
+                listen.as_deref(),
+                join.as_deref(),
+                metrics_out.as_deref(),
+                trace_out.as_deref(),
+            );
         }
         let manifest = positional
             .get(1)
@@ -1178,6 +1254,364 @@ fn serve(
         let file = std::fs::File::create(path).map_err(error)?;
         let mut out = std::io::BufWriter::new(file);
         write_chrome_trace(&mut out, &telemetry).map_err(error)?;
+        std::io::Write::flush(&mut out).map_err(error)?;
+        println!("wrote trace: {path}");
+    }
+
+    if failed > 0 {
+        Err(format!("{failed} jobs failed"))
+    } else {
+        Ok(())
+    }
+}
+
+/// `odburg cluster serve <manifest|->`: run a manifest through an
+/// in-process N-shard [`ShardCluster`] — consistent-hash routing, one
+/// writer lease per target, table shipping to replicas after the drain.
+///
+/// `--join=<addr>` connects to a listening peer *first* and installs
+/// every shipment it sends before serving, so the manifest's warm
+/// traffic labels entirely from shipped tables; the final report prints
+/// the cluster-wide grow-path counters to make that visible.
+/// `--listen=<addr>` is the other half: after the drain (when the
+/// writers are warm), bind, accept one joining process, and send it one
+/// framed shipment per registered target.
+///
+/// Conservation is asserted twice at shutdown: from the
+/// [`ClusterReport`] and — independently — from the per-shard telemetry
+/// registries alone.
+#[allow(clippy::too_many_arguments)]
+fn cluster_serve(
+    manifest: &str,
+    shards: usize,
+    workers: Option<usize>,
+    tables_dir: Option<&str>,
+    memory_budget: Option<MemoryBudget>,
+    queue_cap: Option<usize>,
+    deadline_ms: Option<u64>,
+    sched: Option<SchedPolicy>,
+    fair: bool,
+    listen: Option<&str>,
+    join: Option<&str>,
+    metrics_out: Option<&str>,
+    trace_out: Option<&str>,
+) -> Result<(), String> {
+    use std::io::BufRead;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    use odburg::select::telemetry::write_jsonl;
+    use odburg::select::InstallError;
+    use odburg::service::{JobOptions, ServeError, ServerConfig, SubmitError};
+
+    let cluster = ShardCluster::with_builtin_targets(ClusterConfig {
+        shards,
+        vnodes: 64,
+        server: ServerConfig {
+            workers: workers.unwrap_or(0),
+            queue_cap: queue_cap.unwrap_or(0),
+            sched: sched.unwrap_or_default(),
+            shed_infeasible: sched == Some(SchedPolicy::Edf),
+            fair: fair.then(FairConfig::default),
+            tables_dir: tables_dir.map(Into::into),
+            memory_budget,
+            analysis_policy: AnalysisPolicy::Deny,
+        },
+    });
+    let options = JobOptions {
+        deadline: deadline_ms.map(Duration::from_millis),
+        ..JobOptions::default()
+    };
+
+    // Join first: every shard warm-starts from the listener's shipped
+    // tables before the manifest's first job is submitted.
+    if let Some(addr) = join {
+        // The listener binds only after its own manifest drains, so a
+        // joiner started alongside it retries for up to 30 seconds
+        // instead of failing on the first connection refusal.
+        let stream = {
+            let mut attempt = 0u32;
+            loop {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => break stream,
+                    Err(e) if attempt < 60 => {
+                        if attempt == 0 {
+                            println!("waiting for the listener at {addr} ({e})");
+                        }
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(500));
+                    }
+                    Err(e) => return Err(format!("cannot join `{addr}`: {e}")),
+                }
+            }
+        };
+        let mut transport = SocketTransport::new(stream);
+        let mut received = 0usize;
+        while let Some(frame) = transport
+            .recv()
+            .map_err(|e| format!("join `{addr}`: receive failed: {e}"))?
+        {
+            let shipment = Shipment::decode(&frame)
+                .map_err(|e| format!("join `{addr}`: bad shipment: {e}"))?;
+            let mut installed = 0usize;
+            for idx in 0..cluster.shard_count() {
+                match cluster.deliver_shipment(idx, &shipment) {
+                    Ok(_) => installed += 1,
+                    Err(ShipError::Install(InstallError::Stale { .. })) => {}
+                    Err(e) => {
+                        return Err(format!(
+                            "join `{addr}`: installing `{}` on shard {idx} failed: {e}",
+                            shipment.target
+                        ));
+                    }
+                }
+            }
+            println!(
+                "joined: installed `{}` on {installed}/{} shards ({} bytes, writer epoch {})",
+                shipment.target,
+                cluster.shard_count(),
+                shipment.bytes.len(),
+                shipment.writer_epoch,
+            );
+            received += 1;
+        }
+        if received == 0 {
+            return Err(format!("join `{addr}`: the listener sent no shipments"));
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let reader: Box<dyn BufRead> = if manifest == "-" {
+        Box::new(stdin.lock())
+    } else {
+        let file = std::fs::File::open(manifest)
+            .map_err(|e| format!("cannot read manifest `{manifest}`: {e}"))?;
+        Box::new(std::io::BufReader::new(file))
+    };
+
+    let mut accepted: Vec<(ClusterSubmit, String)> = Vec::new();
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut shed = 0u64;
+    for (idx, raw) in reader.lines().enumerate() {
+        let raw = raw.map_err(|e| format!("cannot read manifest `{manifest}`: {e}"))?;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (target, file) = line
+            .split_once(char::is_whitespace)
+            .map(|(t, f)| (t, f.trim()))
+            .filter(|(t, f)| !t.is_empty() && !f.is_empty())
+            .ok_or_else(|| {
+                format!("{manifest}:{lineno}: expected `<target> <sexpr-file>`, got `{line}`")
+            })?;
+
+        // Targets beyond the built-ins register on every shard on first
+        // sight, exactly as in `batch`/`serve`.
+        if cluster.writer(target).is_none() {
+            let grammar = load_grammar(target).map_err(|e| format!("{manifest}:{lineno}: {e}"))?;
+            cluster
+                .register_normal(target, Arc::new(grammar.normalize()))
+                .map_err(|e| registration_error(manifest, lineno, e))?;
+        }
+
+        let trees = std::fs::read_to_string(file)
+            .map_err(|e| format!("{manifest}:{lineno}: cannot read `{file}`: {e}"))?;
+        let mut forest = Forest::new();
+        for tree in trees.lines() {
+            let tree = tree.trim();
+            if tree.is_empty() || tree.starts_with('#') {
+                continue;
+            }
+            let root = parse_sexpr(&mut forest, tree)
+                .map_err(|e| format!("{manifest}:{lineno}: {file}: bad tree: {e}"))?;
+            forest.add_root(root);
+        }
+        if forest.is_empty() {
+            return Err(format!("{manifest}:{lineno}: {file}: no trees"));
+        }
+
+        submitted += 1;
+        match cluster.submit_with(target, forest, options) {
+            Ok(sub) => accepted.push((sub, file.to_owned())),
+            Err(ClusterSubmitError::Submit {
+                shard,
+                error: SubmitError::QueueFull { capacity },
+            }) => {
+                rejected += 1;
+                println!("-- {target} {file}: shard {shard} rejected (queue full at {capacity})");
+            }
+            Err(ClusterSubmitError::Submit {
+                shard,
+                error:
+                    SubmitError::Infeasible {
+                        estimated_wait,
+                        deadline,
+                    },
+            }) => {
+                shed += 1;
+                println!(
+                    "-- {target} {file}: shard {shard} shed (estimated wait {estimated_wait:?} \
+                     exceeds the {deadline:?} deadline)"
+                );
+            }
+            Err(e) => return Err(format!("{manifest}:{lineno}: {e}")),
+        }
+    }
+    if submitted == 0 {
+        return Err(format!("manifest `{manifest}` contains no jobs"));
+    }
+
+    // Drain: every accepted job resolves, whichever shard took it.
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut missed = 0u64;
+    for (sub, file) in accepted {
+        let done = sub.handle.wait();
+        match done.reduce() {
+            Ok(red) => {
+                completed += 1;
+                println!(
+                    "{} {} {file} [shard {}]: {} nodes, {} instructions, cost {}",
+                    done.ticket,
+                    done.target,
+                    sub.shard,
+                    done.forest.len(),
+                    red.len(),
+                    red.total_cost
+                );
+            }
+            Err(ServeError::Job(odburg::service::JobError::DeadlineExceeded { missed_by })) => {
+                missed += 1;
+                println!(
+                    "{} {} {file} [shard {}]: DEADLINE MISSED by {missed_by:?}",
+                    done.ticket, done.target, sub.shard
+                );
+            }
+            Err(e) => {
+                completed += 1;
+                failed += 1;
+                println!(
+                    "{} {} {file} [shard {}]: FAILED: {e}",
+                    done.ticket, done.target, sub.shard
+                );
+            }
+        }
+    }
+
+    // Replicate the warm writers' tables to every replica.
+    for (target, result) in cluster.ship_all() {
+        match result {
+            Ok(r) => println!(
+                "shipped {target}: snapshot epoch {}, {} bytes, installed on {:?}, \
+                 already current on {:?}",
+                r.snapshot_epoch, r.bytes, r.installed, r.already_current,
+            ),
+            Err(e) => eprintln!("odburg: cannot ship `{target}`: {e}"),
+        }
+    }
+
+    // Listen last: the joining process receives tables the manifest has
+    // already warmed.
+    if let Some(addr) = listen {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve the listening address: {e}"))?;
+        println!("listening on {local}; waiting for one joining process");
+        let (stream, peer) = listener
+            .accept()
+            .map_err(|e| format!("accept on `{addr}` failed: {e}"))?;
+        let mut transport = SocketTransport::new(stream);
+        for target in cluster.targets() {
+            let shipment = cluster
+                .prepare_shipment(&target)
+                .map_err(|e| format!("cannot prepare a shipment for `{target}`: {e}"))?;
+            let bytes = shipment.bytes.len();
+            transport
+                .send(&shipment.encode())
+                .map_err(|e| format!("shipping `{target}` to {peer} failed: {e}"))?;
+            println!("shipped {target} to {peer} ({bytes} bytes)");
+        }
+    }
+
+    let report = cluster.shutdown();
+    for s in &report.per_shard {
+        println!(
+            "shard {}{}: submitted {}, accepted {}, completed {}, failed {}, \
+             deadline-missed {}, rejected {}, shed {}",
+            s.shard,
+            if s.killed { " (killed)" } else { "" },
+            s.report.submitted,
+            s.report.accepted,
+            s.report.completed,
+            s.report.failed,
+            s.report.deadline_missed,
+            s.report.rejected,
+            s.report.shed,
+        );
+    }
+    if join.is_some() {
+        // The joining run's proof of warm start: everything the peer had
+        // already labeled must land in shipped tables, not the grow path.
+        let mut states_built = 0u64;
+        let mut memo_misses = 0u64;
+        for s in &report.per_shard {
+            let counters = s.report.counters();
+            states_built += counters.states_built;
+            memo_misses += counters.memo_misses;
+        }
+        println!(
+            "warm start: {states_built} states built, {memo_misses} memo misses across shards"
+        );
+    }
+    println!(
+        "cluster: {} shards, submitted {submitted}, completed {completed}, failed {failed}, \
+         rejected {rejected}, shed {shed}, deadline-missed {missed}; {} shipments, \
+         {} ship rejects, {} reroutes, {} writer elections",
+        shards, report.shipments, report.ship_rejects, report.reroutes, report.writer_elections,
+    );
+    assert!(
+        report.conserved(),
+        "cluster report must conserve jobs: {report:?}"
+    );
+
+    // Conservation recomputed purely from the telemetry registries — no
+    // loop counter or server tally feeds this check.
+    let mut totals = JobCounts::default();
+    for (_, telemetry) in cluster.shard_telemetries() {
+        totals.merge(&telemetry.totals());
+    }
+    assert!(
+        totals.conserved(),
+        "shard telemetry must conserve jobs \
+         (submitted == accepted + rejected + shed): {totals:?}"
+    );
+    assert_eq!(
+        (totals.submitted, totals.rejected, totals.shed),
+        (report.submitted, report.rejected, report.shed),
+        "shard telemetry disagrees with the cluster report"
+    );
+
+    if let Some(path) = metrics_out {
+        let error = |e| format!("cannot write metrics `{path}`: {e}");
+        let file = std::fs::File::create(path).map_err(error)?;
+        let mut out = std::io::BufWriter::new(file);
+        write_jsonl(&mut out, cluster.telemetry()).map_err(error)?;
+        for (_, telemetry) in cluster.shard_telemetries() {
+            write_jsonl(&mut out, &telemetry).map_err(error)?;
+        }
+        std::io::Write::flush(&mut out).map_err(error)?;
+        println!("wrote metrics: {path}");
+    }
+    if let Some(path) = trace_out {
+        let error = |e| format!("cannot write trace `{path}`: {e}");
+        let file = std::fs::File::create(path).map_err(error)?;
+        let mut out = std::io::BufWriter::new(file);
+        cluster.write_chrome_trace(&mut out).map_err(error)?;
         std::io::Write::flush(&mut out).map_err(error)?;
         println!("wrote trace: {path}");
     }

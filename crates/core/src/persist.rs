@@ -760,19 +760,53 @@ fn read_exact_or_truncated<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<()
     })
 }
 
+// ------------------------------------------------- streaming entry points
+
+/// Streams a snapshot's tables to any [`Write`] sink. This is the single
+/// serialization entry point: the file path ([`save_tables`]) and the
+/// cluster table-shipping path both produce bytes through it, so a
+/// shipped snapshot is bit-identical to a file export of the same
+/// snapshot.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] if writing fails.
+pub fn write_tables_to<W: Write>(
+    snapshot: &AutomatonSnapshot,
+    writer: W,
+) -> Result<(), PersistError> {
+    export_snapshot(snapshot, writer)
+}
+
+/// Reads tables from any [`Read`] source, validating them against the
+/// grammar and configuration the importing automaton will run with.
+/// Counterpart of [`write_tables_to`]; the file path ([`load_tables`])
+/// and the cluster table-shipping path both consume bytes through it.
+///
+/// # Errors
+///
+/// See [`import_snapshot`].
+pub fn read_tables_from<R: Read>(
+    reader: R,
+    grammar: Arc<NormalGrammar>,
+    expected: OnDemandConfig,
+) -> Result<AutomatonSnapshot, PersistError> {
+    import_snapshot(reader, grammar, expected)
+}
+
 // ------------------------------------------------------------ file paths
 
-/// Exports a snapshot to a file; see [`export_snapshot`].
+/// Exports a snapshot to a file; see [`write_tables_to`].
 ///
 /// # Errors
 ///
 /// [`PersistError::Io`] if the file cannot be created or written.
 pub fn save_tables(snapshot: &AutomatonSnapshot, path: &Path) -> Result<(), PersistError> {
     let file = std::fs::File::create(path)?;
-    export_snapshot(snapshot, std::io::BufWriter::new(file))
+    write_tables_to(snapshot, std::io::BufWriter::new(file))
 }
 
-/// Imports tables from a file; see [`import_snapshot`].
+/// Imports tables from a file; see [`read_tables_from`].
 ///
 /// # Errors
 ///
@@ -784,7 +818,7 @@ pub fn load_tables(
     expected: OnDemandConfig,
 ) -> Result<AutomatonSnapshot, PersistError> {
     let file = std::fs::File::open(path)?;
-    import_snapshot(std::io::BufReader::new(file), grammar, expected)
+    read_tables_from(std::io::BufReader::new(file), grammar, expected)
 }
 
 #[cfg(test)]

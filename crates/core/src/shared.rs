@@ -46,10 +46,71 @@ use crate::govern::{
     self, CompactionStats, ComponentBytes, MemoryBudget, PressureAction, PressureEvent,
 };
 use crate::label::{LabelError, Labeler, Labeling, StateChooser, StateLookup};
-use crate::ondemand::{BudgetPolicy, OnDemandAutomaton};
+use crate::ondemand::{BudgetPolicy, OnDemandAutomaton, OnDemandConfig};
 use crate::signature::SigId;
 use crate::snapshot::{AutomatonSnapshot, MAX_ARITY};
 use crate::state::StateId;
+
+/// Why [`SharedOnDemand::install_snapshot`] refused a shipped snapshot.
+///
+/// Installation is the replication receive path: a remote writer's
+/// published tables arriving at a read replica. Every refusal is typed —
+/// a replica never silently falls back to a cold start, because the
+/// caller must decide whether a mismatch is fatal (wrong grammar on the
+/// wire) or benign (an out-of-order shipment that newer tables already
+/// supersede).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The shipped tables were built under a different grammar.
+    GrammarMismatch {
+        /// Fingerprint of the grammar this automaton runs.
+        expected: u64,
+        /// Fingerprint carried by the shipped snapshot.
+        found: u64,
+    },
+    /// The shipped tables were built under a different configuration
+    /// (projection mode or budget policy), so their state space is not
+    /// interchangeable with ours.
+    ConfigMismatch {
+        /// Configuration this automaton runs.
+        expected: OnDemandConfig,
+        /// Configuration carried by the shipped snapshot.
+        found: OnDemandConfig,
+    },
+    /// The shipped snapshot is not strictly newer than what is already
+    /// published: its `(epoch, states)` pair is `<=` ours. Within an
+    /// epoch the arena is append-only, so more states means newer;
+    /// across epochs the epoch counter decides.
+    Stale {
+        /// `(epoch, states)` of the currently published snapshot.
+        current: (u64, usize),
+        /// `(epoch, states)` of the refused shipment.
+        shipped: (u64, usize),
+    },
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::GrammarMismatch { expected, found } => write!(
+                f,
+                "shipped tables belong to grammar {found:#018x}, automaton runs {expected:#018x}"
+            ),
+            InstallError::ConfigMismatch { expected, found } => write!(
+                f,
+                "shipped tables built under {found:?}, automaton runs {expected:?}"
+            ),
+            InstallError::Stale { current, shipped } => write!(
+                f,
+                "shipped snapshot (epoch {}, {} states) is not newer than \
+                 published (epoch {}, {} states)",
+                shipped.0, shipped.1, current.0, current.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
 
 /// The snapshot-based shared on-demand automaton.
 ///
@@ -334,6 +395,72 @@ impl SharedOnDemand {
             scope.emit(crate::telemetry::EventKind::EpochPublish, snap.epoch());
         }
         snap
+    }
+
+    /// Installs a snapshot shipped from a remote writer, publishing it
+    /// through the same epoch/hazard-pointer path a local grow or
+    /// compaction uses: readers mid-forest and [`PinnedLabeling`]s keep
+    /// their pinned snapshot alive and unchanged, new readers see the
+    /// shipped tables on their next pointer load. The master automaton is
+    /// rebuilt from the shipped tables, so traffic the remote writer has
+    /// already seen never enters the grow path here.
+    ///
+    /// The shipment is fenced, not trusted: it must carry our grammar
+    /// fingerprint and configuration, and must be *strictly newer* than
+    /// the published snapshot under the lexicographic `(epoch, states)`
+    /// order — a late broadcast from a deposed writer, or a re-delivered
+    /// duplicate, is rejected as [`InstallError::Stale`] without
+    /// disturbing the published tables.
+    ///
+    /// Returns the installed snapshot's epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`InstallError`] when the shipment is refused; the automaton is
+    /// unchanged in every error case.
+    pub fn install_snapshot(&self, snapshot: Arc<AutomatonSnapshot>) -> Result<u64, InstallError> {
+        let current = self.current.load();
+        let expected_fp = current.grammar().fingerprint();
+        let found_fp = snapshot.grammar().fingerprint();
+        if found_fp != expected_fp {
+            return Err(InstallError::GrammarMismatch {
+                expected: expected_fp,
+                found: found_fp,
+            });
+        }
+        if snapshot.config() != current.config() {
+            return Err(InstallError::ConfigMismatch {
+                expected: current.config(),
+                found: snapshot.config(),
+            });
+        }
+        let fence = |cur: &AutomatonSnapshot| {
+            let current_key = (cur.epoch(), cur.states_arena().len());
+            let shipped_key = (snapshot.epoch(), snapshot.states_arena().len());
+            if shipped_key <= current_key {
+                Err(InstallError::Stale {
+                    current: current_key,
+                    shipped: shipped_key,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        // Cheap pre-check before contending on the writer lock...
+        fence(&current)?;
+        drop(current);
+
+        let mut master = self.writer.lock();
+        // ...re-checked under it: a concurrent grow or install may have
+        // published newer tables while we waited.
+        fence(&self.current.load())?;
+        *master = OnDemandAutomaton::from_snapshot(&snapshot);
+        let epoch = snapshot.epoch();
+        self.current.store(snapshot);
+        if let Some(scope) = self.events.lock().as_ref() {
+            scope.emit(crate::telemetry::EventKind::EpochPublish, epoch);
+        }
+        Ok(epoch)
     }
 
     /// The published snapshot's heat counters, when they still describe

@@ -427,6 +427,23 @@ pub enum EventKind {
     Compact,
     /// The memory governor flushed tables; `arg` is bytes after.
     Flush,
+    /// A snapshot was shipped to (and installed on) a replica shard;
+    /// `arg` is the shipment latency in nanoseconds — serialize, move the
+    /// bytes, validate, install. Rendered as a span by the Chrome
+    /// exporter so a shipment is visible next to the labeling it
+    /// overlaps.
+    Ship,
+    /// A replica refused a shipment (stale epoch, zombie writer, grammar
+    /// or config mismatch); `arg` is the writer-lease epoch the shipment
+    /// carried.
+    ShipReject,
+    /// A target's traffic was re-routed to the next ring shard after a
+    /// shard failure; `arg` is the index of the shard now serving it.
+    Reroute,
+    /// A new writer was elected for a target; `arg` is the new writer
+    /// epoch (the monotonic fence that rejects a deposed writer's late
+    /// broadcast).
+    WriterElect,
 }
 
 impl EventKind {
@@ -445,6 +462,10 @@ impl EventKind {
             EventKind::EpochPublish => "epoch_publish",
             EventKind::Compact => "compact",
             EventKind::Flush => "flush",
+            EventKind::Ship => "ship",
+            EventKind::ShipReject => "ship_reject",
+            EventKind::Reroute => "reroute",
+            EventKind::WriterElect => "writer_elect",
         }
     }
 }
@@ -930,19 +951,73 @@ pub fn write_chrome_trace<W: std::io::Write>(
 ) -> std::io::Result<()> {
     write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
     let mut first = true;
-    let sep = |w: &mut W, first: &mut bool| -> std::io::Result<()> {
-        if *first {
-            *first = false;
-        } else {
-            write!(w, ",")?;
-        }
-        Ok(())
-    };
-    for (lane, name) in telemetry.lane_names().iter().enumerate() {
-        sep(w, &mut first)?;
+    write_trace_process(w, telemetry, 1, None, &mut first)?;
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+/// Writes several telemetry registries into one Chrome trace, one
+/// *process* per registry — a cluster renders as one process per shard
+/// (plus one for the cluster control plane), each with its own lane rows,
+/// so a shipment span on the cluster lane lines up vertically with the
+/// labeling spans it overlaps on the shard lanes.
+///
+/// Timestamps are each registry's nanoseconds since its own creation;
+/// registries created together (as a cluster does at startup) are
+/// aligned to within that construction window.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_chrome_trace_multi<W: std::io::Write>(
+    w: &mut W,
+    parts: &[(&str, &Telemetry)],
+) -> std::io::Result<()> {
+    write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    for (i, (name, telemetry)) in parts.iter().enumerate() {
+        write_trace_process(w, telemetry, i as u64 + 1, Some(name), &mut first)?;
+    }
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+fn trace_sep<W: std::io::Write>(w: &mut W, first: &mut bool) -> std::io::Result<()> {
+    if *first {
+        *first = false;
+    } else {
+        write!(w, ",")?;
+    }
+    Ok(())
+}
+
+/// One registry's worth of trace events under process id `pid`: optional
+/// process-name metadata, per-lane thread names, then the events —
+/// `Complete`/`Pop`/`Ship` as `ph:"X"` spans (the event timestamp marks
+/// the span *end*; `arg` is the duration in ns), everything else as
+/// instants.
+fn write_trace_process<W: std::io::Write>(
+    w: &mut W,
+    telemetry: &Telemetry,
+    pid: u64,
+    process_name: Option<&str>,
+    first: &mut bool,
+) -> std::io::Result<()> {
+    if let Some(name) = process_name {
+        trace_sep(w, first)?;
         write!(
             w,
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            json_escape(name),
+        )?;
+    }
+    for (lane, name) in telemetry.lane_names().iter().enumerate() {
+        trace_sep(w, first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid,
             lane,
             json_escape(name),
         )?;
@@ -952,25 +1027,24 @@ pub fn write_chrome_trace<W: std::io::Write>(
             .target_name(ev.target)
             .unwrap_or_else(|| format!("#{}", ev.target));
         let ts_us = ev.ts_ns as f64 / 1000.0;
-        sep(w, &mut first)?;
+        trace_sep(w, first)?;
         match ev.kind {
-            // Spans: the event timestamp marks the *end*; arg is the
-            // duration in ns.
-            EventKind::Complete | EventKind::Pop => {
+            EventKind::Complete | EventKind::Pop | EventKind::Ship => {
                 let dur_us = ev.arg as f64 / 1000.0;
-                let label = if ev.kind == EventKind::Complete {
-                    "label"
-                } else {
-                    "queue-wait"
+                let label = match ev.kind {
+                    EventKind::Complete => "label",
+                    EventKind::Pop => "queue-wait",
+                    _ => "ship",
                 };
                 write!(
                     w,
-                    "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"ticket\":{}}}}}",
+                    "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"ticket\":{}}}}}",
                     label,
                     json_escape(&target),
                     ev.kind.name(),
                     (ts_us - dur_us).max(0.0),
                     dur_us,
+                    pid,
                     lane,
                     if ev.ticket == Event::NO_TICKET { -1i64 } else { ev.ticket as i64 },
                 )?;
@@ -978,18 +1052,18 @@ pub fn write_chrome_trace<W: std::io::Write>(
             _ => {
                 write!(
                     w,
-                    "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"arg\":{}}}}}",
+                    "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"arg\":{}}}}}",
                     ev.kind.name(),
                     json_escape(&target),
                     ev.kind.name(),
                     ts_us,
+                    pid,
                     lane,
                     ev.arg,
                 )?;
             }
         }
     }
-    writeln!(w, "]}}")?;
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! | [`workloads`] | benchmark programs and random-tree workloads |
 //! | [`strategy`] | runtime strategy choice behind the unified `Labeler` trait |
 //! | [`service`] | multi-target selection service: grammar registry + long-running `SelectorServer` (bounded queue, deadlines, backpressure) with a batch-compatible `SelectorService` layer |
+//! | [`cluster`] | replicated snapshot shards: consistent-hash routing, single-writer leases, table shipping over framed transports, epoch-fenced failover |
 //!
 //! # Quick start
 //!
@@ -54,6 +55,7 @@ pub use odburg_ir as ir;
 pub use odburg_targets as targets;
 pub use odburg_workloads as workloads;
 
+pub mod cluster;
 pub mod service;
 pub mod strategy;
 
@@ -171,6 +173,11 @@ pub use service::SelectorServer;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::cluster::{
+        ChannelTransport, ClusterConfig, ClusterReport, ClusterSubmit, ClusterSubmitError,
+        HashRing, RouteError, ShardCluster, ShardReport, ShipError, ShipTransport, Shipment,
+        ShipmentReport, SocketTransport, WriterLease,
+    };
     pub use crate::service::{
         AnalysisPolicy, BatchReport, CompletedJob, FairConfig, JobError, JobHandle, JobOptions,
         Priority, SchedPolicy, SelectorServer, SelectorService, ServeError, ServerConfig,
@@ -185,9 +192,9 @@ pub mod prelude {
     };
     pub use odburg_core::{
         AutomatonSnapshot, BudgetPolicy, CoarseSharedOnDemand, CompactionStats, ComponentBytes,
-        DynCostMode, LabelError, Labeler, Labeling, MemoryBudget, OfflineAutomaton, OfflineConfig,
-        OfflineLabeler, OnDemandAutomaton, OnDemandConfig, PinnedLabeling, PressureAction,
-        PressureEvent, RuleChooser, SharedOnDemand, WorkCounters,
+        DynCostMode, InstallError, LabelError, Labeler, Labeling, MemoryBudget, OfflineAutomaton,
+        OfflineConfig, OfflineLabeler, OnDemandAutomaton, OnDemandConfig, PinnedLabeling,
+        PressureAction, PressureEvent, RuleChooser, SharedOnDemand, WorkCounters,
     };
     pub use odburg_dp::{DpLabeler, MacroExpander};
     pub use odburg_grammar::{

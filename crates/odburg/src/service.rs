@@ -1610,7 +1610,7 @@ pub struct TargetServerStats {
 /// `accepted == completed + deadline_missed` and
 /// `submitted == accepted + rejected + shed` — no job is ever silently
 /// lost.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ServerReport {
     /// Jobs offered: `accepted + rejected + shed`.
     pub submitted: u64,

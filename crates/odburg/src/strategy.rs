@@ -233,9 +233,14 @@ impl FromStr for Strategy {
 #[derive(Debug)]
 pub enum AnyLabeler {
     /// See [`Strategy::OnDemand`] / [`Strategy::OnDemandProjected`].
-    OnDemand(OnDemandAutomaton),
-    /// See [`Strategy::Shared`].
-    Shared(SharedOnDemand),
+    /// Boxed for the same reason as `Shared`: the automaton's inline
+    /// tables dominate the enum's size.
+    OnDemand(Box<OnDemandAutomaton>),
+    /// See [`Strategy::Shared`]. Boxed: the snapshot core (swap slot,
+    /// writer mutex, atomic counters) dwarfs every other variant, and
+    /// `AnyLabeler` values move through constructors and collections by
+    /// value.
+    Shared(Box<SharedOnDemand>),
     /// See [`Strategy::Offline`].
     Offline {
         /// The labeler driving the automaton.
@@ -283,17 +288,19 @@ impl AnyLabeler {
         normal: Arc<NormalGrammar>,
     ) -> Result<AnyLabeler, LabelError> {
         Ok(match strategy {
-            Strategy::OnDemand => AnyLabeler::OnDemand(OnDemandAutomaton::new(normal)),
-            Strategy::OnDemandProjected => AnyLabeler::OnDemand(OnDemandAutomaton::with_config(
-                normal,
-                OnDemandConfig {
-                    project_children: true,
-                    ..OnDemandConfig::default()
-                },
-            )),
-            Strategy::Shared => {
-                AnyLabeler::Shared(SharedOnDemand::new(OnDemandAutomaton::new(normal)))
+            Strategy::OnDemand => AnyLabeler::OnDemand(Box::new(OnDemandAutomaton::new(normal))),
+            Strategy::OnDemandProjected => {
+                AnyLabeler::OnDemand(Box::new(OnDemandAutomaton::with_config(
+                    normal,
+                    OnDemandConfig {
+                        project_children: true,
+                        ..OnDemandConfig::default()
+                    },
+                )))
             }
+            Strategy::Shared => AnyLabeler::Shared(Box::new(SharedOnDemand::new(
+                OnDemandAutomaton::new(normal),
+            ))),
             Strategy::Offline => {
                 let automaton = Arc::new(OfflineAutomaton::build(
                     normal,
@@ -330,23 +337,7 @@ impl AnyLabeler {
         mode: OnDemandConfig,
     ) -> Result<AnyLabeler, ConfigUnsupported> {
         match strategy {
-            Strategy::OnDemand => Ok(AnyLabeler::OnDemand(OnDemandAutomaton::with_config(
-                normal,
-                OnDemandConfig {
-                    project_children: false,
-                    ..mode
-                },
-            ))),
-            Strategy::OnDemandProjected => {
-                Ok(AnyLabeler::OnDemand(OnDemandAutomaton::with_config(
-                    normal,
-                    OnDemandConfig {
-                        project_children: true,
-                        ..mode
-                    },
-                )))
-            }
-            Strategy::Shared => Ok(AnyLabeler::Shared(SharedOnDemand::new(
+            Strategy::OnDemand => Ok(AnyLabeler::OnDemand(Box::new(
                 OnDemandAutomaton::with_config(
                     normal,
                     OnDemandConfig {
@@ -355,6 +346,24 @@ impl AnyLabeler {
                     },
                 ),
             ))),
+            Strategy::OnDemandProjected => Ok(AnyLabeler::OnDemand(Box::new(
+                OnDemandAutomaton::with_config(
+                    normal,
+                    OnDemandConfig {
+                        project_children: true,
+                        ..mode
+                    },
+                ),
+            ))),
+            Strategy::Shared => Ok(AnyLabeler::Shared(Box::new(SharedOnDemand::new(
+                OnDemandAutomaton::with_config(
+                    normal,
+                    OnDemandConfig {
+                        project_children: false,
+                        ..mode
+                    },
+                ),
+            )))),
             Strategy::Offline | Strategy::Dp | Strategy::Macro => {
                 Err(ConfigUnsupported { strategy })
             }
@@ -376,11 +385,11 @@ impl AnyLabeler {
         snapshot: Arc<AutomatonSnapshot>,
     ) -> Result<AnyLabeler, WarmStartUnsupported> {
         match strategy {
-            Strategy::OnDemand | Strategy::OnDemandProjected => Ok(AnyLabeler::OnDemand(
+            Strategy::OnDemand | Strategy::OnDemandProjected => Ok(AnyLabeler::OnDemand(Box::new(
                 OnDemandAutomaton::from_snapshot(&snapshot),
-            )),
-            Strategy::Shared => Ok(AnyLabeler::Shared(SharedOnDemand::with_seed_snapshot(
-                snapshot,
+            ))),
+            Strategy::Shared => Ok(AnyLabeler::Shared(Box::new(
+                SharedOnDemand::with_seed_snapshot(snapshot),
             ))),
             Strategy::Offline | Strategy::Dp | Strategy::Macro => {
                 Err(WarmStartUnsupported { strategy })
@@ -492,7 +501,9 @@ impl Labeler for AnyLabeler {
     fn label_forest(&mut self, forest: &Forest) -> Result<AnyLabeling, LabelError> {
         Ok(match self {
             AnyLabeler::OnDemand(od) => AnyLabeling::States(od.label_forest(forest)?),
-            AnyLabeler::Shared(sh) => AnyLabeling::States(Labeler::label_forest(sh, forest)?),
+            AnyLabeler::Shared(sh) => {
+                AnyLabeling::States(Labeler::label_forest(sh.as_mut(), forest)?)
+            }
             AnyLabeler::Offline { labeler, .. } => {
                 AnyLabeling::States(labeler.label_forest(forest)?)
             }
@@ -514,7 +525,7 @@ impl Labeler for AnyLabeler {
     fn reset_counters(&mut self) {
         match self {
             AnyLabeler::OnDemand(od) => od.reset_counters(),
-            AnyLabeler::Shared(sh) => Labeler::reset_counters(sh),
+            AnyLabeler::Shared(sh) => Labeler::reset_counters(sh.as_mut()),
             AnyLabeler::Offline { labeler, .. } => labeler.reset_counters(),
             AnyLabeler::Dp(dp) => dp.reset_counters(),
             AnyLabeler::Macro(mx) => mx.reset_counters(),

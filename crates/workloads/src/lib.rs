@@ -21,4 +21,4 @@ mod traffic;
 
 pub use sampler::{SamplerConfig, TreeSampler};
 pub use suite::{combined_workload, program_workloads, random_workload, replicate, Workload};
-pub use traffic::{mixed_traffic, paced_traffic, PacedJob, TrafficJob};
+pub use traffic::{builtin_traffic, mixed_traffic, paced_traffic, PacedJob, TrafficJob};

@@ -66,6 +66,22 @@ pub fn mixed_traffic(
         .collect()
 }
 
+/// [`mixed_traffic`] over every built-in target
+/// ([`odburg_targets::all`]): the manifest the cluster smoke test, the
+/// `serve` CLI examples, and the differential suites share, so "the
+/// mixed-traffic workload" means the same job stream everywhere.
+pub fn builtin_traffic(seed: u64, jobs: usize) -> Vec<TrafficJob> {
+    let grammars: Vec<(String, NormalGrammar)> = odburg_targets::all()
+        .iter()
+        .map(|g| (g.name().to_owned(), g.normalize()))
+        .collect();
+    let targets: Vec<(&str, &NormalGrammar)> = grammars
+        .iter()
+        .map(|(name, normal)| (name.as_str(), normal))
+        .collect();
+    mixed_traffic(&targets, seed, jobs)
+}
+
 /// One job of an open-loop arrival-paced stream: the offset from the
 /// stream's start at which the job "arrives", plus the job itself.
 #[derive(Debug, Clone)]

@@ -112,3 +112,54 @@ fn cross_config_and_cross_grammar_imports_are_rejected() {
         Err(persist::PersistError::GrammarMismatch { .. })
     ));
 }
+
+/// The shipping path and the file path must produce and consume the
+/// same bytes: a snapshot streamed through `write_tables_to`, framed
+/// over a real socket, and read back with `read_tables_from` is
+/// bit-identical to a file export of the same snapshot — table
+/// shipping is a transport, not a re-encoding.
+#[test]
+fn socket_shipped_bytes_match_a_file_export_bit_identically() {
+    use std::io::{Read, Write};
+
+    let (auto, forest) = warmed(3);
+    let snapshot = Arc::new(auto.snapshot());
+
+    // File path.
+    let dir = std::env::temp_dir().join(format!("odburg-ship-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("shipped.odbt");
+    persist::save_tables(&snapshot, &path).expect("save");
+    let file_bytes = std::fs::read(&path).expect("read back");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Shipping path: stream the same snapshot over a socketpair with
+    // length-prefixed framing, exactly as the cluster transport does.
+    let (mut tx, mut rx) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+    let mut wire = Vec::new();
+    persist::write_tables_to(&snapshot, &mut wire).expect("stream export");
+    let sender = std::thread::spawn(move || {
+        tx.write_all(&(wire.len() as u64).to_le_bytes()).unwrap();
+        tx.write_all(&wire).unwrap();
+    });
+    let mut len = [0u8; 8];
+    rx.read_exact(&mut len).expect("length prefix");
+    let mut shipped = vec![0u8; u64::from_le_bytes(len) as usize];
+    rx.read_exact(&mut shipped).expect("payload");
+    sender.join().expect("sender thread");
+
+    assert_eq!(shipped, file_bytes, "shipped bytes differ from file export");
+
+    // And the shipped bytes import to an equivalent snapshot.
+    let imported =
+        persist::read_tables_from(&shipped[..], Arc::clone(auto.grammar()), auto.config())
+            .expect("import shipped bytes");
+    assert_eq!(imported.stats(), snapshot.stats());
+    let mut from_wire = OnDemandAutomaton::from_snapshot(&imported);
+    let relabeled = from_wire.label_forest(&forest).expect("warm relabel");
+    let mut from_file = OnDemandAutomaton::from_snapshot(&snapshot);
+    let original = from_file.label_forest(&forest).expect("original relabel");
+    for (id, _) in forest.iter() {
+        assert_eq!(relabeled.state_of(id), original.state_of(id));
+    }
+}
